@@ -1,0 +1,53 @@
+"""Shared generators for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1-E15).  The paper has no measurement tables -- its evaluation
+artifacts are worked examples -- so E1-E11 time the exact reproduction
+of those examples (asserting the paper's printed output inside the
+benched function), and E12-E15 are the added scaling/ablation studies.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import PAPER_POLICY_RULES, hospital_database
+from repro.security import SecureXMLDatabase
+from repro.xmltree import XMLDocument, element
+
+SERVICES = ["cardiology", "pneumology", "oncology", "otolarynology"]
+ILLNESSES = ["angina", "pneumonia", "lymphoma", "tonsillitis", "asthma"]
+
+
+def synthetic_hospital(patients: int, seed: int = 2005) -> SecureXMLDatabase:
+    """A hospital database with ``patients`` records under the paper's
+    subject hierarchy and equation-13 policy."""
+    rng = random.Random(seed)
+    doc = XMLDocument()
+    root = doc.add_root("patients")
+    for index in range(patients):
+        record = element(
+            f"patient{index:05d}",
+            element("service", rng.choice(SERVICES)),
+            element("diagnosis", rng.choice(ILLNESSES)),
+        )
+        record.attach(doc, root)
+    db = hospital_database()
+    # Reuse the paper's subjects/policy against the synthetic document.
+    return SecureXMLDatabase(doc, db.subjects, db.policy)
+
+
+@pytest.fixture
+def paper_db():
+    """The exact running example of the paper."""
+    return hospital_database()
+
+
+def print_series(title: str, rows) -> None:
+    """Emit a small table into the benchmark output (run with -s)."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  " + " | ".join(str(c) for c in row))

@@ -1,0 +1,57 @@
+"""E11 (section 4.4.2): the six secure-write cases of the policy.
+
+Regenerates: one row per XUpdate operation showing who may do what
+under equation 13 (the paper's prose walk-through), timing each
+access-controlled execution end to end (view + checks + mutation).
+"""
+
+import pytest
+
+from repro.core import hospital_database
+from repro.xmltree import element, text
+from repro.xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+)
+
+#: (case id, user, operation, expected fully_applied, expected affected)
+CASES = [
+    ("doctor-updates-diagnosis", "laporte",
+     UpdateContent("/patients/franck/diagnosis", "pharyngitis"), True, 1),
+    ("secretary-updates-diagnosis-DENIED", "beaufort",
+     UpdateContent("/patients/franck/diagnosis", "x"), False, 0),
+    ("secretary-renames-patient", "beaufort",
+     Rename("/patients/franck", "francois"), True, 1),
+    ("doctor-renames-patient-DENIED", "laporte",
+     Rename("/patients/franck", "francois"), False, 0),
+    ("secretary-admits-patient", "beaufort",
+     Append("/patients", element("albert", element("diagnosis"))), True, 1),
+    ("doctor-poses-diagnosis", "laporte",
+     Append("//diagnosis", text("note")), True, 2),
+    ("secretary-insert-before-patient", "beaufort",
+     InsertBefore("/patients/robert", element("karl")), True, 1),
+    ("secretary-insert-after-patient", "beaufort",
+     InsertAfter("/patients/robert", element("karl")), True, 1),
+    ("doctor-deletes-diagnosis-content", "laporte",
+     Remove("//diagnosis/text()"), True, 2),
+    ("patient-writes-own-file-DENIED", "robert",
+     UpdateContent("/patients/robert/diagnosis", "cured"), False, 0),
+]
+
+
+@pytest.mark.parametrize(
+    "case,user,operation,applies,affected", CASES, ids=[c[0] for c in CASES]
+)
+def test_e11_write_matrix(benchmark, case, user, operation, applies, affected):
+    def run():
+        db = hospital_database()
+        session = db.login(user)
+        return session.execute(operation)
+
+    result = benchmark(run)
+    assert result.fully_applied == applies, case
+    assert len(result.affected) == affected, case

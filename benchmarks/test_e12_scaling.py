@@ -1,0 +1,79 @@
+"""E12 (added): scaling of view derivation and secure writes.
+
+Series:
+- view materialization time vs document size (50..800 patients);
+- secure write (update one diagnosis) vs document size;
+- view materialization vs policy size (the paper's 12 rules replicated
+  k times with alternating effects).
+
+The paper's model materializes the full view (axioms 15-17), so view
+cost is expected to grow linearly in document size and in rule count;
+these benches verify that shape.
+"""
+
+import pytest
+
+from conftest import synthetic_hospital
+
+from repro.xupdate import UpdateContent
+
+
+@pytest.mark.parametrize("patients", [50, 100, 200, 400, 800])
+def test_e12_view_vs_document_size(benchmark, patients):
+    db = synthetic_hospital(patients)
+
+    def run():
+        view = db.build_view("beaufort")
+        # Every diagnosis text is RESTRICTED for the secretary.
+        assert len(view.restricted) == patients
+        return view
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("patients", [50, 200, 800])
+def test_e12_secure_write_vs_document_size(benchmark, patients):
+    db = synthetic_hospital(patients)
+    target = "/patients/patient00007/diagnosis"
+
+    def run():
+        view = db.build_view("laporte")
+        from repro.security import SecureWriteExecutor
+
+        result = SecureWriteExecutor().apply(
+            view, UpdateContent(target, "revised")
+        )
+        assert len(result.affected) == 1
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("copies", [1, 4, 16])
+def test_e12_view_vs_policy_size(benchmark, copies):
+    db = synthetic_hospital(100)
+    # Pad the policy: alternating deny/grant pairs that cancel out,
+    # forcing the resolver to replay a longer rule list.
+    for _ in range(copies - 1):
+        db.policy.deny("read", "//service/*", "secretary")
+        db.policy.grant("read", "//service/*", "secretary")
+
+    def run():
+        view = db.build_view("beaufort")
+        assert len(view.restricted) == 100
+        return view
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("patients", [100, 400])
+def test_e12_query_on_view_vs_size(benchmark, patients):
+    db = synthetic_hospital(patients)
+    session = db.login("richard")
+    session.view()  # materialize once; bench the query path
+
+    def run():
+        return session.query("count(//diagnosis)")
+
+    count = benchmark(run)
+    assert count == float(patients)

@@ -1,0 +1,96 @@
+"""E13 (added, ablation): numbering schemes under update churn.
+
+The paper requires a scheme where "numbers assigned to existing nodes
+remain the same even after an update" (section 3.1).  This ablation
+measures what that buys: repeated insert-between under
+
+- the persistent Dewey scheme (the paper's [12] equivalent),
+- the LSDX-style string scheme ([8]),
+- the naive renumbering baseline, which must rewrite sibling ids.
+
+Rows: scheme | inserts | renumber episodes | node ids rewritten.
+"""
+
+import pytest
+
+from repro.xmltree import (
+    LSDXScheme,
+    NodeKind,
+    PersistentDeweyScheme,
+    RenumberingScheme,
+    XMLDocument,
+)
+
+INSERTS = 200
+
+
+def churn(scheme) -> "XMLDocument":
+    """Worst-case churn: always insert right after the first child."""
+    doc = XMLDocument(scheme)
+    root = doc.add_root("r")
+    anchor = doc.append_child(root, NodeKind.ELEMENT, "first")
+    doc.append_child(root, NodeKind.ELEMENT, "last")
+    for i in range(INSERTS):
+        doc.insert_after(anchor, NodeKind.ELEMENT, f"n{i}")
+        anchor = doc.last_renumber_mapping.get(anchor, anchor)
+    return doc
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [PersistentDeweyScheme, LSDXScheme, RenumberingScheme],
+    ids=["persistent-dewey", "lsdx", "renumbering"],
+)
+def test_e13_insert_between_churn(benchmark, scheme_factory):
+    doc = benchmark(churn, scheme_factory())
+    assert len(doc.children(doc.root)) == INSERTS + 2
+    if scheme_factory is RenumberingScheme:
+        # The ablation's point: the naive scheme pays for persistence.
+        assert doc.renumber_count > 0
+        assert doc.renumbered_nodes > 0
+    else:
+        assert doc.renumber_count == 0
+        assert doc.renumbered_nodes == 0
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [PersistentDeweyScheme, LSDXScheme, RenumberingScheme],
+    ids=["persistent-dewey", "lsdx", "renumbering"],
+)
+def test_e13_append_only_workload(benchmark, scheme_factory):
+    """Append-only: every scheme should be renumbering-free."""
+
+    def run():
+        doc = XMLDocument(scheme_factory())
+        root = doc.add_root("r")
+        for i in range(INSERTS):
+            doc.append_child(root, NodeKind.ELEMENT, f"n{i}")
+        return doc
+
+    doc = benchmark(run)
+    assert doc.renumber_count == 0
+
+
+def test_e13_geometry_survives_churn(benchmark):
+    """Persistence pays off: ids taken before churn remain valid and
+    their derived geometry is unchanged (the paper's core claim)."""
+    scheme = PersistentDeweyScheme()
+    doc = XMLDocument(scheme)
+    root = doc.add_root("r")
+    anchor = doc.append_child(root, NodeKind.ELEMENT, "first")
+    witness = doc.append_child(anchor, NodeKind.ELEMENT, "deep")
+
+    def run():
+        local = doc.copy()
+        a = anchor
+        for i in range(100):
+            local.insert_after(a, NodeKind.ELEMENT, f"n{i}")
+        # The pre-churn identifiers still resolve, and geometry derived
+        # from numbers alone is intact.
+        assert local.label(witness) == "deep"
+        assert witness.parent() == anchor
+        assert anchor.parent() == root
+        return local
+
+    benchmark(run)

@@ -1,0 +1,61 @@
+"""E15 (added): XPath engine micro-benchmarks by construct class.
+
+Rows: one benchmark per construct family (axis walks, predicates,
+functions, unions) over a synthetic 800-patient document -- the query
+workload the security layer generates when evaluating policies.
+"""
+
+import pytest
+
+from conftest import synthetic_hospital
+
+from repro.xpath import XPathEngine
+
+ENGINE = XPathEngine(lone_variable_name_test=True, star_matches_text=True)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return synthetic_hospital(800).document
+
+
+CASES = [
+    ("child-chain", "/patients/patient00042/diagnosis", 1),
+    ("descendant-name", "//diagnosis", 800),
+    ("descendant-wildcard", "//*", None),
+    ("text-nodes", "//text()", 1600),
+    ("positional-predicate", "/patients/*[1]", 1),
+    ("value-predicate", "//patient00042[service/text()]", 1),
+    ("name-function", "//*[name()='patient00099']", 1),
+    ("union", "//service | //diagnosis", 1600),
+    ("count-aggregate", "count(//diagnosis)", 800.0),
+    ("reverse-axis", "//patient00500/preceding-sibling::*[1]", 1),
+]
+
+
+@pytest.mark.parametrize("case,path,expected", CASES, ids=[c[0] for c in CASES])
+def test_e15_xpath_constructs(benchmark, doc, case, path, expected):
+    def run():
+        return ENGINE.evaluate(doc, path)
+
+    result = benchmark(run)
+    if isinstance(expected, float):
+        assert result == expected
+    elif expected is not None:
+        assert len(result) == expected
+    else:
+        assert len(result) > 800
+
+
+def test_e15_policy_path_with_user_variable(benchmark, doc):
+    """The rule-5 shape the resolver evaluates per user."""
+
+    def run():
+        return ENGINE.select(
+            doc,
+            "/patients/*[$USER]/descendant-or-self::*",
+            variables={"USER": "patient00100"},
+        )
+
+    result = benchmark(run)
+    assert len(result) == 5  # patient + service + text + diagnosis + text

@@ -1,0 +1,72 @@
+"""E17 (added): the XSLT-based security processor.
+
+The paper's conclusion describes an XSLT security processor built on
+the model.  This bench measures the pipeline the conclusion proposes:
+compile a user's permissions into a stylesheet (once per policy
+change), then transform the source per request -- against the baseline
+of materializing the view directly.
+
+Rows: stage | time.  The interesting numbers are (a) compilation is
+cheap and proportional to the number of pruned/RESTRICTED boundary
+nodes, not the document size, and (b) a precompiled-stylesheet
+transform is competitive with direct view materialization.
+"""
+
+import pytest
+
+from conftest import synthetic_hospital
+
+from repro.xmltree import serialize
+from repro.xslt import apply_stylesheet, view_stylesheet
+
+PATIENTS = 200
+
+
+@pytest.fixture(scope="module")
+def db():
+    return synthetic_hospital(PATIENTS)
+
+
+@pytest.fixture(scope="module")
+def secretary_view(db):
+    return db.build_view("beaufort")
+
+
+def test_e17_stylesheet_compilation(benchmark, db, secretary_view):
+    def run():
+        return view_stylesheet(secretary_view)
+
+    stylesheet = benchmark(run)
+    # copy-through + one rewrite template per RESTRICTED diagnosis text.
+    assert len(stylesheet) == 1 + PATIENTS
+
+
+def test_e17_transform_with_precompiled_stylesheet(
+    benchmark, db, secretary_view
+):
+    stylesheet = view_stylesheet(secretary_view)
+
+    def run():
+        return apply_stylesheet(stylesheet, db.document)
+
+    output = benchmark(run)
+    assert serialize(output) == serialize(secretary_view.doc)
+
+
+def test_e17_direct_view_materialization_baseline(benchmark, db):
+    def run():
+        return db.build_view("beaufort")
+
+    view = benchmark(run)
+    assert len(view.restricted) == PATIENTS
+
+
+def test_e17_full_pipeline_per_request(benchmark, db):
+    """Worst case: derive perms + compile + transform on every request."""
+
+    def run():
+        view = db.build_view("beaufort")
+        return apply_stylesheet(view_stylesheet(view), db.document)
+
+    output = benchmark(run)
+    assert "RESTRICTED" in serialize(output)

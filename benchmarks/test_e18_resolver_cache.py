@@ -1,0 +1,51 @@
+"""E18 (added, ablation): cross-user rule-path caching in axiom 14.
+
+E16 located the architecture's bottleneck in permission resolution:
+every rule path is re-evaluated over the whole source for every user.
+Paths that never mention ``$USER`` select the same nodes for *all*
+users, so the resolver can cache them per (document, mutation stamp).
+
+Rows: workload | cold resolver | cached resolver.  The paper's policy
+has 11 user-independent paths out of 12, so multi-user workloads (the
+normal case for a shared database) should approach a 1/users cost.
+"""
+
+import pytest
+
+from conftest import synthetic_hospital
+
+from repro.security import PermissionResolver
+
+PATIENTS = 300
+USERS = ["beaufort", "laporte", "richard", "robert", "franck"]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return synthetic_hospital(PATIENTS)
+
+
+def resolve_all(db, resolver):
+    return [
+        resolver.resolve(db.document, db.policy, user) for user in USERS
+    ]
+
+
+def test_e18_five_users_without_cache(benchmark, db):
+    resolver = PermissionResolver(cache_paths=False)
+
+    def run():
+        return resolve_all(db, resolver)
+
+    tables = benchmark(run)
+    assert len(tables) == len(USERS)
+
+
+def test_e18_five_users_with_cache(benchmark, db):
+    resolver = PermissionResolver(cache_paths=True)
+
+    def run():
+        return resolve_all(db, resolver)
+
+    tables = benchmark(run)
+    assert len(tables) == len(USERS)

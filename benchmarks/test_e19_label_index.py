@@ -1,0 +1,94 @@
+"""E19 (added, ablation): the ``//name`` label-index fast path.
+
+E15 showed ``//``-paths dominating policy evaluation.  The document now
+keeps a lazy element-label index (guarded by the mutation stamp) and
+the evaluator answers the desugared ``//name`` pair straight from it.
+This ablation measures the fast paths -- ``//name`` via the label
+index, ``//*`` / ``//node()`` / ``//text()`` via the kind index --
+against the generic evaluation of the *same semantics* (forced by a
+vacuous predicate, which the fast path's predicate-free requirement
+rejects).
+
+Rows: path form | time.
+"""
+
+import pytest
+
+from conftest import synthetic_hospital
+
+from repro.xpath import XPathEngine
+
+ENGINE = XPathEngine()
+PATIENTS = 800
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return synthetic_hospital(PATIENTS).document
+
+
+def test_e19_descendant_name_fast_path(benchmark, doc):
+    def run():
+        return ENGINE.select(doc, "//diagnosis")
+
+    result = benchmark(run)
+    assert len(result) == PATIENTS
+
+
+def test_e19_descendant_name_generic(benchmark, doc):
+    def run():
+        # The [true()] predicate defeats the fast path; semantics match.
+        return ENGINE.select(
+            doc, "/descendant-or-self::node()/child::diagnosis[true()]"
+        )
+
+    result = benchmark(run)
+    assert len(result) == PATIENTS
+
+
+def test_e19_fast_path_under_policy_evaluation(benchmark, doc):
+    """A realistic policy mix: two //name paths plus one rooted path."""
+
+    def run():
+        a = ENGINE.select(doc, "//diagnosis")
+        b = ENGINE.select(doc, "//service")
+        c = ENGINE.select(doc, "/patients")
+        return len(a) + len(b) + len(c)
+
+    total = benchmark(run)
+    assert total == 2 * PATIENTS + 1
+
+
+@pytest.mark.parametrize("test", ["*", "node()", "text()"], ids=["star", "node", "text"])
+def test_e19_kind_fast_path(benchmark, doc, test):
+    """The same machinery answers //*, //node() and //text()."""
+
+    def run():
+        return ENGINE.select(doc, f"//{test}")
+
+    result = benchmark(run)
+    assert len(result) >= 800
+
+
+@pytest.mark.parametrize("test", ["*", "node()", "text()"], ids=["star", "node", "text"])
+def test_e19_kind_generic(benchmark, doc, test):
+    def run():
+        return ENGINE.select(
+            doc, f"/descendant-or-self::node()/child::{test}[true()]"
+        )
+
+    result = benchmark(run)
+    assert len(result) >= 800
+
+
+def test_e19_index_invalidation_cost(benchmark, doc):
+    """Worst case: every query preceded by a mutation (index rebuild)."""
+    scratch = doc.copy()
+    target = scratch.children(scratch.root)[0]
+
+    def run():
+        scratch.relabel(target, "patientX")  # bump the stamp
+        return ENGINE.select(scratch, "//diagnosis")
+
+    result = benchmark(run)
+    assert len(result) == PATIENTS

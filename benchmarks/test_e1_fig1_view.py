@@ -1,0 +1,42 @@
+"""E1 (figure 1): derive the RESTRICTED view of the figure-1 document.
+
+Regenerates: the right-hand tree of figure 1 (position privilege on the
+patient name, read on everything else) and times the derivation.
+"""
+
+from repro.security import Policy, SubjectHierarchy, ViewBuilder
+from repro.xmltree import parse_xml, render_tree
+
+EXPECTED = [
+    "/",
+    "  /patients",
+    "    /RESTRICTED",
+    "      /diagnosis",
+    "        text()pneumonia",
+]
+
+
+def build_fig1():
+    doc = parse_xml(
+        "<patients><robert><diagnosis>pneumonia</diagnosis></robert></patients>"
+    )
+    subjects = SubjectHierarchy()
+    subjects.add_user("s")
+    policy = Policy(subjects)
+    policy.grant("read", "//*", "s")
+    policy.deny("read", "/patients/robert", "s")
+    policy.grant("position", "/patients/robert", "s")
+    return doc, policy
+
+
+def test_e1_figure1_view(benchmark):
+    doc, policy = build_fig1()
+    builder = ViewBuilder()
+
+    def derive():
+        view = builder.build(doc, policy, "s")
+        assert render_tree(view.doc).split("\n") == EXPECTED
+        return view
+
+    view = benchmark(derive)
+    assert len(view.restricted) == 1

@@ -1,0 +1,56 @@
+"""E2 (figure 2 / equation 1): build the sample document's theory.
+
+Regenerates: the fact set F of equation 1 and the child facts the
+paper derives in section 3.3, timing parse + fact extraction.
+"""
+
+from repro.core import MEDICAL_XML
+from repro.xmltree import parse_xml
+
+PAPER_LABELS = sorted(
+    [
+        "/",
+        "patients",
+        "franck",
+        "service",
+        "otolarynology",
+        "diagnosis",
+        "tonsillitis",
+        "robert",
+        "service",
+        "pneumology",
+        "diagnosis",
+        "pneumonia",
+    ]
+)
+
+
+def test_e2_parse_and_facts(benchmark):
+    def build():
+        doc = parse_xml(MEDICAL_XML)
+        facts = doc.facts()
+        child = doc.child_facts()
+        assert sorted(v for (_n, v) in facts) == PAPER_LABELS
+        # 11 non-document nodes, each a child of exactly one parent.
+        assert len(child) == 11
+        return doc
+
+    doc = benchmark(build)
+    assert doc.root is not None
+
+
+def test_e2_geometry_derivation(benchmark):
+    """Time the full geometry closure in the formal (Datalog) theory."""
+    from repro.formal import document_theory
+    from repro.logic import DatalogEngine
+
+    doc = parse_xml(MEDICAL_XML)
+
+    def derive():
+        engine = DatalogEngine(document_theory(doc))
+        solved = engine.solve()
+        assert len(solved["child"]) == 11
+        assert ("descendant" in solved)
+        return solved
+
+    benchmark(derive)

@@ -1,0 +1,78 @@
+"""E3-E6 (section 3.4): the four XUpdate worked examples.
+
+Regenerates: the derived fact set F after each operation, exactly as
+printed in the paper, and times the unsecured executors (formulae 2-9).
+"""
+
+import pytest
+
+from repro.core import MEDICAL_XML
+from repro.xmltree import element, parse_xml
+from repro.xupdate import (
+    Append,
+    Remove,
+    Rename,
+    UpdateContent,
+    XUpdateExecutor,
+)
+
+EXECUTOR = XUpdateExecutor()
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(MEDICAL_XML)
+
+
+def labels(doc):
+    return sorted(doc.label(n) for n in doc.all_nodes())
+
+
+def test_e3_rename_service_to_department(benchmark, doc):
+    def run():
+        new = EXECUTOR.apply(doc, Rename("//service", "department")).document
+        assert labels(new).count("department") == 2
+        assert "service" not in labels(new)
+        return new
+
+    benchmark(run)
+
+
+def test_e4_update_diagnosis_to_pharyngitis(benchmark, doc):
+    def run():
+        new = EXECUTOR.apply(
+            doc, UpdateContent("/patients/franck/diagnosis", "pharyngitis")
+        ).document
+        assert "pharyngitis" in labels(new)
+        assert "tonsillitis" not in labels(new)
+        return new
+
+    benchmark(run)
+
+
+def test_e5_append_albert_record(benchmark, doc):
+    tree = element(
+        "albert", element("service", "cardiology"), element("diagnosis")
+    )
+
+    def run():
+        result = EXECUTOR.apply(doc, Append("/patients", tree))
+        new = result.document
+        assert "albert" in labels(new)
+        # The paper's derived geometry: albert is the last subtree.
+        assert new.label(new.children(new.root)[-1]) == "albert"
+        return new
+
+    benchmark(run)
+
+
+def test_e6_remove_franck_diagnosis(benchmark, doc):
+    def run():
+        new = EXECUTOR.apply(
+            doc, Remove("/patients/franck/diagnosis")
+        ).document
+        assert "tonsillitis" not in labels(new)
+        assert labels(new).count("diagnosis") == 1
+        return new
+
+    benchmark(run)

@@ -1,0 +1,58 @@
+"""E7 (figure 3 / equations 10-12): the subject hierarchy closure.
+
+Regenerates: the explicit isa facts of equation 10 and the
+reflexive-transitive closure of axioms 11-12, timing both the
+procedural closure and the Datalog derivation, plus a scaling series
+over deeper role chains.
+"""
+
+import pytest
+
+from repro.core import hospital_subjects
+from repro.formal.axioms import subject_rules
+from repro.logic import DatalogEngine, Program
+from repro.security import SubjectHierarchy
+
+
+def test_e7_procedural_closure(benchmark):
+    def run():
+        subjects = hospital_subjects()
+        closed = set(subjects.closure_facts())
+        assert ("laporte", "staff") in closed
+        assert all((s, s) in closed for s in subjects.subjects)
+        return closed
+
+    closed = benchmark(run)
+    # 10 reflexive + 8 explicit + 3 transitive (the three staff users).
+    assert len(closed) == 10 + 8 + 3
+
+
+def test_e7_formal_closure(benchmark):
+    subjects = hospital_subjects()
+
+    def run():
+        program = Program()
+        subject_rules(subjects, program)
+        engine = DatalogEngine(program)
+        return set(engine.query("isa"))
+
+    closed = benchmark(run)
+    assert closed == set(subjects.closure_facts())
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_e7_closure_scaling_with_depth(benchmark, depth):
+    """Closure cost along a role chain of increasing depth."""
+    subjects = SubjectHierarchy()
+    subjects.add_role("role0")
+    for i in range(1, depth):
+        subjects.add_role(f"role{i}", member_of=f"role{i - 1}")
+    subjects.add_user("u", member_of=f"role{depth - 1}")
+
+    def run():
+        assert subjects.isa("u", "role0")
+        return sum(1 for _ in subjects.closure_facts())
+
+    total = benchmark(run)
+    # Roles contribute sum(i+1) = d(d+1)/2 facts; the user adds d+1.
+    assert total == depth * (depth + 1) // 2 + depth + 1

@@ -1,0 +1,52 @@
+"""E8 (equation 13 + axiom 14): policy conflict resolution.
+
+Regenerates: the perm facts of the running example -- in particular
+rule 2 partially cancelling rule 1 for secretaries -- and times
+permission derivation for every subject of figure 3.
+"""
+
+import pytest
+
+from repro.security import Privilege
+
+
+@pytest.mark.parametrize(
+    "user", ["beaufort", "laporte", "richard", "robert", "franck"]
+)
+def test_e8_perm_derivation(benchmark, paper_db, user):
+    db = paper_db
+    diag_text = db.engine.select(
+        db.document, "/patients/franck/diagnosis/text()"
+    )[0]
+
+    def run():
+        return db.permissions_for(user)
+
+    table = benchmark(run)
+    # The paper's headline conflict: secretaries lose read on diagnosis
+    # content (rule 2 over rule 1); doctors keep it.
+    if user == "beaufort":
+        assert not table.holds(diag_text, Privilege.READ)
+        assert table.holds(diag_text, Privilege.POSITION)
+    if user == "laporte":
+        assert table.holds(diag_text, Privilege.READ)
+        assert table.holds(diag_text, Privilege.UPDATE)
+
+
+def test_e8_conflict_chain_resolution(benchmark, paper_db):
+    """A long accept/deny alternation on one node: latest rule wins."""
+    db = paper_db
+    for i in range(20):
+        if i % 2 == 0:
+            db.policy.deny("read", "/patients/franck", "secretary")
+        else:
+            db.policy.grant("read", "/patients/franck", "secretary")
+    franck = db.engine.select(db.document, "/patients/franck")[0]
+
+    def run():
+        return db.permissions_for("beaufort")
+
+    table = benchmark(run)
+    # 20 extra rules, last one (i=19) is a grant.
+    assert table.holds(franck, Privilege.READ)
+    assert table.explain(franck, Privilege.READ).effect == "accept"

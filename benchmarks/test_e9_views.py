@@ -1,0 +1,69 @@
+"""E9 (section 4.4.1): derive the four printed views.
+
+Regenerates: the secretary / patient / epidemiologist / doctor views
+exactly as the paper prints them, timing full view materialization
+(perm derivation + pruning + RESTRICTED relabelling).
+"""
+
+import pytest
+
+SECRETARY_VIEW = [
+    "/",
+    "  /patients",
+    "    /franck",
+    "      /service",
+    "        text()otolarynology",
+    "      /diagnosis",
+    "        text()RESTRICTED",
+    "    /robert",
+    "      /service",
+    "        text()pneumology",
+    "      /diagnosis",
+    "        text()RESTRICTED",
+]
+
+ROBERT_VIEW = [
+    "/",
+    "  /patients",
+    "    /robert",
+    "      /service",
+    "        text()pneumology",
+    "      /diagnosis",
+    "        text()pneumonia",
+]
+
+EPIDEMIOLOGIST_VIEW = [
+    "/",
+    "  /patients",
+    "    /RESTRICTED",
+    "      /service",
+    "        text()otolarynology",
+    "      /diagnosis",
+    "        text()tonsillitis",
+    "    /RESTRICTED",
+    "      /service",
+    "        text()pneumology",
+    "      /diagnosis",
+    "        text()pneumonia",
+]
+
+EXPECTED = {
+    "beaufort": SECRETARY_VIEW,
+    "robert": ROBERT_VIEW,
+    "richard": EPIDEMIOLOGIST_VIEW,
+}
+
+
+@pytest.mark.parametrize("user", ["beaufort", "robert", "richard", "laporte"])
+def test_e9_view_derivation(benchmark, paper_db, user):
+    db = paper_db
+
+    def run():
+        return db.login(user).read_tree()
+
+    tree = benchmark(run)
+    if user == "laporte":
+        assert "RESTRICTED" not in tree
+        assert "tonsillitis" in tree
+    else:
+        assert tree.split("\n") == EXPECTED[user]

@@ -1,0 +1,111 @@
+"""Statistics over a RESTRICTED view: the epidemiologist's workload.
+
+The paper motivates the *position* privilege with exactly this user:
+"user s is permitted to read illnesses (most probably for statistical
+purpose) but she is forbidden to see patients' names" (section 2.1).
+This example scales the scenario up: a few hundred generated patient
+records, an epidemiologist who runs aggregate XPath queries over her
+view -- where every patient name reads RESTRICTED but services and
+diagnoses are intact -- and a check that the counts she computes match
+the administrator's ground truth even though she can identify nobody.
+
+Run with::
+
+    python examples/epidemiology_study.py
+"""
+
+import random
+
+from repro import SecureXMLDatabase, element
+from repro.core import PAPER_POLICY_RULES
+
+SERVICES = ["cardiology", "pneumology", "oncology", "otolarynology"]
+DIAGNOSES = {
+    "cardiology": ["pericarditis", "arrhythmia", "angina"],
+    "pneumology": ["pneumonia", "bronchitis", "asthma"],
+    "oncology": ["lymphoma", "melanoma"],
+    "otolarynology": ["tonsillitis", "sinusitis", "pharyngitis"],
+}
+
+
+def generate_database(patients: int, seed: int = 2005) -> SecureXMLDatabase:
+    """A hospital database with ``patients`` random records."""
+    rng = random.Random(seed)
+    db = SecureXMLDatabase.from_xml("<patients/>")
+    db.subjects.add_role("staff")
+    db.subjects.add_role("secretary", member_of="staff")
+    db.subjects.add_role("doctor", member_of="staff")
+    db.subjects.add_role("epidemiologist", member_of="staff")
+    db.subjects.add_role("patient")
+    db.subjects.add_user("richard", member_of="epidemiologist")
+    db.subjects.add_user("laporte", member_of="doctor")
+    for effect, privilege, path, subject in PAPER_POLICY_RULES:
+        if effect == "accept":
+            db.policy.grant(privilege, path, subject)
+        else:
+            db.policy.deny(privilege, path, subject)
+
+    from repro import Append
+
+    root_append = []
+    for index in range(patients):
+        service = rng.choice(SERVICES)
+        diagnosis = rng.choice(DIAGNOSES[service])
+        record = element(
+            f"patient{index:04d}",
+            element("service", service),
+            element("diagnosis", diagnosis),
+        )
+        root_append.append(record)
+    for record in root_append:
+        db.admin_update(Append("/patients", record))
+    return db
+
+
+def main() -> None:
+    db = generate_database(patients=200)
+    richard = db.login("richard")
+
+    print("== A slice of the epidemiologist's view ==")
+    slice_xml = richard.query("/patients/*[position() <= 2]")
+    from repro import serialize
+
+    for nid in slice_xml:
+        print(serialize(richard.view().doc, nid=nid, indent="  "))
+    print()
+
+    # Aggregate queries on the view: names are gone, content is intact.
+    print("== Diagnosis frequencies computed from the RESTRICTED view ==")
+    print(f"{'service':16} {'patients':>8}")
+    total = 0.0
+    for service in SERVICES:
+        count = richard.query(f"count(//service[text()='{service}'])")
+        total += count
+        print(f"{service:16} {int(count):8d}")
+    print(f"{'TOTAL':16} {int(total):8d}\n")
+
+    # Ground truth from the administrator's unrestricted document.
+    admin_engine = db.engine
+    for service in SERVICES:
+        ground = admin_engine.evaluate(
+            db.document, f"count(//service[text()='{service}'])"
+        )
+        view_count = richard.query(f"count(//service[text()='{service}'])")
+        assert ground == view_count, (service, ground, view_count)
+    print("Counts from the view match the administrator's ground truth.")
+
+    # ...but identification is impossible: every patient element is
+    # RESTRICTED in richard's view.
+    names = richard.query("/patients/*[name() != 'RESTRICTED']")
+    print(f"Patient elements with a visible name in richard's view: "
+          f"{len(names)}")
+    pneumonia_names = richard.query(
+        "/patients/*[diagnosis/text()='pneumonia']"
+    )
+    print(f"...and trying to select *who* has pneumonia still only "
+          f"yields RESTRICTED elements "
+          f"({len(pneumonia_names)} matches, all anonymous).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""A full day at the hospital: multi-user workflow with audit trail.
+
+Exercises every XUpdate operation under access control, in the order a
+real admission would happen (the scenario the paper's policy was
+written for):
+
+1. the secretary admits a new patient (``xupdate:append``, rule 8);
+2. the secretary fixes a misspelled patient name (``xupdate:rename``,
+   rule 9);
+3. the doctor poses a diagnosis (``xupdate:append`` into the diagnosis
+   element, rule 10);
+4. the doctor revises it (``xupdate:update``, rule 11);
+5. the doctor retracts it (``xupdate:remove``, rule 12);
+6. the patient reads their own file; the secretary sees RESTRICTED;
+7. every refused attempt lands in the audit log.
+
+Run with::
+
+    python examples/hospital_workflow.py
+"""
+
+from repro import (
+    Append,
+    Remove,
+    Rename,
+    UpdateContent,
+    element,
+    serialize,
+)
+from repro.core import hospital_database
+
+
+def show(title: str, xml: str) -> None:
+    print(f"== {title} ==")
+    print(xml)
+    print()
+
+
+def main() -> None:
+    db = hospital_database()
+
+    # 1. Admission: the secretary creates a new medical file.  Note the
+    #    diagnosis element is created empty -- posing the diagnosis is
+    #    the doctor's job.
+    secretary = db.login("beaufort")
+    admission = Append(
+        "/patients",
+        element(
+            "albert",
+            element("service", "cardiology"),
+            element("diagnosis"),
+        ),
+    )
+    result = secretary.execute(admission, strict=True)
+    show("After admission by the secretary", secretary.read_xml(indent="  "))
+
+    # 2. The name was misspelled; the secretary may rename patient
+    #    elements (rule 9 grants update on /patients/*).
+    secretary.execute(Rename("/patients/albert", "adalbert"), strict=True)
+
+    # 3. The doctor poses a diagnosis.  Rule 10 grants insert on
+    #    //diagnosis, so appending a text tree to the empty element works.
+    doctor = db.login("laporte")
+    from repro import text
+
+    doctor.execute(Append("/patients/adalbert/diagnosis", text("angina")), strict=True)
+    show("After the doctor poses a diagnosis", doctor.read_xml(indent="  "))
+
+    # 4. Second opinion: the doctor revises the diagnosis (rule 11).
+    doctor.execute(
+        UpdateContent("/patients/adalbert/diagnosis", "pericarditis"),
+        strict=True,
+    )
+
+    # 5. Retraction: the doctor deletes the diagnosis *content*
+    #    (rule 12 grants delete on //diagnosis/*, not on the element).
+    doctor.execute(Remove("/patients/adalbert/diagnosis/text()"), strict=True)
+    show("After the doctor retracts the diagnosis", doctor.read_xml(indent="  "))
+
+    # 6. What the other principals see now.
+    show("The patient adalbert cannot log in (not a declared user), "
+         "but robert still sees only his own file",
+         db.login("robert").read_xml(indent="  "))
+    show("The secretary sees the structure, diagnosis content RESTRICTED",
+         db.login("beaufort").read_xml(indent="  "))
+
+    # 7. Denied attempts: the secretary tries to peek by writing.
+    sneaky = UpdateContent("/patients/franck/diagnosis", "overwritten")
+    refused = secretary.execute(sneaky)
+    print("== Secretary's denied update ==")
+    for denial in refused.denials:
+        print(f"  {denial}")
+    print()
+
+    print("== Audit trail (denials only) ==")
+    for record in db.audit.denials():
+        print(f"  {record}")
+
+
+if __name__ == "__main__":
+    main()

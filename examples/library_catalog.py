@@ -1,0 +1,124 @@
+"""Policy authoring on a different schema: a library catalogue.
+
+The paper's model is schema-agnostic; this example moves it off the
+medical domain to show policy authoring from scratch:
+
+- *visitors* may browse titles and authors, but acquisition prices and
+  internal condition notes are hidden entirely (no position privilege:
+  the elements simply do not appear -- structure hiding);
+- *members* additionally see which books are on loan, but borrower
+  identities appear RESTRICTED (position privilege: existence without
+  content);
+- *librarians* see and edit everything, except that deleting whole
+  catalogue entries is reserved to the *curator* (a later deny rule
+  carving delete back out of the librarian grant -- conflict resolution
+  in action).
+
+Run with::
+
+    python examples/library_catalog.py
+"""
+
+from repro import Remove, SecureXMLDatabase, UpdateContent
+
+CATALOG = """
+<library>
+  <book>
+    <title>A Formal Access Control Model for XML Databases</title>
+    <author>Gabillon</author>
+    <price>120</price>
+    <condition>spine damaged</condition>
+    <loan><borrower>alice</borrower><due>2026-08-01</due></loan>
+  </book>
+  <book>
+    <title>Updating XML</title>
+    <author>Tatarinov</author>
+    <price>95</price>
+    <condition>good</condition>
+  </book>
+  <book>
+    <title>Polyinstantiation for Cover Stories</title>
+    <author>Sandhu</author>
+    <price>200</price>
+    <condition>fragile</condition>
+    <loan><borrower>bob</borrower><due>2026-07-15</due></loan>
+  </book>
+</library>
+"""
+
+
+def build_library() -> SecureXMLDatabase:
+    db = SecureXMLDatabase.from_xml(CATALOG)
+    subjects = db.subjects
+    subjects.add_role("visitor")
+    subjects.add_role("member", member_of="visitor")
+    subjects.add_role("librarian")
+    subjects.add_role("curator", member_of="librarian")
+    subjects.add_user("vera", member_of="visitor")
+    subjects.add_user("mona", member_of="member")
+    subjects.add_user("liam", member_of="librarian")
+    subjects.add_user("cora", member_of="curator")
+
+    policy = db.policy
+    # Visitors: titles/authors only.  No rule at all for price,
+    # condition or loans means those subtrees vanish from the view.
+    policy.grant("read", "/library", "visitor")
+    policy.grant("read", "/library/book", "visitor")
+    policy.grant("read", "//title", "visitor")
+    policy.grant("read", "//title/text()", "visitor")
+    policy.grant("read", "//author", "visitor")
+    policy.grant("read", "//author/text()", "visitor")
+    # Members: loan status readable, borrower identity positional only.
+    policy.grant("read", "//loan", "member")
+    policy.grant("read", "//due", "member")
+    policy.grant("read", "//due/text()", "member")
+    policy.grant("position", "//borrower", "member")
+    policy.grant("position", "//borrower/text()", "member")
+    # Librarians: everything, including edits.
+    policy.grant("read", "//node()", "librarian")
+    policy.grant("update", "//node()", "librarian")
+    policy.grant("insert", "//node()", "librarian")
+    policy.grant("delete", "//node()", "librarian")
+    # ...except catalogue-entry deletion, carved back out by a later
+    # deny and re-granted to the curator (priority order matters).
+    policy.deny("delete", "/library/book", "librarian")
+    policy.grant("delete", "/library/book", "curator")
+    return db
+
+
+def main() -> None:
+    db = build_library()
+
+    for user, blurb in [
+        ("vera", "visitor: titles and authors only"),
+        ("mona", "member: sees loans, borrowers RESTRICTED"),
+        ("liam", "librarian: sees everything"),
+    ]:
+        print(f"== {user} ({blurb}) ==")
+        print(db.login(user).read_xml(indent="  "))
+        print()
+
+    # The librarian updates a condition note (allowed)...
+    liam = db.login("liam")
+    result = liam.execute(
+        UpdateContent("/library/book[1]/condition", "repaired")
+    )
+    print(f"librarian condition update: affected={len(result.affected)}, "
+          f"denied={len(result.denials)}")
+
+    # ...but cannot delete a catalogue entry (the deny wins)...
+    result = liam.execute(Remove("/library/book[2]"))
+    print(f"librarian tries to delete a book: denied="
+          f"{len(result.denials)} ({result.denials[0].reason})")
+
+    # ...while the curator, granted later, can.
+    cora = db.login("cora")
+    result = cora.execute(Remove("/library/book[2]"), strict=True)
+    print(f"curator deletes the book: affected={len(result.affected)}")
+    print()
+    print("== catalogue after curation (librarian's view) ==")
+    print(db.login("liam").read_xml(indent="  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro -- Gabillon's formal access control model for XML databases.
+
+A complete, from-scratch reproduction of *"A Formal Access Control
+Model for XML Databases"* (Secure Data Management workshop at VLDB
+2005): an XML tree store over persistent node numbering, an XPath 1.0
+engine, an XUpdate engine, a Datalog engine hosting the paper's axioms,
+and -- on top -- the access control model itself: position/read
+privileges, RESTRICTED views, prioritized accept/deny policies, and
+write operations evaluated on user views.
+
+Quickstart::
+
+    from repro import SecureXMLDatabase
+
+    db = SecureXMLDatabase.from_xml("<patients>...</patients>")
+    db.subjects.add_role("staff")
+    db.subjects.add_user("laporte", member_of="staff")
+    db.policy.grant("read", "//*", "staff")
+    session = db.login("laporte")
+    print(session.read_xml(indent="  "))
+"""
+
+from .security import (
+    AccessDenied,
+    AuditLog,
+    InsecureWriteExecutor,
+    PermissionResolver,
+    PermissionTable,
+    Policy,
+    PolicyError,
+    Privilege,
+    SecureUpdateResult,
+    SecureWriteExecutor,
+    SecureXMLDatabase,
+    SecurityRule,
+    Session,
+    SubjectError,
+    SubjectHierarchy,
+    View,
+    ViewBuilder,
+)
+from .xmltree import (
+    Fragment,
+    LSDXScheme,
+    NodeId,
+    NodeKind,
+    PersistentDeweyScheme,
+    RenumberingScheme,
+    RESTRICTED,
+    XMLDocument,
+    XMLSyntaxError,
+    element,
+    parse_xml,
+    render_tree,
+    serialize,
+    text,
+)
+from .xpath import XPathEngine, XPathEvaluationError, XPathSyntaxError
+from .xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    UpdateScript,
+    XUpdateExecutor,
+    parse_xupdate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessDenied",
+    "Append",
+    "AuditLog",
+    "Fragment",
+    "InsecureWriteExecutor",
+    "InsertAfter",
+    "InsertBefore",
+    "LSDXScheme",
+    "NodeId",
+    "NodeKind",
+    "PermissionResolver",
+    "PermissionTable",
+    "PersistentDeweyScheme",
+    "Policy",
+    "PolicyError",
+    "Privilege",
+    "RESTRICTED",
+    "Remove",
+    "Rename",
+    "RenumberingScheme",
+    "SecureUpdateResult",
+    "SecureWriteExecutor",
+    "SecureXMLDatabase",
+    "SecurityRule",
+    "Session",
+    "SubjectError",
+    "SubjectHierarchy",
+    "UpdateContent",
+    "UpdateScript",
+    "View",
+    "ViewBuilder",
+    "XMLDocument",
+    "XMLSyntaxError",
+    "XPathEngine",
+    "XPathEvaluationError",
+    "XPathSyntaxError",
+    "XUpdateExecutor",
+    "element",
+    "parse_xml",
+    "parse_xupdate",
+    "render_tree",
+    "serialize",
+    "text",
+    "__version__",
+]

@@ -1,0 +1,284 @@
+"""Command-line interface to a secure XML database file.
+
+A thin operational shell over the library, working against the
+single-file format of :mod:`repro.storage`::
+
+    python -m repro.cli init db.xml --document patients.xml
+    python -m repro.cli add-role db.xml staff
+    python -m repro.cli add-role db.xml secretary --member-of staff
+    python -m repro.cli add-user db.xml beaufort --member-of secretary
+    python -m repro.cli grant db.xml read '//*' staff
+    python -m repro.cli deny  db.xml read '//diagnosis/*' secretary
+    python -m repro.cli show  db.xml
+    python -m repro.cli view  db.xml beaufort
+    python -m repro.cli query db.xml beaufort 'count(//diagnosis)'
+    python -m repro.cli update db.xml laporte updates.xupdate.xml
+
+Every mutating command rewrites the database file atomically (write to
+a sibling temp file, then replace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from .security.database import SecureXMLDatabase
+from .storage import dump_database, load_from_file
+from .xmltree.parser import parse_xml
+from .xmltree.serializer import render_tree, serialize
+from .xpath.values import is_node_set
+
+__all__ = ["main", "build_parser"]
+
+
+class CliError(Exception):
+    """User-facing command error (bad arguments, refused operation)."""
+
+
+def _save(db: SecureXMLDatabase, path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(dump_database(db))
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+def _load(path: str) -> SecureXMLDatabase:
+    if not os.path.exists(path):
+        raise CliError(f"no database file at {path!r} (run 'init' first)")
+    return load_from_file(path)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+def cmd_init(args: argparse.Namespace) -> int:
+    if os.path.exists(args.database) and not args.force:
+        raise CliError(f"{args.database!r} already exists (use --force)")
+    if args.document:
+        with open(args.document, "r", encoding="utf-8") as handle:
+            db = SecureXMLDatabase(parse_xml(handle.read()))
+    else:
+        db = SecureXMLDatabase.from_xml(args.xml)
+    _save(db, args.database)
+    print(f"initialized {args.database} ({len(db.document)} nodes)")
+    return 0
+
+
+def cmd_add_role(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    db.subjects.add_role(args.name, member_of=args.member_of)
+    _save(db, args.database)
+    print(f"added role {args.name}")
+    return 0
+
+
+def cmd_add_user(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    db.subjects.add_user(args.name, member_of=args.member_of)
+    _save(db, args.database)
+    print(f"added user {args.name}")
+    return 0
+
+
+def cmd_grant(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    rule = db.policy.grant(args.privilege, args.path, args.subject)
+    _save(db, args.database)
+    print(f"added {rule}")
+    return 0
+
+
+def cmd_deny(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    rule = db.policy.deny(args.privilege, args.path, args.subject)
+    _save(db, args.database)
+    print(f"added {rule}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    print(f"document: {len(db.document)} nodes")
+    print(f"subjects: {len(db.subjects.roles)} roles, "
+          f"{len(db.subjects.users)} users")
+    for name in sorted(db.subjects.roles):
+        parents = ", ".join(sorted(db.subjects.direct_parents(name))) or "-"
+        print(f"  role {name} (isa: {parents})")
+    for name in sorted(db.subjects.users):
+        parents = ", ".join(sorted(db.subjects.direct_parents(name))) or "-"
+        print(f"  user {name} (isa: {parents})")
+    print(f"policy: {len(db.policy)} rules")
+    for rule in db.policy:
+        print(f"  {rule}")
+    return 0
+
+
+def cmd_view(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    session = db.login(args.user)
+    if args.tree:
+        print(session.read_tree())
+    else:
+        print(session.read_xml(indent="  "))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    session = db.login(args.user)
+    value = session.query(args.xpath)
+    if is_node_set(value):
+        view_doc = session.view().doc
+        for nid in value:
+            print(serialize(view_doc, nid=nid))
+    elif isinstance(value, bool):
+        print("true" if value else "false")
+    elif isinstance(value, float):
+        from .xpath.values import number_to_string
+
+        print(number_to_string(value))
+    else:
+        print(value)
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    session = db.login(args.user)
+    if os.path.exists(args.xupdate):
+        with open(args.xupdate, "r", encoding="utf-8") as handle:
+            script = handle.read()
+    else:
+        script = args.xupdate
+    from .security.write import AccessDenied
+
+    try:
+        result = session.execute(script, strict=args.strict)
+    except AccessDenied as exc:
+        # Strict mode: nothing was committed; report and exit 3.
+        for denial in exc.denials:
+            print(f"  DENIED: {denial}")
+        return 3
+    _save(db, args.database)
+    print(f"selected={len(result.selected)} affected={len(result.affected)} "
+          f"denied={len(result.denials)}")
+    for denial in result.denials:
+        print(f"  DENIED: {denial}")
+    return 0 if result.fully_applied else 3
+
+
+def cmd_audit_demo(args: argparse.Namespace) -> int:
+    """Load, replay one operation, and show the audit decisions.
+
+    The audit log is in-memory (the file format stores only the theory),
+    so this command exists to inspect decisions interactively.
+    """
+    db = _load(args.database)
+    session = db.login(args.user)
+    session.execute(args.xupdate)
+    for record in db.audit:
+        print(record)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xmlsec",
+        description="Secure XML database (Gabillon 2005) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a database file")
+    p.add_argument("database")
+    p.add_argument("--document", help="XML file to load as the document")
+    p.add_argument("--xml", default="<root/>", help="inline document XML")
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(handler=cmd_init)
+
+    p = sub.add_parser("add-role", help="declare a role")
+    p.add_argument("database")
+    p.add_argument("name")
+    p.add_argument("--member-of")
+    p.set_defaults(handler=cmd_add_role)
+
+    p = sub.add_parser("add-user", help="declare a user")
+    p.add_argument("database")
+    p.add_argument("name")
+    p.add_argument("--member-of")
+    p.set_defaults(handler=cmd_add_user)
+
+    for verb, handler in (("grant", cmd_grant), ("deny", cmd_deny)):
+        p = sub.add_parser(verb, help=f"{verb} a privilege on a path")
+        p.add_argument("database")
+        p.add_argument("privilege",
+                       choices=["position", "read", "insert", "update", "delete"])
+        p.add_argument("path")
+        p.add_argument("subject")
+        p.set_defaults(handler=handler)
+
+    p = sub.add_parser("show", help="print subjects and policy")
+    p.add_argument("database")
+    p.set_defaults(handler=cmd_show)
+
+    p = sub.add_parser("view", help="print a user's authorized view")
+    p.add_argument("database")
+    p.add_argument("user")
+    p.add_argument("--tree", action="store_true",
+                   help="paper's figure notation instead of XML")
+    p.set_defaults(handler=cmd_view)
+
+    p = sub.add_parser("query", help="evaluate XPath on a user's view")
+    p.add_argument("database")
+    p.add_argument("user")
+    p.add_argument("xpath")
+    p.set_defaults(handler=cmd_query)
+
+    p = sub.add_parser("update", help="apply an XUpdate script as a user")
+    p.add_argument("database")
+    p.add_argument("user")
+    p.add_argument("xupdate", help="file path or inline XUpdate XML")
+    p.add_argument("--strict", action="store_true",
+                   help="fail (exit 3) on any denial without committing")
+    p.set_defaults(handler=cmd_update)
+
+    p = sub.add_parser("audit-demo",
+                       help="replay one operation and print the decisions")
+    p.add_argument("database")
+    p.add_argument("user")
+    p.add_argument("xupdate")
+    p.set_defaults(handler=cmd_audit_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # surface library errors compactly
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""High-level entry points and the paper's running example fixtures."""
+
+from .paper import (
+    MEDICAL_XML,
+    PAPER_POLICY_RULES,
+    hospital_database,
+    hospital_policy,
+    hospital_subjects,
+    medical_document,
+)
+
+__all__ = [
+    "MEDICAL_XML",
+    "PAPER_POLICY_RULES",
+    "hospital_database",
+    "hospital_policy",
+    "hospital_subjects",
+    "medical_document",
+]

@@ -1,0 +1,121 @@
+"""The paper's running example, reproduced exactly.
+
+Builders for:
+
+- :func:`medical_document` -- the document of **figure 2** (patients
+  franck and robert with service and diagnosis records);
+- :func:`hospital_subjects` -- the subject hierarchy of **figure 3**
+  (staff {secretary, doctor, epidemiologist} and patient trees, users
+  beaufort, laporte, richard, robert, franck);
+- :func:`hospital_policy` -- the 12-rule policy of **equation 13**;
+- :func:`hospital_database` -- the three assembled into a
+  :class:`~repro.security.database.SecureXMLDatabase`.
+
+These fixtures drive the paper-reproduction experiments E1-E11 (see
+DESIGN.md) and the example programs.
+
+One documented deviation: the paper writes rule 5 as
+``/patients/descendant-or-self::*[$USER]``.  Read compositionally, that
+path selects only the single element *named* by the user's login, yet
+the paper's own printed view for patient robert (section 4.4.1)
+includes robert's whole medical file -- service, diagnosis and their
+text.  The intended meaning is plainly "the subtree rooted at the
+element named $USER", so the policy here uses the equivalent standard
+XPath ``/patients/*[$USER]/descendant-or-self::*``, which regenerates
+the paper's view verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..security.database import SecureXMLDatabase
+from ..security.policy import Policy, SecurityRule
+from ..security.subjects import SubjectHierarchy
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NumberingScheme
+from ..xmltree.parser import parse_xml
+
+__all__ = [
+    "MEDICAL_XML",
+    "medical_document",
+    "hospital_subjects",
+    "hospital_policy",
+    "hospital_database",
+    "PAPER_POLICY_RULES",
+]
+
+#: The document of figure 2, extended with robert's record as printed in
+#: the section 4.4.1 views (nodes n7-n11).
+MEDICAL_XML = """\
+<patients>
+  <franck>
+    <service>otolarynology</service>
+    <diagnosis>tonsillitis</diagnosis>
+  </franck>
+  <robert>
+    <service>pneumology</service>
+    <diagnosis>pneumonia</diagnosis>
+  </robert>
+</patients>
+"""
+
+#: The twelve rules of equation 13 as (effect, privilege, path, subject)
+#: tuples, in priority order 10..21 -- rule 5's path rewritten as
+#: documented in the module docstring.
+PAPER_POLICY_RULES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("accept", "read", "//*", "staff"),                                   # 1 (t=10)
+    ("deny", "read", "//diagnosis/*", "secretary"),                       # 2 (t=11)
+    ("accept", "position", "//diagnosis/*", "secretary"),                 # 3 (t=12)
+    ("accept", "read", "/patients", "patient"),                           # 4 (t=13)
+    ("accept", "read", "/patients/*[$USER]/descendant-or-self::*", "patient"),  # 5 (t=14)
+    ("deny", "read", "/patients/*", "epidemiologist"),                    # 6 (t=15)
+    ("accept", "position", "/patients/*", "epidemiologist"),              # 7 (t=16)
+    ("accept", "insert", "/patients", "secretary"),                       # 8 (t=17)
+    ("accept", "update", "/patients/*", "secretary"),                     # 9 (t=18)
+    ("accept", "insert", "//diagnosis", "doctor"),                        # 10 (t=19)
+    ("accept", "update", "//diagnosis/*", "doctor"),                      # 11 (t=20)
+    ("accept", "delete", "//diagnosis/*", "doctor"),                      # 12 (t=21)
+)
+
+
+def medical_document(scheme: "NumberingScheme | None" = None) -> XMLDocument:
+    """The figure-2 document as a fresh :class:`XMLDocument`."""
+    return parse_xml(MEDICAL_XML, scheme)
+
+
+def hospital_subjects() -> SubjectHierarchy:
+    """The figure-3 hierarchy: roles and users with their isa facts."""
+    subjects = SubjectHierarchy()
+    subjects.add_role("staff")
+    subjects.add_role("secretary", member_of="staff")
+    subjects.add_role("doctor", member_of="staff")
+    subjects.add_role("epidemiologist", member_of="staff")
+    subjects.add_role("patient")
+    subjects.add_user("beaufort", member_of="secretary")
+    subjects.add_user("laporte", member_of="doctor")
+    subjects.add_user("richard", member_of="epidemiologist")
+    subjects.add_user("robert", member_of="patient")
+    subjects.add_user("franck", member_of="patient")
+    return subjects
+
+
+def hospital_policy(subjects: SubjectHierarchy) -> Policy:
+    """The equation-13 policy with the paper's priorities 10..21."""
+    policy = Policy(subjects)
+    for offset, (effect, privilege, path, subject) in enumerate(PAPER_POLICY_RULES):
+        priority = 10 + offset
+        if effect == "accept":
+            policy.grant(privilege, path, subject, priority=priority)
+        else:
+            policy.deny(privilege, path, subject, priority=priority)
+    return policy
+
+
+def hospital_database(
+    scheme: "NumberingScheme | None" = None,
+) -> SecureXMLDatabase:
+    """The fully assembled running example of the paper."""
+    subjects = hospital_subjects()
+    policy = hospital_policy(subjects)
+    return SecureXMLDatabase(medical_document(scheme), subjects, policy)

@@ -1,0 +1,23 @@
+"""The paper's axioms as executable logic (the Prolog prototype's role).
+
+- :mod:`repro.formal.geometry` -- theory ``db``: facts + tree axioms;
+- :mod:`repro.formal.paths` -- ``xpath/3`` as compiled Datalog rules;
+- :mod:`repro.formal.axioms` -- axioms 11-25: isa closure, perm, views,
+  secure updates, derived purely by bottom-up inference.
+
+Used throughout the test suite as a differential oracle against the
+procedural engine in :mod:`repro.security`.
+"""
+
+from .axioms import FormalModel
+from .geometry import document_facts, document_theory, geometry_rules
+from .paths import PathCompiler, UnsupportedPathError
+
+__all__ = [
+    "FormalModel",
+    "PathCompiler",
+    "UnsupportedPathError",
+    "document_facts",
+    "document_theory",
+    "geometry_rules",
+]

@@ -1,0 +1,118 @@
+"""Theory ``db``: document facts and tree-geometry axioms in Datalog.
+
+Section 3.3 of the paper splits the proper axioms into the fact set
+``F`` (the ``node(n, v)`` facts, equation 1) and the formulae deriving
+tree-geometry predicates.  The paper omits the latter ("depend on the
+numbering scheme and are not given in this paper"; they lived in the
+Prolog prototype).  We supply them here:
+
+- extensional (read off the numbering scheme, exactly what the paper's
+  scheme-specific axioms would compute): ``node/2``, ``child/2``,
+  ``imm_following_sibling/2``, and the kind predicates ``element/1``,
+  ``text/1``, ``attribute/1`` needed by XPath node tests;
+- intensional (scheme-independent Datalog rules): ``parent``,
+  ``descendant``, ``ancestor``, ``descendant_or_self``,
+  ``ancestor_or_self``, ``following_sibling``, ``preceding_sibling``.
+"""
+
+from __future__ import annotations
+
+from ..logic.program import Program
+from ..logic.terms import Var, atom, pos
+from ..xmltree.document import XMLDocument
+from ..xmltree.node import NodeKind
+
+__all__ = ["document_facts", "geometry_rules", "document_theory"]
+
+_KIND_PREDICATES = {
+    NodeKind.ELEMENT: "element",
+    NodeKind.TEXT: "text",
+    NodeKind.ATTRIBUTE: "attribute",
+    NodeKind.COMMENT: "comment",
+    NodeKind.PROCESSING_INSTRUCTION: "processing_instruction",
+}
+
+
+def document_facts(
+    doc: XMLDocument, program: Program, prefix: str = ""
+) -> None:
+    """Record one document's extensional facts into ``program``.
+
+    Args:
+        doc: the document.
+        program: destination program.
+        prefix: prepended to every predicate name, so one program can
+            hold both ``node``/``child`` (the source theory) and
+            ``view_node``/``view_child`` (a view theory).
+    """
+    node_p = prefix + "node"
+    child_p = prefix + "child"
+    sibling_p = prefix + "imm_following_sibling"
+    for nid in doc.all_nodes():
+        node = doc.node(nid)
+        program.fact(node_p, nid, node.label)
+        kind = _KIND_PREDICATES.get(node.kind)
+        if kind is not None:
+            program.fact(prefix + kind, nid)
+        if node.kind is not NodeKind.DOCUMENT:
+            parent = nid.parent()
+            if node.kind is not NodeKind.ATTRIBUTE:
+                program.fact(child_p, nid, parent)
+    for nid in doc.all_nodes():
+        kids = doc.children(nid)
+        for left, right in zip(kids, kids[1:]):
+            program.fact(sibling_p, right, left)
+
+
+def geometry_rules(program: Program, prefix: str = "") -> None:
+    """Add the scheme-independent geometry derivation rules.
+
+    These are the axioms the paper's section 3.3 alludes to: from
+    ``child`` and immediate sibling order, derive every other tree
+    relation.
+    """
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+
+    def p(name: str) -> str:
+        return prefix + name
+
+    # parent(x, y): y is the parent of x -- the converse of child.
+    program.rule(atom(p("parent"), y, x), pos(p("child"), x, y))
+    # descendant(x, y): x is a proper descendant of y.
+    program.rule(atom(p("descendant"), x, y), pos(p("child"), x, y))
+    program.rule(
+        atom(p("descendant"), x, z),
+        pos(p("child"), x, y),
+        pos(p("descendant"), y, z),
+    )
+    program.rule(atom(p("ancestor"), x, y), pos(p("descendant"), y, x))
+    # *_or_self variants are reflexive over all recorded nodes.
+    v = Var("V")
+    program.rule(atom(p("descendant_or_self"), x, x), pos(p("node"), x, v))
+    program.rule(
+        atom(p("descendant_or_self"), x, y), pos(p("descendant"), x, y)
+    )
+    program.rule(atom(p("ancestor_or_self"), x, x), pos(p("node"), x, v))
+    program.rule(atom(p("ancestor_or_self"), x, y), pos(p("ancestor"), x, y))
+    # Sibling order: transitive closure of the immediate relation.
+    # following_sibling(x, y): x follows y among one parent's children.
+    program.rule(
+        atom(p("following_sibling"), x, y),
+        pos(p("imm_following_sibling"), x, y),
+    )
+    program.rule(
+        atom(p("following_sibling"), x, z),
+        pos(p("imm_following_sibling"), x, y),
+        pos(p("following_sibling"), y, z),
+    )
+    program.rule(
+        atom(p("preceding_sibling"), x, y), pos(p("following_sibling"), y, x)
+    )
+
+
+def document_theory(doc: XMLDocument, prefix: str = "") -> Program:
+    """A fresh program holding one document's theory ``db``."""
+    program = Program()
+    document_facts(doc, program, prefix)
+    geometry_rules(program, prefix)
+    return program

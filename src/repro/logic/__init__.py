@@ -1,0 +1,42 @@
+"""A Datalog engine with stratified negation.
+
+The formal substrate standing in for the paper's Prolog prototype: all
+of the paper's formulae are Horn clauses, which :mod:`repro.formal`
+transcribes into programs this engine evaluates bottom-up.
+"""
+
+from .engine import DatalogEngine, Relation
+from .program import Program, StratificationError
+from .terms import (
+    Atom,
+    BodyItem,
+    Comparison,
+    Literal,
+    Rule,
+    Substitution,
+    Term,
+    Var,
+    atom,
+    cmp,
+    neg,
+    pos,
+)
+
+__all__ = [
+    "Atom",
+    "BodyItem",
+    "Comparison",
+    "DatalogEngine",
+    "Literal",
+    "Program",
+    "Relation",
+    "Rule",
+    "StratificationError",
+    "Substitution",
+    "Term",
+    "Var",
+    "atom",
+    "cmp",
+    "neg",
+    "pos",
+]

@@ -1,0 +1,283 @@
+"""Bottom-up, semi-naive Datalog evaluation with stratified negation.
+
+This is the runtime behind the :mod:`repro.formal` transcription of the
+paper's axioms.  Evaluation is the textbook fixpoint:
+
+1. stratify the program (negation only over lower strata);
+2. within a stratum, iterate rules semi-naively -- each pass joins one
+   delta occurrence of a recursive predicate against full relations
+   elsewhere -- until no new tuples appear.
+
+Relations index their tuples by (position, value) on demand, which keeps
+joins near-linear for the paper's geometry and view rules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .program import Program, StratificationError
+from .terms import Atom, BodyItem, Comparison, Literal, Rule, Substitution, Term, Var
+
+__all__ = ["DatalogEngine", "Relation"]
+
+
+class Relation:
+    """A set of same-arity tuples with lazy per-position hash indexes."""
+
+    def __init__(self, tuples: Optional[Iterable[Tuple[object, ...]]] = None) -> None:
+        self.tuples: Set[Tuple[object, ...]] = set(tuples or ())
+        self._indexes: Dict[int, Dict[object, List[Tuple[object, ...]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.tuples)
+
+    def add(self, row: Tuple[object, ...]) -> bool:
+        """Insert a tuple; returns True if it was new."""
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        for position, index in self._indexes.items():
+            if position < len(row):
+                index.setdefault(row[position], []).append(row)
+        return True
+
+    def candidates(
+        self, pattern: Sequence[Term], binding: Substitution
+    ) -> Iterable[Tuple[object, ...]]:
+        """Rows that could match ``pattern`` under ``binding``.
+
+        Uses an index on the first bound position; unconstrained
+        patterns fall back to a full scan.
+        """
+        for position, term in enumerate(pattern):
+            if isinstance(term, Var):
+                if term.name in binding:
+                    value = binding[term.name]
+                else:
+                    continue
+            else:
+                value = term
+            index = self._indexes.get(position)
+            if index is None:
+                index = defaultdict(list)
+                for row in self.tuples:
+                    if position < len(row):
+                        index[row[position]].append(row)
+                self._indexes[position] = dict(index)
+            return self._indexes[position].get(value, ())
+        return self.tuples
+
+
+def _unify_row(
+    pattern: Sequence[Term], row: Tuple[object, ...], binding: Substitution
+) -> Optional[Substitution]:
+    """Extend ``binding`` so that ``pattern`` matches ``row``, or None."""
+    if len(pattern) != len(row):
+        return None
+    out = binding
+    copied = False
+    for term, value in zip(pattern, row):
+        if isinstance(term, Var):
+            bound = out.get(term.name, _MISSING)
+            if bound is _MISSING:
+                if not copied:
+                    out = dict(out)
+                    copied = True
+                out[term.name] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return out
+
+
+_MISSING = object()
+
+
+class DatalogEngine:
+    """Evaluates a :class:`~repro.logic.program.Program` to a fixpoint."""
+
+    def __init__(self, program: Program) -> None:
+        self._program = program
+        self._relations: Dict[str, Relation] = {}
+        self._solved = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self) -> Dict[str, Set[Tuple[object, ...]]]:
+        """Compute all derivable facts; idempotent.
+
+        Returns:
+            predicate -> set of tuples, extensional facts included.
+
+        Raises:
+            StratificationError: for non-stratifiable programs.
+        """
+        if not self._solved:
+            self._evaluate()
+            self._solved = True
+        return {p: set(r.tuples) for p, r in self._relations.items()}
+
+    def query(self, predicate: str, *pattern: Term) -> List[Tuple[object, ...]]:
+        """All derived tuples of ``predicate`` matching a pattern.
+
+        Pattern positions may be constants or :class:`Var` (wildcards).
+        """
+        self.solve()
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return []
+        if not pattern:
+            return sorted(relation.tuples, key=repr)
+        out = []
+        for row in relation.candidates(pattern, {}):
+            if _unify_row(pattern, row, {}) is not None:
+                out.append(row)
+        return sorted(out, key=repr)
+
+    def holds(self, predicate: str, *args: object) -> bool:
+        """True if the ground atom is derivable."""
+        self.solve()
+        relation = self._relations.get(predicate)
+        return relation is not None and tuple(args) in relation.tuples
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        for predicate, tuples in self._program.extensional_facts.items():
+            self._relations[predicate] = Relation(tuples)
+        for stratum in self._program.stratify():
+            self._evaluate_stratum(stratum)
+
+    def _relation(self, predicate: str) -> Relation:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = Relation()
+            self._relations[predicate] = relation
+        return relation
+
+    def _evaluate_stratum(self, rules: List[Rule]) -> None:
+        heads = {rule.head.predicate for rule in rules}
+        plans = [(rule, _plan(rule)) for rule in rules]
+
+        # Naive first round seeds the deltas.
+        delta: Dict[str, Set[Tuple[object, ...]]] = {h: set() for h in heads}
+        for rule, plan in plans:
+            for row in self._derive(plan, rule, None, heads):
+                if self._relation(rule.head.predicate).add(row):
+                    delta[rule.head.predicate].add(row)
+
+        # Semi-naive iterations: only joins touching a delta tuple.
+        while any(delta.values()):
+            new_delta: Dict[str, Set[Tuple[object, ...]]] = {h: set() for h in heads}
+            for rule, plan in plans:
+                recursive_positions = [
+                    i
+                    for i, item in enumerate(plan)
+                    if isinstance(item, Literal)
+                    and not item.negated
+                    and item.atom.predicate in heads
+                ]
+                for position in recursive_positions:
+                    predicate = plan[position].atom.predicate  # type: ignore[union-attr]
+                    if not delta.get(predicate):
+                        continue
+                    for row in self._derive(
+                        plan, rule, (position, Relation(delta[predicate])), heads
+                    ):
+                        if self._relation(rule.head.predicate).add(row):
+                            new_delta[rule.head.predicate].add(row)
+            delta = new_delta
+
+    def _derive(
+        self,
+        plan: Sequence[BodyItem],
+        rule: Rule,
+        delta_at: Optional[Tuple[int, Relation]],
+        current_heads: Set[str],
+    ) -> Iterator[Tuple[object, ...]]:
+        """All head tuples derivable from one rule under one delta slot."""
+        bindings: List[Substitution] = [{}]
+        for index, item in enumerate(plan):
+            if not bindings:
+                return
+            if isinstance(item, Comparison):
+                bindings = [b for b in bindings if item.holds(b)]
+                continue
+            assert isinstance(item, Literal)
+            if item.negated:
+                bindings = [
+                    b for b in bindings if not self._exists(item.atom, b)
+                ]
+                continue
+            if delta_at is not None and index == delta_at[0]:
+                relation = delta_at[1]
+            else:
+                relation = self._relation(item.atom.predicate)
+            next_bindings: List[Substitution] = []
+            for binding in bindings:
+                for row in relation.candidates(item.atom.args, binding):
+                    extended = _unify_row(item.atom.args, row, binding)
+                    if extended is not None:
+                        next_bindings.append(extended)
+            bindings = next_bindings
+        for binding in bindings:
+            head = rule.head.substitute(binding)
+            assert head.is_ground(), f"unsafe rule slipped through: {rule!r}"
+            yield head.args
+
+    def _exists(self, pattern: Atom, binding: Substitution) -> bool:
+        """Existential check for a (possibly partially-bound) negated atom."""
+        relation = self._relations.get(pattern.predicate)
+        if relation is None:
+            return False
+        for row in relation.candidates(pattern.args, binding):
+            if _unify_row(pattern.args, row, binding) is not None:
+                return True
+        return False
+
+
+def _plan(rule: Rule) -> List[BodyItem]:
+    """Order body items so negations/comparisons run once bound.
+
+    Positive literals keep their given order; each negation or
+    comparison is placed immediately after the positives that bind its
+    (non-local) variables.
+    """
+    positives = [
+        item
+        for item in rule.body
+        if isinstance(item, Literal) and not item.negated
+    ]
+    guarded = [
+        item
+        for item in rule.body
+        if isinstance(item, Comparison)
+        or (isinstance(item, Literal) and item.negated)
+    ]
+    plan: List[BodyItem] = []
+    bound: Set[str] = set()
+    pending = list(guarded)
+    for literal in positives:
+        plan.append(literal)
+        bound |= literal.variables()
+        still_pending = []
+        for item in pending:
+            needed = item.variables()
+            if isinstance(item, Literal):
+                # Local existential variables need no binding.
+                needed = needed & (rule.positive_variables() | rule.head.variables())
+            if needed <= bound:
+                plan.append(item)
+            else:
+                still_pending.append(item)
+        pending = still_pending
+    plan.extend(pending)
+    return plan

@@ -1,0 +1,134 @@
+"""Datalog programs: fact and rule containers with stratification.
+
+A :class:`Program` collects extensional facts and rules, checks rule
+safety, and computes a stratification so negation is evaluated only over
+fully-derived lower strata -- the closed-world reading the paper adopts
+("anything that we cannot show to be true is false", section 3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .terms import Atom, BodyItem, Comparison, Literal, Rule, Term
+
+__all__ = ["Program", "StratificationError"]
+
+
+class StratificationError(ValueError):
+    """The program has negation inside a recursive cycle."""
+
+
+class Program:
+    """A set of facts and rules forming one Datalog program."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Set[Tuple[object, ...]]] = defaultdict(set)
+        self._rules: List[Rule] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def fact(self, predicate: str, *args: object) -> None:
+        """Add one ground fact.
+
+        Raises:
+            ValueError: if any argument is a variable.
+        """
+        ground = Atom(predicate, tuple(args))
+        if not ground.is_ground():
+            raise ValueError(f"facts must be ground: {ground!r}")
+        self._facts[predicate].add(ground.args)
+
+    def facts_for(self, predicate: str) -> Set[Tuple[object, ...]]:
+        """The extensional facts recorded for one predicate."""
+        return set(self._facts.get(predicate, ()))
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a rule after checking safety.
+
+        Raises:
+            ValueError: if the rule is unsafe.
+        """
+        rule.check_safety()
+        self._rules.append(rule)
+
+    def rule(self, head: Atom, *body: BodyItem) -> None:
+        """Convenience: ``program.rule(atom(...), pos(...), neg(...))``."""
+        self.add_rule(Rule(head, tuple(body)))
+
+    def extend(self, other: "Program") -> None:
+        """Merge another program's facts and rules into this one."""
+        for predicate, tuples in other._facts.items():
+            self._facts[predicate] |= tuples
+        for rule in other._rules:
+            self._rules.append(rule)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> Sequence[Rule]:
+        return tuple(self._rules)
+
+    @property
+    def extensional_facts(self) -> Dict[str, Set[Tuple[object, ...]]]:
+        return {p: set(ts) for p, ts in self._facts.items()}
+
+    def predicates(self) -> Set[str]:
+        """Every predicate mentioned anywhere in the program."""
+        out: Set[str] = set(self._facts)
+        for rule in self._rules:
+            out.add(rule.head.predicate)
+            for item in rule.body:
+                if isinstance(item, Literal):
+                    out.add(item.atom.predicate)
+        return out
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by at least one rule head."""
+        return {rule.head.predicate for rule in self._rules}
+
+    # ------------------------------------------------------------------
+    # stratification
+    # ------------------------------------------------------------------
+    def stratify(self) -> List[List[Rule]]:
+        """Partition the rules into strata.
+
+        Uses the classic iterative level assignment: ``level(p) >=
+        level(q)`` for a positive dependency of p on q, and ``level(p) >
+        level(q)`` for a negative one.  A program requiring more
+        iterations than predicates has a negative cycle.
+
+        Returns:
+            The rules grouped by stratum, lowest first.
+
+        Raises:
+            StratificationError: for programs with negation through
+                recursion.
+        """
+        level: Dict[str, int] = {p: 0 for p in self.predicates()}
+        n = len(level) + 1
+        for _ in range(n):
+            changed = False
+            for rule in self._rules:
+                head = rule.head.predicate
+                for item in rule.body:
+                    if not isinstance(item, Literal):
+                        continue
+                    dep = item.atom.predicate
+                    required = level[dep] + (1 if item.negated else 0)
+                    if level[head] < required:
+                        level[head] = required
+                        changed = True
+            if not changed:
+                break
+        else:
+            raise StratificationError(
+                "program is not stratifiable (negation through recursion)"
+            )
+        strata: Dict[int, List[Rule]] = defaultdict(list)
+        for rule in self._rules:
+            strata[level[rule.head.predicate]].append(rule)
+        return [strata[i] for i in sorted(strata)]

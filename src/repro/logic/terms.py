@@ -1,0 +1,230 @@
+"""Terms, atoms, literals and rules for the Datalog engine.
+
+The paper's formal machinery is first-order logic restricted to Horn
+clauses with closed-world negation (section 3, "All the logical formulae
+given in this paper are Horn clauses").  The author's artifact was a
+Prolog program; our substrate is a Datalog engine with stratified
+negation, which is exactly sufficient: every axiom in the paper is a
+Horn rule whose negative conditions are existentially-closed
+conjunctions over already-derived predicates.
+
+Constants are arbitrary hashable Python values (node identifiers,
+strings, integers), so the paper's ``node(n1, patients)`` facts embed
+directly without an encoding layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Var",
+    "Term",
+    "Atom",
+    "Literal",
+    "Comparison",
+    "BodyItem",
+    "Rule",
+    "atom",
+    "pos",
+    "neg",
+    "cmp",
+    "Substitution",
+]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable, identified by name within one rule."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A term is a variable or any hashable constant.
+Term = Union[Var, object]
+
+#: A substitution binds variable names to constants.
+Substitution = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms: ``child(X, Y)``, ``node(n1, 'patients')``."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.predicate}({', '.join(map(repr, self.args))})"
+
+    def variables(self) -> Set[str]:
+        """Names of the variables occurring in this atom."""
+        return {t.name for t in self.args if isinstance(t, Var)}
+
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return not any(isinstance(t, Var) for t in self.args)
+
+    def substitute(self, binding: Substitution) -> "Atom":
+        """Apply a substitution (unbound variables stay as variables)."""
+        return Atom(
+            self.predicate,
+            tuple(
+                binding.get(t.name, t) if isinstance(t, Var) else t
+                for t in self.args
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly-negated atom in a rule body."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return ("not " if self.negated else "") + repr(self.atom)
+
+    def variables(self) -> Set[str]:
+        """Names of the variables occurring in this literal."""
+        return self.atom.variables()
+
+
+_COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "<": lambda a, b: a < b,  # type: ignore[operator]
+    "<=": lambda a, b: a <= b,  # type: ignore[operator]
+    ">": lambda a, b: a > b,  # type: ignore[operator]
+    ">=": lambda a, b: a >= b,  # type: ignore[operator]
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in comparison between two terms, e.g. ``t' > t`` in axiom 14.
+
+    Both sides must be bound when the comparison is evaluated; the
+    engine's planner guarantees that by scheduling comparisons after the
+    positive literals that bind their variables.
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def variables(self) -> Set[str]:
+        """Names of the variables occurring in this comparison."""
+        out = set()
+        for term in (self.left, self.right):
+            if isinstance(term, Var):
+                out.add(term.name)
+        return out
+
+    def holds(self, binding: Substitution) -> bool:
+        """Evaluate under a binding; raises if a side is unbound."""
+        left = binding[self.left.name] if isinstance(self.left, Var) else self.left
+        right = binding[self.right.name] if isinstance(self.right, Var) else self.right
+        return _COMPARATORS[self.op](left, right)
+
+
+BodyItem = Union[Literal, Comparison]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body`` with optional negation and comparisons.
+
+    Safety requirements (checked by the engine at load time):
+
+    - every variable in the head occurs in a positive body literal;
+    - every variable in a comparison occurs in a positive body literal;
+    - a variable in a negated literal either occurs in a positive body
+      literal, or occurs *only* inside that one negated literal -- the
+      latter is read existentially (``not exists``), which is exactly
+      the shape of the paper's negative conditions such as
+      ``¬∃n'∃v' (xpath(PATH, n', v') ∧ child(n, n'))`` in formula 4.
+    """
+
+    head: Atom
+    body: Tuple[BodyItem, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+    def positive_variables(self) -> Set[str]:
+        """Variables bound by the rule's positive body literals."""
+        out: Set[str] = set()
+        for item in self.body:
+            if isinstance(item, Literal) and not item.negated:
+                out |= item.variables()
+        return out
+
+    def check_safety(self) -> None:
+        """Raise ValueError if the rule is unsafe."""
+        bound = self.positive_variables()
+        unsafe_head = self.head.variables() - bound
+        if unsafe_head:
+            raise ValueError(
+                f"unsafe rule {self!r}: head variables {sorted(unsafe_head)} "
+                "not bound by a positive literal"
+            )
+        for item in self.body:
+            if isinstance(item, Comparison):
+                unsafe = item.variables() - bound
+                if unsafe:
+                    raise ValueError(
+                        f"unsafe rule {self!r}: variables {sorted(unsafe)} in "
+                        f"{item!r} not bound by a positive literal"
+                    )
+            elif isinstance(item, Literal) and item.negated:
+                # Variables of a negated literal must either be bound by
+                # positives or be local to this literal (existential).
+                elsewhere: Set[str] = self.head.variables() | bound
+                for other in self.body:
+                    if other is not item:
+                        elsewhere |= other.variables()
+                unsafe = (item.variables() - bound) & elsewhere
+                if unsafe:
+                    raise ValueError(
+                        f"unsafe rule {self!r}: variables {sorted(unsafe)} in "
+                        f"{item!r} shared with other literals but never bound "
+                        "positively"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# small DSL helpers
+# ---------------------------------------------------------------------------
+def atom(predicate: str, *args: Term) -> Atom:
+    """Build an atom: ``atom("child", X, Y)``."""
+    return Atom(predicate, tuple(args))
+
+
+def pos(predicate: str, *args: Term) -> Literal:
+    """A positive body literal."""
+    return Literal(atom(predicate, *args), negated=False)
+
+
+def neg(predicate: str, *args: Term) -> Literal:
+    """A negated body literal (negation as failure)."""
+    return Literal(atom(predicate, *args), negated=True)
+
+
+def cmp(op: str, left: Term, right: Term) -> Comparison:
+    """A comparison body item, e.g. ``cmp(">", Var("T2"), Var("T1"))``."""
+    return Comparison(op, left, right)

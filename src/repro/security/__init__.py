@@ -1,0 +1,63 @@
+"""The paper's access control model (section 4): the core contribution.
+
+Subject hierarchy, prioritized accept/deny policy, conflict resolution
+(axiom 14), authorized views with RESTRICTED labels (axioms 15-17),
+view-evaluated secure writes (axioms 18-25), sessions, audit, and the
+:class:`SecureXMLDatabase` facade.  :mod:`repro.security.insecure`
+provides the deliberately vulnerable source-evaluated semantics of
+section 2.2 for comparison experiments.
+"""
+
+from .audit import AuditLog, AuditRecord
+from .collection import CollectionError, CollectionSession, SecureCollection
+from .database import SecureXMLDatabase
+from .delegation import AdministeredPolicy, DelegationError, Grant
+from .insecure import InsecureWriteExecutor
+from .lazy import LazyView, build_lazy_view
+from .perm import PermissionResolver, PermissionTable
+from .policy import ACCEPT, DENY, Policy, PolicyError, SecurityRule
+from .privileges import Privilege, READ_PRIVILEGES, WRITE_PRIVILEGES
+from .session import ExplainEntry, Session
+from .subjects import SubjectError, SubjectHierarchy
+from .view import View, ViewBuilder
+from .write import (
+    AccessDenied,
+    Denial,
+    SecureUpdateResult,
+    SecureWriteExecutor,
+)
+
+__all__ = [
+    "ACCEPT",
+    "AccessDenied",
+    "AuditLog",
+    "AuditRecord",
+    "AdministeredPolicy",
+    "CollectionError",
+    "CollectionSession",
+    "DENY",
+    "DelegationError",
+    "Denial",
+    "ExplainEntry",
+    "Grant",
+    "InsecureWriteExecutor",
+    "LazyView",
+    "PermissionResolver",
+    "PermissionTable",
+    "Policy",
+    "PolicyError",
+    "Privilege",
+    "READ_PRIVILEGES",
+    "SecureCollection",
+    "SecureUpdateResult",
+    "SecureWriteExecutor",
+    "SecureXMLDatabase",
+    "SecurityRule",
+    "Session",
+    "SubjectError",
+    "SubjectHierarchy",
+    "View",
+    "ViewBuilder",
+    "build_lazy_view",
+    "WRITE_PRIVILEGES",
+]

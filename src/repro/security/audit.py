@@ -1,0 +1,103 @@
+"""Audit log of access-control decisions.
+
+Not part of the paper's formal model, but any credible implementation
+of it needs one: every grant/deny decision taken by the secure write
+executor (and optionally by view derivation) is recorded with the rule
+machinery's reason, so administrators can answer "why was this write
+refused?" without re-deriving axioms by hand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from ..xmltree.labels import NodeId
+from .privileges import Privilege
+
+__all__ = ["AuditRecord", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One access decision.
+
+    Attributes:
+        sequence: monotonically increasing record number.
+        user: the session user.
+        operation: operation class name (``Rename``, ``Remove``, ...) or
+            ``"view"`` for view-derivation events.
+        path: the PATH parameter of the operation.
+        node: the node the decision was about.
+        privilege: the privilege that was checked.
+        allowed: the outcome.
+        reason: denial reason; empty when allowed.
+    """
+
+    sequence: int
+    user: str
+    operation: str
+    path: str
+    node: NodeId
+    privilege: Privilege
+    allowed: bool
+    reason: str = ""
+
+    def __str__(self) -> str:
+        verdict = "ALLOW" if self.allowed else "DENY "
+        detail = f" -- {self.reason}" if self.reason else ""
+        return (
+            f"#{self.sequence} {verdict} {self.user} {self.operation}"
+            f"({self.path}) {self.privilege} on {self.node!r}{detail}"
+        )
+
+
+class AuditLog:
+    """An in-memory, append-only decision log."""
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+        self._sequence = itertools.count(1)
+
+    def record(
+        self,
+        user: str,
+        operation: str,
+        path: str,
+        node: NodeId,
+        privilege: Privilege,
+        allowed: bool,
+        reason: str = "",
+    ) -> AuditRecord:
+        """Append one decision and return the stored record."""
+        entry = AuditRecord(
+            sequence=next(self._sequence),
+            user=user,
+            operation=operation,
+            path=path,
+            node=node,
+            privilege=privilege,
+            allowed=allowed,
+            reason=reason,
+        )
+        self._records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def denials(self) -> List[AuditRecord]:
+        """Only the refused decisions."""
+        return [r for r in self._records if not r.allowed]
+
+    def for_user(self, user: str) -> List[AuditRecord]:
+        """All decisions concerning one user."""
+        return [r for r in self._records if r.user == user]
+
+    def clear(self) -> None:
+        """Drop all records (testing convenience)."""
+        self._records.clear()

@@ -1,0 +1,185 @@
+"""The secure XML database facade (paper section 4).
+
+:class:`SecureXMLDatabase` assembles the whole model: a source document
+(theory ``db``), a subject hierarchy (set ``S`` + axioms 11-12), a
+security policy (set ``P`` + axiom 14), view derivation (axioms 15-17)
+and access-controlled updates (axioms 18-25).  Users interact through
+:class:`~repro.security.session.Session` objects obtained via
+:meth:`login`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NumberingScheme
+from ..xmltree.parser import parse_xml
+from ..xpath.engine import XPathEngine
+from ..xupdate.executor import UpdateResult, XUpdateExecutor
+from ..xupdate.operations import UpdateScript, XUpdateOperation
+from .audit import AuditLog
+from .perm import PermissionResolver, PermissionTable
+from .policy import Policy
+from .session import Session
+from .subjects import SubjectError, SubjectHierarchy
+from .view import View, ViewBuilder
+
+__all__ = ["SecureXMLDatabase"]
+
+
+class SecureXMLDatabase:
+    """An XML database protected by the paper's access control model.
+
+    Args:
+        document: the source document.
+        subjects: the subject hierarchy; a fresh empty one if omitted.
+        policy: the security policy; a fresh empty one (which, under the
+            closed-world assumption, denies everything) if omitted.
+        audit: audit log receiving write decisions; created if omitted.
+
+    Example::
+
+        db = SecureXMLDatabase.from_xml("<patients>...</patients>")
+        db.subjects.add_role("staff")
+        db.subjects.add_user("laporte", member_of="staff")
+        db.policy.grant("read", "//*", "staff")
+        session = db.login("laporte")
+        print(session.read_xml())
+    """
+
+    def __init__(
+        self,
+        document: XMLDocument,
+        subjects: Optional[SubjectHierarchy] = None,
+        policy: Optional[Policy] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self._document = document
+        self._subjects = subjects if subjects is not None else SubjectHierarchy()
+        self._policy = (
+            policy if policy is not None else Policy(self._subjects)
+        )
+        if self._policy.subjects is not self._subjects:
+            raise ValueError("policy must reference the database's subjects")
+        self._audit = audit if audit is not None else AuditLog()
+        self._engine = XPathEngine(
+            lone_variable_name_test=True, star_matches_text=True
+        )
+        self._resolver = PermissionResolver(self._engine, cache_paths=True)
+        self._view_builder = ViewBuilder(self._resolver)
+        self._unsecured = XUpdateExecutor(self._engine)
+        from .write import SecureWriteExecutor
+
+        self._write_executor = SecureWriteExecutor(self._unsecured, self._audit)
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_xml(
+        cls,
+        source: str,
+        subjects: Optional[SubjectHierarchy] = None,
+        policy: Optional[Policy] = None,
+        scheme: Optional[NumberingScheme] = None,
+    ) -> "SecureXMLDatabase":
+        """Build a database by parsing XML text."""
+        return cls(parse_xml(source, scheme), subjects, policy)
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+    @property
+    def document(self) -> XMLDocument:
+        """The source document (the administrator's unrestricted view)."""
+        return self._document
+
+    @property
+    def subjects(self) -> SubjectHierarchy:
+        return self._subjects
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    @property
+    def audit(self) -> AuditLog:
+        return self._audit
+
+    @property
+    def engine(self) -> XPathEngine:
+        """The shared XPath engine (paper-compat options enabled)."""
+        return self._engine
+
+    @property
+    def resolver(self) -> PermissionResolver:
+        return self._resolver
+
+    @property
+    def write_executor(self):
+        return self._write_executor
+
+    @property
+    def version(self) -> int:
+        """Monotonic commit counter; sessions use it to refresh views."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # sessions and views
+    # ------------------------------------------------------------------
+    def login(self, user: str, enforcement: str = "materialized") -> Session:
+        """Open a session for a declared *user*.
+
+        Args:
+            user: the login name (must be a user, not a role).
+            enforcement: ``"materialized"`` builds the pruned view
+                document of axioms 15-17 per version (the paper's
+                presentation); ``"lazy"`` enforces the same axioms per
+                node access without copying (the filter approach the
+                paper's conclusion proposes).  Both return identical
+                query answers -- see tests/security/test_lazy.py.
+
+        Raises:
+            SubjectError: if the subject is unknown or is a role (roles
+                cannot log in; they exist to be granted to).
+        """
+        if user not in self._subjects:
+            raise SubjectError(f"unknown subject {user!r}")
+        if not self._subjects.is_user(user):
+            raise SubjectError(f"{user!r} is a role; only users can log in")
+        return Session(self, user, enforcement)
+
+    def build_view(self, user: str) -> View:
+        """Derive the view for any declared subject (axioms 15-17)."""
+        return self._view_builder.build(self._document, self._policy, user)
+
+    def build_lazy_view(self, user: str):
+        """Derive a lazily-enforced view (same axioms, no copy)."""
+        from .lazy import build_lazy_view
+
+        return build_lazy_view(
+            self._document, self._policy, user, self._resolver
+        )
+
+    def permissions_for(self, user: str) -> PermissionTable:
+        """Derive the full ``perm`` table for a subject (axiom 14)."""
+        return self._resolver.resolve(self._document, self._policy, user)
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def admin_update(
+        self, operation: "XUpdateOperation | UpdateScript"
+    ) -> UpdateResult:
+        """Apply an update with *no* access control (the administrator /
+        database-owner path, outside the paper's model)."""
+        result = self._unsecured.apply(self._document, operation)
+        self.commit(result.document)
+        return result
+
+    def commit(self, document: XMLDocument) -> None:
+        """Install a new source document and bump the version."""
+        self._document = document
+        self._version += 1

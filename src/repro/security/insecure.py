@@ -1,0 +1,136 @@
+"""The vulnerable, source-evaluated write semantics (paper section 2.2).
+
+This module exists to reproduce the paper's *negative* result: SQL --
+and the author's earlier XML model [10], which interprets SQL's security
+model -- evaluates write operations on the **source** database, checking
+only the write privilege.  The PATH (SQL's WHERE clause) may therefore
+perform read operations over data the user is not permitted to see, and
+the success/failure pattern of the write leaks that data back:
+
+    SQL> UPDATE user_A.employee SET salary=salary+100 WHERE salary > 3000;
+    2 rows updated        -- user_B just learned two salaries exceed 3000
+
+:class:`InsecureWriteExecutor` implements exactly those semantics so
+experiment E10 can demonstrate the covert channel and show that
+:class:`~repro.security.write.SecureWriteExecutor` closes it.  Never use
+this class outside benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..xmltree.labels import NodeId
+from ..xupdate.executor import XUpdateExecutor
+from ..xupdate.operations import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    XUpdateOperation,
+)
+from .perm import PermissionResolver
+from .policy import Policy
+from .privileges import Privilege
+from .view import View
+from .write import Denial, SecureUpdateResult
+
+__all__ = ["InsecureWriteExecutor"]
+
+
+class InsecureWriteExecutor:
+    """Writes evaluated on the source database (the model of [10] / SQL).
+
+    The only checks performed are the *write* privileges of section 4.3;
+    the read privilege never participates, which is the vulnerability.
+
+    Args:
+        executor: tree-mutation primitives; defaults to a fresh one.
+        resolver: permission resolver (write privileges still apply).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[XUpdateExecutor] = None,
+        resolver: Optional[PermissionResolver] = None,
+    ) -> None:
+        from ..xpath.engine import XPathEngine
+
+        self._executor = (
+            executor
+            if executor is not None
+            else XUpdateExecutor(
+                XPathEngine(lone_variable_name_test=True, star_matches_text=True)
+            )
+        )
+        self._resolver = resolver if resolver is not None else PermissionResolver()
+
+    def apply(self, view: View, operation: XUpdateOperation) -> SecureUpdateResult:
+        """Apply with source-evaluated PATH selection.
+
+        Takes the same :class:`View` argument as the secure executor so
+        the two are drop-in comparable in E10; only
+        ``view.source`` / ``view.permissions`` are used -- the view
+        document itself is deliberately ignored.
+        """
+        source = view.source
+        perms = view.permissions
+        # THE VULNERABILITY: selection runs on the source theory ``db``.
+        selected = self._executor.engine.select(
+            source, operation.path, variables={"USER": view.user}
+        )
+        new_doc = source.copy()
+        affected: List[NodeId] = []
+        denials: List[Denial] = []
+
+        def allowed(nid: NodeId, privilege: Privilege, what: str) -> bool:
+            if perms.holds(nid, privilege):
+                return True
+            denials.append(Denial(nid, privilege, what))
+            return False
+
+        if isinstance(operation, Rename):
+            for nid in selected:
+                if nid.is_document:
+                    continue
+                if allowed(nid, Privilege.UPDATE, "rename requires update"):
+                    new_doc.relabel(nid, operation.new_name)
+                    affected.append(nid)
+        elif isinstance(operation, UpdateContent):
+            for nid in selected:
+                for child in source.children(nid):
+                    if allowed(child, Privilege.UPDATE, "update requires update"):
+                        new_doc.relabel(child, operation.new_value)
+                        affected.append(child)
+        elif isinstance(operation, Append):
+            for nid in selected:
+                if allowed(nid, Privilege.INSERT, "append requires insert"):
+                    affected.append(operation.tree.attach(new_doc, nid))
+        elif isinstance(operation, (InsertBefore, InsertAfter)):
+            for nid in selected:
+                if nid.is_document:
+                    continue
+                parent = nid.parent()
+                if allowed(parent, Privilege.INSERT, "insert requires insert on parent"):
+                    if isinstance(operation, InsertBefore):
+                        affected.append(operation.tree.attach_before(new_doc, nid))
+                    else:
+                        affected.append(operation.tree.attach_after(new_doc, nid))
+        elif isinstance(operation, Remove):
+            for nid in sorted(selected, key=lambda n: n.level):
+                if nid.is_document:
+                    continue
+                if allowed(nid, Privilege.DELETE, "remove requires delete"):
+                    if nid in new_doc:
+                        new_doc.remove_subtree(nid)
+                        affected.append(nid)
+        else:
+            raise TypeError(f"unknown operation {operation!r}")
+        return SecureUpdateResult(
+            document=new_doc,
+            selected=list(selected),
+            affected=affected,
+            denials=denials,
+        )

@@ -1,0 +1,300 @@
+"""Lazy (filter-based) view enforcement -- the paper's proposed follow-up.
+
+The paper's conclusion sketches an alternative to materializing each
+user's view: "applying filters reflecting the user privileges on the
+queries and then evaluating the queries on the source document" (after
+Fundulaki & Marx [9]), and asks whether such filtered evaluation can
+"include RESTRICTED labels" compatibly with the authorized views.
+
+:class:`LazyView` answers that question constructively.  It exposes the
+*read* interface of :class:`~repro.xmltree.document.XMLDocument`, but
+every accessor enforces axioms 15-17 on the fly against the source:
+
+- children/descendants are filtered to nodes whose whole ancestor chain
+  is visible;
+- labels of position-only nodes read ``RESTRICTED``;
+- string-values aggregate only visible text.
+
+Because the XPath engine is written against that read interface, any
+query can run directly over a :class:`LazyView` -- no copy, no pruning
+pass -- and is guaranteed to return exactly what it would return on the
+materialized view.  The equivalence is differentially tested
+(``tests/security/test_lazy.py``) and the cost trade-off is measured by
+benchmark E16: lazy wins when queries touch a small fraction of the
+document; materialization amortizes when one view serves many queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from ..xmltree.node import Node, NodeKind, RESTRICTED
+from .perm import PermissionResolver, PermissionTable
+from .policy import Policy
+from .privileges import Privilege
+
+__all__ = ["LazyView", "build_lazy_view"]
+
+
+class LazyView:
+    """A per-access-checked view over a source document.
+
+    Implements the read interface of :class:`XMLDocument` (the portion
+    the XPath evaluator and the serializer use), enforcing the view
+    axioms on every call.  Not a subclass: mutation methods simply do
+    not exist here, which is exactly right for a view.
+
+    Args:
+        source: the source document (theory ``db``).
+        permissions: the user's derived permission table (axiom 14).
+    """
+
+    def __init__(
+        self,
+        source: XMLDocument,
+        permissions: PermissionTable,
+        policy: Optional[Policy] = None,
+    ) -> None:
+        self._source = source
+        self._permissions = permissions
+        #: The policy the view was derived under (set by
+        #: :func:`build_lazy_view`); lets the secure write executor
+        #: re-derive views between script steps, as with View.
+        self.policy = policy
+        self._visible_cache: Dict[NodeId, bool] = {DOCUMENT_ID: True}
+
+    @property
+    def doc(self) -> "LazyView":
+        """Self: a LazyView *is* the queryable view document, which
+        makes it a drop-in replacement for
+        :attr:`repro.security.view.View.doc`."""
+        return self
+
+    # ------------------------------------------------------------------
+    # visibility (axioms 15-17, evaluated on demand)
+    # ------------------------------------------------------------------
+    @property
+    def user(self) -> str:
+        return self._permissions.user
+
+    @property
+    def source(self) -> XMLDocument:
+        return self._source
+
+    @property
+    def permissions(self) -> PermissionTable:
+        return self._permissions
+
+    def visible(self, nid: NodeId) -> bool:
+        """True iff the node is in the view: itself readable or
+        positional, and its parent visible (the pruning condition)."""
+        cached = self._visible_cache.get(nid)
+        if cached is not None:
+            return cached
+        if nid not in self._source:
+            result = False
+        elif nid.is_document:
+            result = True
+        else:
+            perms = self._permissions
+            own = perms.holds(nid, Privilege.READ) or perms.holds(
+                nid, Privilege.POSITION
+            )
+            result = own and self.visible(nid.parent())
+        self._visible_cache[nid] = result
+        return result
+
+    def is_restricted(self, nid: NodeId) -> bool:
+        """True iff the node is shown with the RESTRICTED label."""
+        return (
+            self.visible(nid)
+            and not nid.is_document
+            and not self._permissions.holds(nid, Privilege.READ)
+        )
+
+    # ------------------------------------------------------------------
+    # the XMLDocument read interface
+    # ------------------------------------------------------------------
+    @property
+    def document_node(self) -> Node:
+        return self._source.document_node
+
+    @property
+    def root(self) -> Optional[NodeId]:
+        kids = self.children(DOCUMENT_ID)
+        return kids[0] if kids else None
+
+    @property
+    def scheme(self):
+        return self._source.scheme
+
+    def __contains__(self, nid: NodeId) -> bool:
+        return self.visible(nid)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.all_nodes())
+
+    def node(self, nid: NodeId) -> Node:
+        """The visible node, with RESTRICTED substitution applied."""
+        from ..xmltree.document import DocumentError
+
+        if not self.visible(nid):
+            raise DocumentError(f"no node with id {nid!r}")
+        node = self._source.node(nid)
+        if self.is_restricted(nid):
+            if node.kind is NodeKind.ATTRIBUTE and node.value:
+                # Hide the value as well as the name (see ViewBuilder).
+                return Node(nid, NodeKind.ATTRIBUTE, RESTRICTED, RESTRICTED)
+            return node.relabelled(RESTRICTED)
+        return node
+
+    def get(self, nid: NodeId) -> Optional[Node]:
+        """The visible node, or None for invisible/unknown ids."""
+        return self.node(nid) if self.visible(nid) else None
+
+    def label(self, nid: NodeId) -> str:
+        """The label the user sees (RESTRICTED where position-only)."""
+        return self.node(nid).label
+
+    def kind(self, nid: NodeId) -> NodeKind:
+        """The node kind (kinds are never hidden, labels are)."""
+        return self.node(nid).kind
+
+    def parent(self, nid: NodeId) -> Optional[NodeId]:
+        """The parent id (visible whenever the node is)."""
+        self.node(nid)
+        return None if nid.is_document else nid.parent()
+
+    def children(self, nid: NodeId) -> List[NodeId]:
+        """Visible non-attribute children, in document order."""
+        return [c for c in self._source.children(nid) if self.visible(c)]
+
+    def attributes(self, nid: NodeId) -> List[NodeId]:
+        """Visible attribute nodes, in document order."""
+        return [a for a in self._source.attributes(nid) if self.visible(a)]
+
+    def attribute_value(self, element: NodeId, name: str) -> Optional[str]:
+        """The value of a visible attribute, or None."""
+        for attr in self.attributes(element):
+            node = self.node(attr)
+            if node.label == name:
+                return node.value
+        return None
+
+    def descendants(self, nid: NodeId) -> Iterator[NodeId]:
+        """Visible proper descendants in document order."""
+        for child in self.children(nid):
+            yield child
+            yield from self.descendants(child)
+
+    def descendants_or_self(self, nid: NodeId) -> Iterator[NodeId]:
+        """The node, then its visible descendants."""
+        yield nid
+        yield from self.descendants(nid)
+
+    def ancestors(self, nid: NodeId) -> Iterator[NodeId]:
+        """Proper ancestors, nearest first."""
+        self.node(nid)
+        # Visibility is ancestor-closed: every ancestor of a visible
+        # node is visible, so no filtering is needed.
+        yield from nid.ancestors()
+
+    def subtree(self, nid: NodeId) -> Iterator[NodeId]:
+        """The visible subtree, attributes included."""
+        yield nid
+        for attr in self.attributes(nid) if not nid.is_document else []:
+            yield attr
+        for child in self.children(nid):
+            yield from self.subtree(child)
+
+    def siblings(self, nid: NodeId) -> List[NodeId]:
+        """Visible children of this node's parent (self included)."""
+        parent = self.parent(nid)
+        if parent is None:
+            return [nid]
+        return self.children(parent)
+
+    def following_siblings(self, nid: NodeId) -> List[NodeId]:
+        """Visible following siblings, in document order."""
+        sibs = self.siblings(nid)
+        try:
+            i = sibs.index(nid)
+        except ValueError:
+            return []
+        return sibs[i + 1 :]
+
+    def preceding_siblings(self, nid: NodeId) -> List[NodeId]:
+        """Visible preceding siblings, nearest first."""
+        sibs = self.siblings(nid)
+        try:
+            i = sibs.index(nid)
+        except ValueError:
+            return []
+        return list(reversed(sibs[:i]))
+
+    def following(self, nid: NodeId) -> List[NodeId]:
+        """The visible XPath following axis."""
+        result: List[NodeId] = []
+        current = nid
+        while not current.is_document:
+            for sib in self.following_siblings(current):
+                result.extend(self.descendants_or_self(sib))
+            current = current.parent()
+        return result
+
+    def preceding(self, nid: NodeId) -> List[NodeId]:
+        """The visible XPath preceding axis, reverse document order."""
+        result: List[NodeId] = []
+        current = nid
+        while not current.is_document:
+            for sib in self.preceding_siblings(current):
+                result.extend(reversed(list(self.descendants_or_self(sib))))
+            current = current.parent()
+        return result
+
+    def all_nodes(self) -> List[NodeId]:
+        """Every visible node id in document order."""
+        return list(self.subtree(DOCUMENT_ID))
+
+    def string_value(self, nid: NodeId) -> str:
+        """XPath string-value over visible content only."""
+        node = self.node(nid)
+        if node.kind in (NodeKind.ELEMENT, NodeKind.DOCUMENT):
+            parts = [
+                self.label(d)
+                for d in self.descendants(nid)
+                if self._source.kind(d) is NodeKind.TEXT
+            ]
+            return "".join(parts)
+        return node.string_value()
+
+    def facts(self) -> Set[Tuple[NodeId, str]]:
+        """The ``node_view(n, v)`` facts -- identical by construction to
+        the materialized view's fact set."""
+        return {(nid, self.label(nid)) for nid in self.all_nodes()}
+
+    def path_string(self, nid: NodeId) -> str:
+        """Human-readable absolute path (diagnostics only)."""
+        return self._source.path_string(nid)
+
+
+def build_lazy_view(
+    doc: XMLDocument,
+    policy: Policy,
+    user: str,
+    resolver: Optional[PermissionResolver] = None,
+    permissions: Optional[PermissionTable] = None,
+) -> LazyView:
+    """Derive a :class:`LazyView` for ``user``.
+
+    Permission resolution (axiom 14) still happens eagerly -- it is
+    policy-sized, not document-sized in its output -- but no view
+    document is materialized.
+    """
+    if permissions is None:
+        if resolver is None:
+            resolver = PermissionResolver()
+        permissions = resolver.resolve(doc, policy, user)
+    return LazyView(doc, permissions, policy)

@@ -1,0 +1,169 @@
+"""Conflict resolution: deriving ``perm(s, n, r)`` (paper axiom 14).
+
+Axiom 14 reads: subject ``s`` definitely holds privilege ``r`` on node
+``n`` iff some accept rule (for a subject s' with ``isa(s, s')``, whose
+path addresses ``n``) has **no later deny rule** covering the same
+subject/privilege/node.  With unique priorities this is exactly
+"the latest matching rule wins; no matching rule means no privilege"
+(closed-world assumption) -- which is how the resolver computes it: rules
+are replayed in priority order and each one overwrites the effect on the
+nodes its path selects.
+
+The ``$USER`` variable in rule paths is bound to the login of the user
+whose permissions are being derived, supporting the paper's
+"patients may access their own medical file" rules 4-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NodeId
+from ..xpath.engine import XPathEngine
+from .policy import ACCEPT, Policy, SecurityRule
+from .privileges import Privilege
+
+__all__ = ["PermissionTable", "PermissionResolver"]
+
+
+@dataclass
+class PermissionTable:
+    """The derived ``perm`` facts for one user against one document.
+
+    Attributes:
+        user: the subject the table was derived for.
+        granted: privilege -> set of node ids on which it is held.
+        winning_rule: (privilege, node) -> the rule that decided the
+            outcome (for audit and the policy-explanation API).
+    """
+
+    user: str
+    granted: Dict[Privilege, Set[NodeId]] = field(default_factory=dict)
+    winning_rule: Dict[Tuple[Privilege, NodeId], SecurityRule] = field(
+        default_factory=dict
+    )
+
+    def holds(self, nid: NodeId, privilege: Privilege) -> bool:
+        """The ``perm(user, nid, privilege)`` fact."""
+        return nid in self.granted.get(privilege, ())
+
+    def nodes_with(self, privilege: Privilege) -> FrozenSet[NodeId]:
+        """All nodes on which the user holds ``privilege``."""
+        return frozenset(self.granted.get(privilege, ()))
+
+    def explain(self, nid: NodeId, privilege: Privilege) -> Optional[SecurityRule]:
+        """The rule that decided this (privilege, node), if any matched."""
+        return self.winning_rule.get((privilege, nid))
+
+    def facts(self) -> Set[Tuple[str, NodeId, str]]:
+        """The ``perm(s, n, r)`` facts as tuples, for the formal layer."""
+        return {
+            (self.user, nid, privilege.value)
+            for privilege, nodes in self.granted.items()
+            for nid in nodes
+        }
+
+
+class PermissionResolver:
+    """Derives :class:`PermissionTable` objects from a policy.
+
+    Args:
+        engine: the XPath engine used to evaluate rule paths on the
+            source document (axiom 14 evaluates ``xpath`` on the source
+            theory ``db``).  The engine should have the paper-compat
+            ``lone_variable_name_test`` enabled if policies use the
+            paper's ``[$USER]`` shorthand.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[XPathEngine] = None,
+        cache_paths: bool = False,
+    ) -> None:
+        self._engine = engine if engine is not None else XPathEngine(
+            lone_variable_name_test=True, star_matches_text=True
+        )
+        # Optional cross-user cache: a rule path that never mentions
+        # $USER selects the same nodes for every user, so re-evaluating
+        # it per user is pure waste (ablation E18).  Keyed weakly by
+        # document and guarded by the document's mutation stamp.
+        self._cache_paths = cache_paths
+        import weakref
+
+        self._path_cache: "weakref.WeakKeyDictionary[XMLDocument, Tuple[int, Dict[str, Tuple[NodeId, ...]]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    @property
+    def engine(self) -> XPathEngine:
+        return self._engine
+
+    @property
+    def cache_paths(self) -> bool:
+        return self._cache_paths
+
+    def _select_rule_path(
+        self,
+        doc: XMLDocument,
+        path: str,
+        variables: Dict[str, str],
+    ):
+        """Evaluate one rule path, caching user-independent paths."""
+        if not self._cache_paths or "$" in path:
+            return self._engine.select(doc, path, variables=variables)
+        entry = self._path_cache.get(doc)
+        if entry is None or entry[0] != doc.mutation_stamp:
+            entry = (doc.mutation_stamp, {})
+            self._path_cache[doc] = entry
+        cached = entry[1].get(path)
+        if cached is None:
+            cached = tuple(self._engine.select(doc, path, variables=variables))
+            entry[1][path] = cached
+        return cached
+
+    def resolve(
+        self,
+        doc: XMLDocument,
+        policy: Policy,
+        user: str,
+        privileges: Optional[Iterable[Privilege]] = None,
+    ) -> PermissionTable:
+        """Derive all ``perm(user, n, r)`` facts for one user.
+
+        Args:
+            doc: the source document (theory ``db``).
+            policy: the security policy (set ``P``).
+            user: the subject whose privileges are derived; ``$USER``
+                binds to this login in rule paths.
+            privileges: restrict derivation to these privileges
+                (defaults to all five).
+
+        Raises:
+            repro.security.subjects.SubjectError: if ``user`` is not a
+                declared subject.
+        """
+        table = PermissionTable(user=user)
+        variables = {"USER": user}
+        wanted = tuple(privileges) if privileges is not None else tuple(Privilege)
+        effects: Dict[Privilege, Dict[NodeId, SecurityRule]] = {
+            p: {} for p in wanted
+        }
+        for privilege in wanted:
+            # Priority order: later rules overwrite earlier outcomes on
+            # the nodes they address -- the operational form of "no
+            # subsequent deny" in axiom 14.
+            for rule in policy.rules_for(user, privilege):
+                selected = self._select_rule_path(doc, rule.path, variables)
+                outcome = effects[privilege]
+                for nid in selected:
+                    outcome[nid] = rule
+        for privilege in wanted:
+            granted: Set[NodeId] = set()
+            for nid, rule in effects[privilege].items():
+                table.winning_rule[(privilege, nid)] = rule
+                if rule.effect == ACCEPT:
+                    granted.add(nid)
+            table.granted[privilege] = granted
+        return table

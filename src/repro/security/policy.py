@@ -1,0 +1,162 @@
+"""The security policy: prioritized accept/deny rules (paper section 4.3).
+
+A policy is the paper's set ``P`` of facts
+``rule(accept|deny, privilege, path, subject, t)`` where ``t`` is the
+priority -- "the timestamp indicating when the command was issued plays
+the priority role.  The last issued command has the priority over the
+previous ones and possibly cancels them."
+
+:class:`Policy` therefore assigns strictly increasing priorities
+automatically (explicit priorities are accepted for reproducing the
+paper's numbered examples) and offers the administration verbs
+``grant`` / ``deny``.  Rule paths may reference the ``$USER`` variable,
+bound at evaluation time to the session user's login (rule 5 of the
+example policy).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..xpath.parser import parse_xpath
+from .privileges import Privilege
+from .subjects import SubjectHierarchy
+
+__all__ = ["Effect", "SecurityRule", "Policy", "PolicyError"]
+
+
+class PolicyError(ValueError):
+    """Invalid rule: unknown subject, bad path, duplicate priority..."""
+
+
+#: Rule effects, the paper's first ``rule/5`` argument.
+ACCEPT = "accept"
+DENY = "deny"
+Effect = str
+
+
+@dataclass(frozen=True)
+class SecurityRule:
+    """One fact ``rule(effect, privilege, path, subject, priority)``."""
+
+    effect: Effect
+    privilege: Privilege
+    path: str
+    subject: str
+    priority: int
+
+    def __post_init__(self) -> None:
+        if self.effect not in (ACCEPT, DENY):
+            raise PolicyError(f"effect must be accept or deny, got {self.effect!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"rule({self.effect},{self.privilege},{self.path},"
+            f"{self.subject},{self.priority})"
+        )
+
+
+class Policy:
+    """An ordered set of security rules with unique priorities.
+
+    Args:
+        subjects: the hierarchy rules must reference; subjects are
+            validated at insertion time.
+    """
+
+    def __init__(self, subjects: SubjectHierarchy) -> None:
+        self._subjects = subjects
+        self._rules: List[SecurityRule] = []
+        self._next_priority = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # administration verbs
+    # ------------------------------------------------------------------
+    def grant(
+        self,
+        privilege: "str | Privilege",
+        path: str,
+        subject: str,
+        priority: Optional[int] = None,
+    ) -> SecurityRule:
+        """Add an accept rule; returns the recorded rule."""
+        return self._add(ACCEPT, privilege, path, subject, priority)
+
+    def deny(
+        self,
+        privilege: "str | Privilege",
+        path: str,
+        subject: str,
+        priority: Optional[int] = None,
+    ) -> SecurityRule:
+        """Add a deny rule; returns the recorded rule."""
+        return self._add(DENY, privilege, path, subject, priority)
+
+    def _add(
+        self,
+        effect: Effect,
+        privilege: "str | Privilege",
+        path: str,
+        subject: str,
+        priority: Optional[int],
+    ) -> SecurityRule:
+        if subject not in self._subjects:
+            raise PolicyError(f"unknown subject {subject!r}")
+        try:
+            parse_xpath(path)
+        except ValueError as exc:
+            raise PolicyError(f"invalid rule path {path!r}: {exc}") from exc
+        if priority is None:
+            priority = self._fresh_priority()
+        elif any(r.priority == priority for r in self._rules):
+            raise PolicyError(f"priority {priority} already used")
+        rule = SecurityRule(effect, Privilege.parse(privilege), path, subject, priority)
+        self._rules.append(rule)
+        return rule
+
+    def _fresh_priority(self) -> int:
+        highest = max((r.priority for r in self._rules), default=0)
+        candidate = next(self._next_priority)
+        return max(candidate, highest + 1)
+
+    def revoke(self, rule: SecurityRule) -> None:
+        """Remove a rule (administration convenience; the paper itself
+        models cancellation by issuing a later opposite rule).
+
+        Raises:
+            PolicyError: if the rule is not in the policy.
+        """
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            raise PolicyError(f"rule not in policy: {rule}") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[SecurityRule]:
+        return iter(sorted(self._rules, key=lambda r: r.priority))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def subjects(self) -> SubjectHierarchy:
+        return self._subjects
+
+    def rules_for(self, user: str, privilege: Privilege) -> List[SecurityRule]:
+        """Rules applying to ``user`` (via isa closure) for a privilege,
+        in increasing priority order."""
+        applicable = self._subjects.ancestors(user)
+        return [
+            r
+            for r in self
+            if r.privilege is privilege and r.subject in applicable
+        ]
+
+    def facts(self) -> Iterator[Tuple[str, str, str, str, int]]:
+        """The paper's ``rule/5`` facts (set P), in priority order."""
+        for rule in self:
+            yield (rule.effect, rule.privilege.value, rule.path, rule.subject, rule.priority)

@@ -1,0 +1,62 @@
+"""The five privileges of the model (paper section 4.3).
+
+- ``position`` -- the right to know a node *exists* (its label is shown
+  as RESTRICTED in views); introduced by the paper to fix the
+  availability/semantics problems of earlier XML models (section 2.1).
+- ``read`` -- the right to see the node (existence *and* label).
+- ``insert`` -- the right to add a new subtree under the node.
+- ``update`` -- the right to change the node's label.
+- ``delete`` -- the right to delete the subtree rooted at the node.
+
+Privileges are held on *nodes*; operations (XUpdate instructions) are
+distinct from privileges and *require* privileges to complete
+(section 4.3: "Privileges should not be confused with operations").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+__all__ = ["Privilege", "READ_PRIVILEGES", "WRITE_PRIVILEGES"]
+
+
+class Privilege(enum.Enum):
+    """One of the model's five node privileges."""
+
+    POSITION = "position"
+    READ = "read"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+    @classmethod
+    def parse(cls, name: "str | Privilege") -> "Privilege":
+        """Accept either the enum member or the paper's lowercase name.
+
+        Raises:
+            ValueError: for an unknown privilege name.
+        """
+        if isinstance(name, Privilege):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown privilege {name!r} (expected one of: {valid})"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Privileges governing what a subject can see (section 2.1).
+READ_PRIVILEGES: FrozenSet[Privilege] = frozenset(
+    {Privilege.POSITION, Privilege.READ}
+)
+
+#: Privileges governing what a subject can modify (section 2.2).
+WRITE_PRIVILEGES: FrozenSet[Privilege] = frozenset(
+    {Privilege.INSERT, Privilege.UPDATE, Privilege.DELETE}
+)

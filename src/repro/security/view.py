@@ -1,0 +1,155 @@
+"""View derivation: the pruned document a user may see (axioms 15-17).
+
+The paper's view access-control strategy (section 4.4.1):
+
+- the document node always belongs to the view (axiom 15);
+- a node is *selected* iff the user holds the ``read`` or ``position``
+  privilege on it **and its parent is itself selected** (axioms 16-17),
+  so the view is a pruned version of the source;
+- a selected node held with only ``position`` is shown with the
+  ``RESTRICTED`` label (axiom 17); holding ``read`` shows the real
+  label (axiom 16 wins over 17 by its ``¬perm(s, n, read)`` guard).
+
+Selected nodes are *not renumbered* -- identifiers are internal and
+invisible to users, so sharing them between source and view creates no
+inference channel (paper, section 4.4.1) while letting the write layer
+map view selections straight back to source nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from ..xmltree.node import RESTRICTED, NodeKind
+from ..xpath.engine import XPathEngine
+from .perm import PermissionResolver, PermissionTable
+from .policy import Policy
+from .privileges import Privilege
+
+__all__ = ["View", "ViewBuilder"]
+
+
+@dataclass
+class View:
+    """A user's authorized view of a source document.
+
+    Attributes:
+        user: the session user the view was derived for.
+        doc: the view *as a document* -- pruned, with RESTRICTED labels
+            substituted; queries and PATH selection run against this.
+        source: the source document the view was derived from.
+        restricted: nodes shown with the RESTRICTED label (position
+            privilege without read).
+        permissions: the full permission table used to build the view
+            (also carries the write privileges for the secure executor).
+        policy: the policy the view was derived under, kept so the
+            secure executor can re-derive views between script steps.
+    """
+
+    user: str
+    doc: XMLDocument
+    source: XMLDocument
+    restricted: FrozenSet[NodeId]
+    permissions: PermissionTable
+    policy: Policy
+
+    def visible(self, nid: NodeId) -> bool:
+        """True if the node is in the view (readable or RESTRICTED)."""
+        return nid in self.doc
+
+    def is_restricted(self, nid: NodeId) -> bool:
+        """True if the node is shown with the RESTRICTED label."""
+        return nid in self.restricted
+
+    def label(self, nid: NodeId) -> str:
+        """The label the user sees for a visible node."""
+        return self.doc.label(nid)
+
+    def facts(self) -> Set[Tuple[NodeId, str]]:
+        """The ``node_view(n, v)`` facts of the derived view theory."""
+        return self.doc.facts()
+
+
+class ViewBuilder:
+    """Materializes :class:`View` objects (axioms 15-17).
+
+    Args:
+        resolver: permission resolver; a paper-compat default is built
+            if omitted.
+    """
+
+    def __init__(self, resolver: Optional[PermissionResolver] = None) -> None:
+        self._resolver = resolver if resolver is not None else PermissionResolver()
+
+    @property
+    def resolver(self) -> PermissionResolver:
+        return self._resolver
+
+    def build(
+        self,
+        doc: XMLDocument,
+        policy: Policy,
+        user: str,
+        permissions: Optional[PermissionTable] = None,
+    ) -> View:
+        """Derive the view of ``doc`` that ``user`` is permitted to see.
+
+        Args:
+            doc: the source document.
+            policy: the security policy.
+            user: the session user (the paper's ``logged(s)``).
+            permissions: a pre-computed permission table (derived if
+                omitted).
+        """
+        table = (
+            permissions
+            if permissions is not None
+            else self._resolver.resolve(doc, policy, user)
+        )
+        readable = table.nodes_with(Privilege.READ)
+        positioned = table.nodes_with(Privilege.POSITION)
+
+        selected: Set[NodeId] = {DOCUMENT_ID}
+        restricted: Set[NodeId] = set()
+        prune_roots: List[NodeId] = []
+        stack: List[NodeId] = [DOCUMENT_ID]
+        while stack:
+            parent = stack.pop()
+            for child in self._all_children(doc, parent):
+                if child in readable:
+                    selected.add(child)
+                    stack.append(child)
+                elif child in positioned:
+                    selected.add(child)
+                    restricted.add(child)
+                    stack.append(child)
+                else:
+                    prune_roots.append(child)
+
+        view_doc = doc.copy()
+        for root in prune_roots:
+            view_doc.remove_subtree(root)
+        for nid in restricted:
+            view_doc.relabel(nid, RESTRICTED)
+            # A position-only *attribute* must hide its value too --
+            # relabelling alone would leak it through serialization.
+            if view_doc.node(nid).kind is NodeKind.ATTRIBUTE:
+                view_doc.set_value(nid, RESTRICTED)
+        return View(
+            user=user,
+            doc=view_doc,
+            source=doc,
+            restricted=frozenset(restricted),
+            permissions=table,
+            policy=policy,
+        )
+
+    @staticmethod
+    def _all_children(doc: XMLDocument, nid: NodeId) -> List[NodeId]:
+        """Content children plus attribute nodes (both access-checked)."""
+        if doc.kind(nid) is NodeKind.ELEMENT:
+            return doc.attributes(nid) + doc.children(nid)
+        return doc.children(nid)

@@ -1,0 +1,433 @@
+"""Persistence: save and load a whole secure database as one XML file.
+
+Not part of the paper's formal model, but required for the system to be
+usable as a database: the document, the subject hierarchy (set S), and
+the security policy (set P, priorities included) round-trip through a
+single self-describing XML file::
+
+    <securedb version="1">
+      <subjects>
+        <role name="staff"/>
+        <role name="doctor"><isa>staff</isa></role>
+        <user name="laporte"><isa>doctor</isa></user>
+      </subjects>
+      <policy>
+        <rule effect="accept" privilege="read" subject="staff"
+              priority="10" path="//*"/>
+      </policy>
+      <document>
+        <patients>...</patients>
+      </document>
+    </securedb>
+
+Node identifiers are regenerated on load -- they are internal and never
+visible to users (paper section 4.4.1), so this is safe; anything that
+must survive a reload (views, permissions) is re-derived from the
+reloaded theory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .security.collection import SecureCollection
+from .security.database import SecureXMLDatabase
+from .security.delegation import AdministeredPolicy, Grant
+from .security.policy import ACCEPT, Policy
+from .security.subjects import SubjectHierarchy
+from .xmltree.document import XMLDocument
+from .xmltree.fragments import Fragment, element, fragment_from_subtree
+from .xmltree.labels import NumberingScheme
+from .xmltree.node import NodeKind
+from .xmltree.parser import parse_fragment
+from .xmltree.serializer import serialize
+
+__all__ = [
+    "StorageError",
+    "dump_database",
+    "load_database",
+    "save_to_file",
+    "load_from_file",
+    "dump_administration",
+    "load_administration",
+    "dump_collection",
+    "load_collection",
+]
+
+_FORMAT_VERSION = "1"
+
+
+class StorageError(ValueError):
+    """Malformed or unsupported database file."""
+
+
+# ---------------------------------------------------------------------------
+# dumping
+# ---------------------------------------------------------------------------
+def dump_database(db: SecureXMLDatabase) -> str:
+    """Serialize a database (document + subjects + policy) to XML text."""
+    subjects = db.subjects
+    subject_fragments: List[Fragment] = []
+    for name in sorted(subjects.roles) + sorted(subjects.users):
+        isa = [
+            element("isa", parent)
+            for parent in sorted(subjects.direct_parents(name))
+        ]
+        tag = "role" if name in subjects.roles else "user"
+        subject_fragments.append(element(tag, *isa, attributes={"name": name}))
+
+    rule_fragments = [
+        element(
+            "rule",
+            attributes={
+                "effect": effect,
+                "privilege": privilege,
+                "subject": subject,
+                "priority": str(priority),
+                "path": path,
+            },
+        )
+        for effect, privilege, path, subject, priority in db.policy.facts()
+    ]
+
+    doc_children: List[Fragment] = []
+    root = db.document.root
+    if root is not None:
+        doc_children.append(fragment_from_subtree(db.document, root))
+
+    bundle = element(
+        "securedb",
+        element("subjects", *subject_fragments),
+        element("policy", *rule_fragments),
+        element("document", *doc_children),
+        attributes={"version": _FORMAT_VERSION},
+    )
+    carrier = XMLDocument()
+    bundle.attach(carrier, carrier.document_node.nid)
+    return serialize(carrier, indent="  ")
+
+
+def save_to_file(db: SecureXMLDatabase, path: str) -> None:
+    """Write :func:`dump_database` output to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_database(db))
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+def _attr(fragment: Fragment, name: str, what: str) -> str:
+    for key, value in fragment.attributes:
+        if key == name:
+            return value
+    raise StorageError(f"<{fragment.label}> is missing the {name!r} attribute ({what})")
+
+
+def _child_elements(fragment: Fragment) -> List[Fragment]:
+    return [c for c in fragment.children if c.kind is NodeKind.ELEMENT]
+
+
+def _find_section(root: Fragment, name: str) -> Fragment:
+    for child in _child_elements(root):
+        if child.label == name:
+            return child
+    raise StorageError(f"missing <{name}> section")
+
+
+def load_database(
+    text: str, scheme: Optional[NumberingScheme] = None
+) -> SecureXMLDatabase:
+    """Rebuild a :class:`SecureXMLDatabase` from :func:`dump_database`
+    output.
+
+    Raises:
+        StorageError: for structural problems (unknown version, missing
+            sections, dangling subject references, bad priorities).
+    """
+    root = parse_fragment(text)
+    if root.label != "securedb":
+        raise StorageError(f"expected <securedb>, got <{root.label}>")
+    version = _attr(root, "version", "format version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(f"unsupported securedb version {version!r}")
+
+    subjects = SubjectHierarchy()
+    pending_isa: List[tuple] = []
+    for entry in _child_elements(_find_section(root, "subjects")):
+        name = _attr(entry, "name", "subject name")
+        if entry.label == "role":
+            subjects.add_role(name)
+        elif entry.label == "user":
+            subjects.add_user(name)
+        else:
+            raise StorageError(f"unknown subject kind <{entry.label}>")
+        for isa in _child_elements(entry):
+            if isa.label != "isa":
+                raise StorageError(f"unexpected <{isa.label}> in subject")
+            parent = "".join(
+                c.label for c in isa.children if c.kind is NodeKind.TEXT
+            ).strip()
+            if not parent:
+                raise StorageError(f"empty <isa> under subject {name!r}")
+            pending_isa.append((name, parent))
+    for child, parent in pending_isa:
+        subjects.add_isa(child, parent)
+
+    policy = Policy(subjects)
+    rules = _child_elements(_find_section(root, "policy"))
+    for rule in sorted(rules, key=lambda r: int(_attr(r, "priority", "priority"))):
+        if rule.label != "rule":
+            raise StorageError(f"unexpected <{rule.label}> in policy")
+        effect = _attr(rule, "effect", "rule effect")
+        privilege = _attr(rule, "privilege", "rule privilege")
+        subject = _attr(rule, "subject", "rule subject")
+        priority = int(_attr(rule, "priority", "rule priority"))
+        path = _attr(rule, "path", "rule path")
+        if effect == ACCEPT:
+            policy.grant(privilege, path, subject, priority=priority)
+        elif effect == "deny":
+            policy.deny(privilege, path, subject, priority=priority)
+        else:
+            raise StorageError(f"unknown rule effect {effect!r}")
+
+    document = XMLDocument(scheme)
+    doc_section = _find_section(root, "document")
+    roots = _child_elements(doc_section)
+    if len(roots) > 1:
+        raise StorageError("<document> may contain at most one root element")
+    if roots:
+        roots[0].attach(document, document.document_node.nid)
+
+    return SecureXMLDatabase(document, subjects, policy)
+
+
+def load_from_file(
+    path: str, scheme: Optional[NumberingScheme] = None
+) -> SecureXMLDatabase:
+    """Read a database file written by :func:`save_to_file`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_database(handle.read(), scheme)
+
+
+# ---------------------------------------------------------------------------
+# administration (delegation) state
+# ---------------------------------------------------------------------------
+def dump_administration(admin: AdministeredPolicy) -> str:
+    """Serialize an :class:`AdministeredPolicy`'s grant history.
+
+    The underlying policy is *not* included -- persist it with
+    :func:`dump_database`; grants reference their rules by priority,
+    which the policy format preserves.
+    """
+    grants = [
+        element(
+            "grant",
+            attributes={
+                "id": str(g.grant_id),
+                "grantor": g.grantor,
+                "priority": str(g.rule.priority),
+                "option": "true" if g.grant_option else "false",
+                "authority": str(g.authority) if g.authority else "",
+            },
+        )
+        for g in admin.grants()
+    ]
+    bundle = element(
+        "administration", *grants, attributes={"owner": admin.owner}
+    )
+    carrier = XMLDocument()
+    bundle.attach(carrier, carrier.document_node.nid)
+    return serialize(carrier, indent="  ")
+
+
+def load_administration(
+    text: str,
+    subjects: SubjectHierarchy,
+    policy: Policy,
+) -> AdministeredPolicy:
+    """Rebuild an :class:`AdministeredPolicy` over an existing policy.
+
+    Args:
+        text: output of :func:`dump_administration`.
+        subjects: the (already loaded) subject hierarchy.
+        policy: the (already loaded) policy whose rules the grants
+            reference by priority.
+
+    Raises:
+        StorageError: malformed input, or a grant referencing a rule
+            priority that is not in the policy.
+    """
+    root = parse_fragment(text)
+    if root.label != "administration":
+        raise StorageError(f"expected <administration>, got <{root.label}>")
+    owner = _attr(root, "owner", "administration owner")
+    admin = AdministeredPolicy(subjects, owner, policy)
+    rules_by_priority = {rule.priority: rule for rule in policy}
+    max_id = 0
+    for entry in _child_elements(root):
+        if entry.label != "grant":
+            raise StorageError(f"unexpected <{entry.label}> in administration")
+        grant_id = int(_attr(entry, "id", "grant id"))
+        priority = int(_attr(entry, "priority", "grant rule priority"))
+        rule = rules_by_priority.get(priority)
+        if rule is None:
+            raise StorageError(
+                f"grant #{grant_id} references unknown rule priority {priority}"
+            )
+        authority_raw = _attr(entry, "authority", "grant authority")
+        grant = Grant(
+            grant_id=grant_id,
+            grantor=_attr(entry, "grantor", "grantor"),
+            rule=rule,
+            grant_option=_attr(entry, "option", "grant option") == "true",
+            authority=int(authority_raw) if authority_raw else None,
+        )
+        admin._grants[grant.grant_id] = grant
+        max_id = max(max_id, grant_id)
+    # Continue numbering after the highest persisted id.
+    import itertools
+
+    admin._ids = itertools.count(max_id + 1)
+    return admin
+
+
+# ---------------------------------------------------------------------------
+# collections
+# ---------------------------------------------------------------------------
+def _subjects_fragment(subjects: SubjectHierarchy) -> Fragment:
+    entries: List[Fragment] = []
+    for name in sorted(subjects.roles) + sorted(subjects.users):
+        isa = [
+            element("isa", parent)
+            for parent in sorted(subjects.direct_parents(name))
+        ]
+        tag = "role" if name in subjects.roles else "user"
+        entries.append(element(tag, *isa, attributes={"name": name}))
+    return element("subjects", *entries)
+
+
+def _policy_fragment(policy: Policy) -> Fragment:
+    rules = [
+        element(
+            "rule",
+            attributes={
+                "effect": effect,
+                "privilege": privilege,
+                "subject": subject,
+                "priority": str(priority),
+                "path": path,
+            },
+        )
+        for effect, privilege, path, subject, priority in policy.facts()
+    ]
+    return element("policy", *rules)
+
+
+def dump_collection(collection: SecureCollection) -> str:
+    """Serialize a multi-document collection to XML text.
+
+    Format: like :func:`dump_database` but with one named ``<document>``
+    per collection member::
+
+        <securecollection version="1">
+          <subjects>...</subjects>
+          <policy>...</policy>
+          <document name="patients"><patients>...</patients></document>
+          <document name="payroll"><payroll>...</payroll></document>
+        </securecollection>
+    """
+    documents: List[Fragment] = []
+    for name in collection.names():
+        db = collection.database(name)
+        content: List[Fragment] = []
+        if db.document.root is not None:
+            content.append(fragment_from_subtree(db.document, db.document.root))
+        documents.append(
+            element("document", *content, attributes={"name": name})
+        )
+    bundle = element(
+        "securecollection",
+        _subjects_fragment(collection.subjects),
+        _policy_fragment(collection.policy),
+        *documents,
+        attributes={"version": _FORMAT_VERSION},
+    )
+    carrier = XMLDocument()
+    bundle.attach(carrier, carrier.document_node.nid)
+    return serialize(carrier, indent="  ")
+
+
+def _load_subjects(section: Fragment) -> SubjectHierarchy:
+    subjects = SubjectHierarchy()
+    pending: List[tuple] = []
+    for entry in _child_elements(section):
+        name = _attr(entry, "name", "subject name")
+        if entry.label == "role":
+            subjects.add_role(name)
+        elif entry.label == "user":
+            subjects.add_user(name)
+        else:
+            raise StorageError(f"unknown subject kind <{entry.label}>")
+        for isa in _child_elements(entry):
+            if isa.label != "isa":
+                raise StorageError(f"unexpected <{isa.label}> in subject")
+            parent = "".join(
+                c.label for c in isa.children if c.kind is NodeKind.TEXT
+            ).strip()
+            if not parent:
+                raise StorageError(f"empty <isa> under subject {name!r}")
+            pending.append((name, parent))
+    for child, parent in pending:
+        subjects.add_isa(child, parent)
+    return subjects
+
+
+def _load_policy(section: Fragment, subjects: SubjectHierarchy) -> Policy:
+    policy = Policy(subjects)
+    rules = _child_elements(section)
+    for rule in sorted(rules, key=lambda r: int(_attr(r, "priority", "priority"))):
+        if rule.label != "rule":
+            raise StorageError(f"unexpected <{rule.label}> in policy")
+        effect = _attr(rule, "effect", "rule effect")
+        privilege = _attr(rule, "privilege", "rule privilege")
+        subject = _attr(rule, "subject", "rule subject")
+        priority = int(_attr(rule, "priority", "rule priority"))
+        path = _attr(rule, "path", "rule path")
+        if effect == ACCEPT:
+            policy.grant(privilege, path, subject, priority=priority)
+        elif effect == "deny":
+            policy.deny(privilege, path, subject, priority=priority)
+        else:
+            raise StorageError(f"unknown rule effect {effect!r}")
+    return policy
+
+
+def load_collection(text: str) -> SecureCollection:
+    """Rebuild a :class:`SecureCollection` from :func:`dump_collection`.
+
+    Raises:
+        StorageError: for structural problems.
+    """
+    root = parse_fragment(text)
+    if root.label != "securecollection":
+        raise StorageError(f"expected <securecollection>, got <{root.label}>")
+    if _attr(root, "version", "format version") != _FORMAT_VERSION:
+        raise StorageError("unsupported securecollection version")
+    subjects = _load_subjects(_find_section(root, "subjects"))
+    policy = _load_policy(_find_section(root, "policy"), subjects)
+    collection = SecureCollection(subjects, policy)
+    for entry in _child_elements(root):
+        if entry.label != "document":
+            continue
+        name = _attr(entry, "name", "document name")
+        roots = _child_elements(entry)
+        if len(roots) > 1:
+            raise StorageError(
+                f"document {name!r} may contain at most one root element"
+            )
+        document = XMLDocument()
+        if roots:
+            roots[0].attach(document, document.document_node.nid)
+        collection.add_document(name, document)
+    return collection

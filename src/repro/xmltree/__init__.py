@@ -1,0 +1,47 @@
+"""XML tree substrate: documents, persistent numbering, parsing.
+
+This package is the operational form of the paper's section 3.1-3.3 --
+documents as labelled trees over persistent node identifiers from which
+all tree geometry is derivable.
+"""
+
+from .document import DocumentError, XMLDocument
+from .fragments import Fragment, element, fragment_from_subtree, text
+from .labels import (
+    DOCUMENT_ID,
+    LSDXScheme,
+    NodeId,
+    NumberingScheme,
+    PersistentDeweyScheme,
+    RenumberingRequired,
+    RenumberingScheme,
+    document_order_key,
+)
+from .node import RESTRICTED, Node, NodeKind
+from .parser import XMLSyntaxError, parse_fragment, parse_xml
+from .serializer import render_tree, serialize
+
+__all__ = [
+    "DOCUMENT_ID",
+    "DocumentError",
+    "Fragment",
+    "LSDXScheme",
+    "Node",
+    "NodeId",
+    "NodeKind",
+    "NumberingScheme",
+    "PersistentDeweyScheme",
+    "RESTRICTED",
+    "RenumberingRequired",
+    "RenumberingScheme",
+    "XMLDocument",
+    "XMLSyntaxError",
+    "document_order_key",
+    "element",
+    "fragment_from_subtree",
+    "parse_fragment",
+    "parse_xml",
+    "render_tree",
+    "serialize",
+    "text",
+]

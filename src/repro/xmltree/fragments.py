@@ -1,0 +1,126 @@
+"""Detached tree fragments: the paper's ``TREE`` parameter.
+
+The XUpdate creation operations (section 3.4.2) take a tree ``TREE`` to
+insert, modelled by the paper as its own fact set ``node_TREE(n', v')``.
+A :class:`Fragment` is that detached tree: a nested, immutable structure
+independent of any document, attached to a document by the XUpdate
+executor (which asks the numbering scheme for fresh identifiers via the
+``create_number`` step of formula 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from .document import XMLDocument
+from .labels import NodeId
+from .node import NodeKind
+
+__all__ = ["Fragment", "element", "text", "fragment_from_subtree"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One node of a detached tree, with its subtree.
+
+    Attributes:
+        kind: element or text (fragments never contain document nodes).
+        label: element name, or the text value for text nodes.
+        attributes: name -> value mapping (elements only).
+        children: child fragments in order.
+    """
+
+    kind: NodeKind
+    label: str
+    attributes: Tuple[Tuple[str, str], ...] = ()
+    children: Tuple["Fragment", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.DOCUMENT:
+            raise ValueError("fragments cannot contain a document node")
+        if self.kind is NodeKind.TEXT and (self.children or self.attributes):
+            raise ValueError("text fragments cannot have children or attributes")
+
+    def size(self) -> int:
+        """Total number of nodes in the fragment (attributes included)."""
+        return (
+            1
+            + len(self.attributes)
+            + sum(child.size() for child in self.children)
+        )
+
+    def labels(self) -> Iterator[str]:
+        """All labels in the fragment, pre-order (the ``node_TREE`` facts)."""
+        yield self.label
+        for name, __ in self.attributes:
+            yield name
+        for child in self.children:
+            yield from child.labels()
+
+    def attach(self, doc: XMLDocument, parent: NodeId) -> NodeId:
+        """Append this fragment as the last child subtree of ``parent``.
+
+        Returns the identifier assigned to the fragment's own node.  This
+        is the operational form of formula 7 with ``o = append``: each
+        fragment node receives a fresh number from the scheme.
+        """
+        nid = doc.append_child(parent, self.kind, self.label)
+        self._attach_content(doc, nid)
+        return nid
+
+    def attach_before(self, doc: XMLDocument, sibling: NodeId) -> NodeId:
+        """Insert this fragment as the immediately preceding sibling tree."""
+        nid = doc.insert_before(sibling, self.kind, self.label)
+        self._attach_content(doc, nid)
+        return nid
+
+    def attach_after(self, doc: XMLDocument, sibling: NodeId) -> NodeId:
+        """Insert this fragment as the immediately following sibling tree."""
+        nid = doc.insert_after(sibling, self.kind, self.label)
+        self._attach_content(doc, nid)
+        return nid
+
+    def _attach_content(self, doc: XMLDocument, nid: NodeId) -> None:
+        for name, value in self.attributes:
+            doc.set_attribute(nid, name, value)
+        for child in self.children:
+            child.attach(doc, nid)
+
+
+def element(
+    name: str,
+    *children: Union[Fragment, str],
+    attributes: Dict[str, str] | None = None,
+) -> Fragment:
+    """Build an element fragment; bare strings become text children.
+
+    Example::
+
+        element("albert", element("service", "cardiology"),
+                element("diagnosis"))
+    """
+    kids: List[Fragment] = []
+    for child in children:
+        kids.append(text(child) if isinstance(child, str) else child)
+    attrs = tuple(sorted((attributes or {}).items()))
+    return Fragment(NodeKind.ELEMENT, name, attrs, tuple(kids))
+
+
+def text(value: str) -> Fragment:
+    """Build a text fragment."""
+    return Fragment(NodeKind.TEXT, value)
+
+
+def fragment_from_subtree(doc: XMLDocument, nid: NodeId) -> Fragment:
+    """Detach (copy) the subtree rooted at ``nid`` into a fragment."""
+    node = doc.node(nid)
+    if node.kind is NodeKind.TEXT:
+        return text(node.label)
+    if node.kind is NodeKind.DOCUMENT:
+        raise ValueError("cannot build a fragment from the document node")
+    attrs = tuple(
+        (doc.node(a).label, doc.node(a).value) for a in doc.attributes(nid)
+    )
+    kids = tuple(fragment_from_subtree(doc, c) for c in doc.children(nid))
+    return Fragment(node.kind, node.label, attrs, kids)

@@ -1,0 +1,111 @@
+"""Node model for the XML tree substrate.
+
+The paper models a document as a set of facts ``node(n, v)`` where ``n``
+is a persistent identifier and ``v`` the node's *label*: the element name
+for element nodes, the character data for text nodes (section 3.1).  We
+additionally distinguish node kinds -- element, text, attribute, and the
+unique document node -- because XPath node tests need them, while keeping
+the paper's flat ``(identifier, label)`` fact view available through
+:meth:`Node.fact`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from .labels import NodeId
+
+__all__ = ["NodeKind", "Node", "RESTRICTED"]
+
+
+#: The special label shown in a user's view for nodes on which the user
+#: holds only the *position* privilege (paper section 2.1; the label was
+#: introduced by Sandhu & Jajodia for multilevel databases [19]).
+RESTRICTED = "RESTRICTED"
+
+
+class NodeKind(enum.Enum):
+    """The kind of a tree node.
+
+    The paper's formal model only distinguishes nodes by their labels, but
+    the XPath substrate needs kinds for node tests (``text()``,
+    ``node()``, name tests, the ``attribute`` axis).
+    """
+
+    DOCUMENT = "document"
+    ELEMENT = "element"
+    TEXT = "text"
+    ATTRIBUTE = "attribute"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One node of an XML document.
+
+    Attributes:
+        nid: persistent identifier (never reused, stable across updates
+            under a persistent numbering scheme).
+        kind: the node kind.
+        label: the paper's ``v`` -- element/attribute name, or the text
+            value for text and comment nodes.
+        value: attribute value, or processing-instruction data; ``""``
+            for other kinds (attributes are ``name=value`` pairs, which
+            the paper folds into labels; we keep both parts).
+    """
+
+    nid: NodeId
+    kind: NodeKind
+    label: str
+    value: str = ""
+
+    @property
+    def is_element(self) -> bool:
+        return self.kind is NodeKind.ELEMENT
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind is NodeKind.TEXT
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind is NodeKind.ATTRIBUTE
+
+    @property
+    def is_document(self) -> bool:
+        return self.kind is NodeKind.DOCUMENT
+
+    def fact(self) -> Tuple[NodeId, str]:
+        """The paper's ``node(n, v)`` fact for this node."""
+        return (self.nid, self.label)
+
+    def relabelled(self, new_label: str) -> "Node":
+        """A copy of this node carrying ``new_label`` (same identifier)."""
+        return replace(self, label=new_label)
+
+    def string_value(self) -> str:
+        """The XPath string-value contribution of this single node.
+
+        For text nodes this is the text; for attributes the attribute
+        value.  Elements aggregate their descendants' text, which is
+        computed at the document level (:meth:`XMLDocument.string_value`).
+        """
+        if self.kind is NodeKind.TEXT or self.kind is NodeKind.COMMENT:
+            return self.label
+        if self.kind is NodeKind.ATTRIBUTE:
+            return self.value
+        if self.kind is NodeKind.PROCESSING_INSTRUCTION:
+            return self.value
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        if self.is_document:
+            return "Node(/)"
+        if self.is_text:
+            return f"Node({self.nid!r}, text={self.label!r})"
+        if self.is_attribute:
+            return f"Node({self.nid!r}, @{self.label}={self.value!r})"
+        return f"Node({self.nid!r}, <{self.label}>)"

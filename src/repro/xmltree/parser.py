@@ -1,0 +1,281 @@
+"""A standalone XML parser producing :class:`XMLDocument` trees.
+
+This is a small recursive-descent parser for the XML subset the model
+needs: elements, attributes, character data, CDATA sections, comments,
+processing instructions, the standard five entity references and
+numeric character references.  DTDs, namespaces-as-semantics and other
+XML 1.0 arcana are out of scope -- the paper's model (section 3.1)
+explicitly ignores typing and treats a document as a labelled tree.
+
+No third-party dependency (lxml etc.) is used anywhere in the package;
+this module *is* the parsing substrate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .document import XMLDocument
+from .fragments import Fragment, element, text
+from .labels import NumberingScheme
+from .node import NodeKind
+
+__all__ = ["XMLSyntaxError", "parse_xml", "parse_fragment"]
+
+
+class XMLSyntaxError(ValueError):
+    """Malformed XML input.
+
+    Attributes:
+        position: character offset of the error in the input string.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+_NAME_START = re.compile(r"[A-Za-z_:]")
+_NAME_RE = re.compile(r"[A-Za-z_:][-A-Za-z0-9._:]*")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+_WS_ONLY = re.compile(r"^\s*$")
+
+
+class _Parser:
+    """Single-use recursive-descent parser over one input string."""
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.n = len(source)
+
+    # -- primitives --------------------------------------------------------
+    def error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= self.n
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.src[i] if i < self.n else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.src.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_ws(self) -> None:
+        while self.pos < self.n and self.src[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.src, self.pos)
+        if match is None:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group()
+
+    def read_until(self, token: str, what: str) -> str:
+        end = self.src.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        out = self.src[self.pos : end]
+        self.pos = end + len(token)
+        return out
+
+    # -- entity / chardata -------------------------------------------------
+    def decode_text(self, raw: str, base: int) -> str:
+        """Expand entity and character references in character data."""
+        if "&" not in raw:
+            return raw
+        out: List[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i)
+            if end < 0:
+                raise XMLSyntaxError("unterminated entity reference", base + i)
+            ref = raw[i + 1 : end]
+            if ref.startswith("#x") or ref.startswith("#X"):
+                out.append(chr(int(ref[2:], 16)))
+            elif ref.startswith("#"):
+                out.append(chr(int(ref[1:])))
+            elif ref in _ENTITIES:
+                out.append(_ENTITIES[ref])
+            else:
+                raise XMLSyntaxError(f"unknown entity &{ref};", base + i)
+            i = end + 1
+        return "".join(out)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_document(self) -> Fragment:
+        self.skip_prolog()
+        root = self.parse_element()
+        self.skip_misc()
+        if not self.eof():
+            raise self.error("content after the root element")
+        return root
+
+    def skip_prolog(self) -> None:
+        self.skip_ws()
+        if self.startswith("<?xml"):
+            self.pos += 5
+            self.read_until("?>", "XML declaration")
+        self.skip_misc()
+        if self.startswith("<!DOCTYPE"):
+            # Skip a (possibly bracketed) doctype without interpreting it.
+            depth = 0
+            while not self.eof():
+                ch = self.src[self.pos]
+                self.pos += 1
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+            self.skip_misc()
+
+    def skip_misc(self) -> None:
+        while True:
+            self.skip_ws()
+            if self.startswith("<!--"):
+                self.pos += 4
+                self.read_until("-->", "comment")
+            elif self.startswith("<?"):
+                self.pos += 2
+                self.read_until("?>", "processing instruction")
+            else:
+                return
+
+    def parse_element(self) -> Fragment:
+        self.expect("<")
+        name = self.read_name()
+        attributes: List[Tuple[str, str]] = []
+        while True:
+            self.skip_ws()
+            if self.startswith("/>"):
+                self.pos += 2
+                return Fragment(NodeKind.ELEMENT, name, tuple(attributes), ())
+            if self.startswith(">"):
+                self.pos += 1
+                break
+            attributes.append(self.parse_attribute())
+        children = self.parse_content(name)
+        return Fragment(NodeKind.ELEMENT, name, tuple(attributes), tuple(children))
+
+    def parse_attribute(self) -> Tuple[str, str]:
+        name = self.read_name()
+        self.skip_ws()
+        self.expect("=")
+        self.skip_ws()
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a quoted attribute value")
+        self.pos += 1
+        base = self.pos
+        raw = self.read_until(quote, "attribute value")
+        return (name, self.decode_text(raw, base))
+
+    def parse_content(self, open_name: str) -> List[Fragment]:
+        children: List[Fragment] = []
+        # Buffer holds *decoded* text: regular character data is
+        # entity-expanded as it is read, CDATA is appended verbatim
+        # (entities inside CDATA are not references).
+        buffer: List[str] = []
+        buffer_had_cdata = False
+
+        def flush_text() -> None:
+            nonlocal buffer_had_cdata
+            if buffer:
+                value = "".join(buffer)
+                buffer.clear()
+                if buffer_had_cdata or not _WS_ONLY.match(value):
+                    children.append(text(value))
+            buffer_had_cdata = False
+
+        while True:
+            if self.eof():
+                raise self.error(f"unterminated element <{open_name}>")
+            if self.startswith("</"):
+                flush_text()
+                self.pos += 2
+                close = self.read_name()
+                if close != open_name:
+                    raise self.error(
+                        f"mismatched closing tag </{close}> for <{open_name}>"
+                    )
+                self.skip_ws()
+                self.expect(">")
+                return children
+            if self.startswith("<!--"):
+                flush_text()
+                self.pos += 4
+                self.read_until("-->", "comment")
+                continue
+            if self.startswith("<![CDATA["):
+                buffer.append(self.read_cdata())
+                buffer_had_cdata = True
+                continue
+            if self.startswith("<?"):
+                flush_text()
+                self.pos += 2
+                self.read_until("?>", "processing instruction")
+                continue
+            if self.peek() == "<":
+                flush_text()
+                children.append(self.parse_element())
+                continue
+            buffer.append(self.read_chardata_run())
+
+    def read_cdata(self) -> str:
+        """Consume one CDATA section, returning its verbatim content."""
+        self.pos += 9  # len("<![CDATA[")
+        return self.read_until("]]>", "CDATA section")
+
+    def read_chardata_run(self) -> str:
+        """Consume character data up to the next markup, decoded."""
+        base = self.pos
+        end = self.src.find("<", self.pos)
+        if end < 0:
+            end = self.n
+        raw = self.src[self.pos : end]
+        self.pos = end
+        return self.decode_text(raw, base)
+
+
+def parse_fragment(source: str) -> Fragment:
+    """Parse ``source`` into a detached :class:`Fragment`.
+
+    Whitespace-only text between elements is dropped (the model's trees
+    never contain formatting whitespace); mixed content keeps its text.
+    """
+    return _Parser(source).parse_document()
+
+
+def parse_xml(
+    source: str, scheme: Optional[NumberingScheme] = None
+) -> XMLDocument:
+    """Parse ``source`` into a fresh :class:`XMLDocument`.
+
+    Args:
+        source: the XML text.
+        scheme: numbering scheme for the new document (default persistent
+            Dewey).
+
+    Raises:
+        XMLSyntaxError: on malformed input.
+    """
+    fragment = parse_fragment(source)
+    doc = XMLDocument(scheme)
+    fragment.attach(doc, doc.document_node.nid)
+    return doc

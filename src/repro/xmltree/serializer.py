@@ -1,0 +1,146 @@
+"""Serialization of :class:`XMLDocument` trees and views back to text.
+
+Two renderers are provided:
+
+- :func:`serialize` -- standard XML text, optionally indented.  Views
+  produced by the security layer are ordinary documents whose hidden
+  labels read ``RESTRICTED``, so they serialize with no special casing.
+- :func:`render_tree` -- the ASCII tree notation the paper uses in its
+  figures (``/patients``, ``text()tonsillitis`` ...), which EXPERIMENTS.md
+  uses to show paper-vs-reproduced output side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .document import XMLDocument
+from .labels import NodeId
+from .node import NodeKind
+
+__all__ = ["serialize", "render_tree"]
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+
+
+def _escape_text(value: str) -> str:
+    for raw, esc in _ESCAPES:
+        value = value.replace(raw, esc)
+    return value
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def serialize(
+    doc: XMLDocument,
+    nid: Optional[NodeId] = None,
+    indent: Optional[str] = None,
+) -> str:
+    """Serialize a document (or the subtree at ``nid``) to XML text.
+
+    Args:
+        doc: the document to serialize.
+        nid: subtree root; defaults to the document node.
+        indent: indentation unit (e.g. ``"  "``) for pretty printing, or
+            None for compact single-line output.
+    """
+    start = nid if nid is not None else doc.document_node.nid
+    pieces: List[str] = []
+    _serialize_into(doc, start, pieces, indent, 0)
+    text = "".join(pieces)
+    return text.rstrip("\n") if indent else text
+
+
+def _serialize_into(
+    doc: XMLDocument,
+    nid: NodeId,
+    out: List[str],
+    indent: Optional[str],
+    depth: int,
+) -> None:
+    node = doc.node(nid)
+    pad = indent * depth if indent else ""
+    if node.kind is NodeKind.DOCUMENT:
+        for child in doc.children(nid):
+            _serialize_into(doc, child, out, indent, depth)
+        return
+    if node.kind is NodeKind.TEXT:
+        out.append(pad + _escape_text(node.label))
+        if indent:
+            out.append("\n")
+        return
+    if node.kind is NodeKind.COMMENT:
+        out.append(f"{pad}<!--{node.label}-->")
+        if indent:
+            out.append("\n")
+        return
+    if node.kind is NodeKind.PROCESSING_INSTRUCTION:
+        out.append(f"{pad}<?{node.label} {node.value}?>")
+        if indent:
+            out.append("\n")
+        return
+    if node.kind is NodeKind.ATTRIBUTE:
+        # Attributes are serialized inline by their element.
+        return
+    attrs = "".join(
+        f' {doc.node(a).label}="{_escape_attr(doc.node(a).value)}"'
+        for a in doc.attributes(nid)
+    )
+    children = doc.children(nid)
+    if not children:
+        out.append(f"{pad}<{node.label}{attrs}/>")
+        if indent:
+            out.append("\n")
+        return
+    # Any text child makes this mixed content: indentation would inject
+    # significant whitespace, so the whole element serializes compactly.
+    has_text = any(doc.node(c).kind is NodeKind.TEXT for c in children)
+    if has_text:
+        compact: List[str] = []
+        for child in children:
+            _serialize_into(doc, child, compact, None, 0)
+        content = "".join(compact)
+        out.append(f"{pad}<{node.label}{attrs}>{content}</{node.label}>")
+        if indent:
+            out.append("\n")
+        return
+    out.append(f"{pad}<{node.label}{attrs}>")
+    if indent:
+        out.append("\n")
+    for child in children:
+        _serialize_into(doc, child, out, indent, depth + 1)
+    out.append(f"{pad}</{node.label}>")
+    if indent:
+        out.append("\n")
+
+
+def render_tree(doc: XMLDocument, nid: Optional[NodeId] = None) -> str:
+    """Render the paper's figure notation: one node per line, indented.
+
+    Element nodes print as ``/label``, text nodes as ``text()value``,
+    attributes as ``@name=value`` -- matching figures 1 and 2 of the
+    paper so reproduced output can be compared by eye.
+    """
+    start = nid if nid is not None else doc.document_node.nid
+    lines: List[str] = []
+    _render_into(doc, start, lines, 0)
+    return "\n".join(lines)
+
+
+def _render_into(doc: XMLDocument, nid: NodeId, lines: List[str], depth: int) -> None:
+    node = doc.node(nid)
+    pad = "  " * depth
+    if node.kind is NodeKind.DOCUMENT:
+        lines.append(pad + "/")
+    elif node.kind is NodeKind.TEXT:
+        lines.append(f"{pad}text(){node.label}")
+    elif node.kind is NodeKind.ATTRIBUTE:
+        lines.append(f"{pad}@{node.label}={node.value}")
+    else:
+        lines.append(f"{pad}/{node.label}")
+    for attr in doc.attributes(nid) if node.kind is NodeKind.ELEMENT else []:
+        _render_into(doc, attr, lines, depth + 1)
+    for child in doc.children(nid):
+        _render_into(doc, child, lines, depth + 1)

@@ -1,0 +1,133 @@
+"""The :class:`XPathEngine` facade and the paper's ``xpath/3`` predicate.
+
+The engine bundles a function library and the paper-compat options, and
+exposes the two operations the rest of the system needs:
+
+- :meth:`XPathEngine.evaluate` -- full XPath evaluation to any value
+  type (used by queries);
+- :meth:`XPathEngine.select` -- node-set selection (used everywhere a
+  PATH parameter appears in the paper);
+- :meth:`XPathEngine.xpath_facts` -- the logical reading
+  ``xpath(p, n, v)`` of section 3.4: the set of (path, identifier,
+  label) triples a path derives, consumed by the formal layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from .ast import Expr
+from .evaluator import Context, XPathEvaluationError, evaluate
+from .functions import CORE_FUNCTIONS, XPathFunction
+from .parser import parse_xpath
+from .values import NodeSet, XPathValue, is_node_set
+
+__all__ = ["XPathEngine"]
+
+
+class XPathEngine:
+    """Evaluates XPath 1.0 expressions against documents.
+
+    Args:
+        extra_functions: additional functions merged over the core
+            library (same call signature as core functions).
+        lone_variable_name_test: enable the paper-compat reading of a
+            lone ``[$var]`` predicate as ``[name() = $var]`` (see
+            :mod:`repro.xpath.evaluator`).  The security layer turns
+            this on so the paper's example policy works verbatim.
+        star_matches_text: enable the paper-compat reading of a lone
+            ``*`` name test as matching text and comment nodes too (the
+            paper's policy uses ``//*`` to cover text content; see
+            :mod:`repro.xpath.evaluator`).
+    """
+
+    def __init__(
+        self,
+        extra_functions: Optional[Mapping[str, XPathFunction]] = None,
+        lone_variable_name_test: bool = False,
+        star_matches_text: bool = False,
+    ) -> None:
+        functions: Dict[str, XPathFunction] = dict(CORE_FUNCTIONS)
+        if extra_functions:
+            functions.update(extra_functions)
+        self._functions = functions
+        self._lone_variable_name_test = lone_variable_name_test
+        self._star_matches_text = star_matches_text
+
+    def _context(
+        self,
+        doc: XMLDocument,
+        context_node: Optional[NodeId],
+        variables: Optional[Mapping[str, XPathValue]],
+    ) -> Context:
+        return Context(
+            doc=doc,
+            node=context_node if context_node is not None else DOCUMENT_ID,
+            variables=dict(variables or {}),
+            functions=self._functions,
+            lone_variable_name_test=self._lone_variable_name_test,
+            star_matches_text=self._star_matches_text,
+        )
+
+    def compile(self, path: str) -> Expr:
+        """Parse (with caching) a path, surfacing syntax errors early."""
+        return parse_xpath(path)
+
+    def evaluate(
+        self,
+        doc: XMLDocument,
+        path: str,
+        context_node: Optional[NodeId] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> XPathValue:
+        """Evaluate ``path`` to any XPath value (node-set, number, ...).
+
+        Args:
+            doc: document to query.
+            path: XPath 1.0 expression.
+            context_node: context node; defaults to the document node.
+            variables: variable bindings such as ``{"USER": "robert"}``.
+        """
+        ctx = self._context(doc, context_node, variables)
+        return evaluate(self.compile(path), ctx)
+
+    def select(
+        self,
+        doc: XMLDocument,
+        path: str,
+        context_node: Optional[NodeId] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> NodeSet:
+        """Evaluate ``path`` and require a node-set result.
+
+        This is the PATH-parameter semantics used by XUpdate operations
+        and security rules.
+
+        Raises:
+            XPathEvaluationError: if the expression yields a non-node-set.
+        """
+        value = self.evaluate(doc, path, context_node, variables)
+        if not is_node_set(value):
+            raise XPathEvaluationError(
+                f"path {path!r} evaluated to {type(value).__name__}, "
+                "expected a node-set"
+            )
+        return value
+
+    def xpath_facts(
+        self,
+        doc: XMLDocument,
+        path: str,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> Set[Tuple[str, NodeId, str]]:
+        """The paper's ``xpath(p, n, v)`` fact set for one path.
+
+        Reads "node with label v identified by number n is addressed by
+        path p" (section 3.4).
+        """
+        return {
+            (path, nid, doc.label(nid))
+            for nid in self.select(doc, path, variables=variables)
+        }

@@ -1,0 +1,445 @@
+"""XPath 1.0 evaluator over :class:`~repro.xmltree.document.XMLDocument`.
+
+Evaluation follows the spec's data model: a context holds a node, a
+proximity position and a size; location steps map each context node to
+an axis sequence filtered by a node test and predicates.  Results of
+node-set expressions are in document order without duplicates.
+
+One deliberate extension (off by default, enabled by the security layer)
+mirrors the paper's policy syntax: rule 5 of the example policy writes
+``/patients/descendant-or-self::*[$USER]`` with the intent "elements
+*named* by the session user's login".  Under strict XPath 1.0 semantics
+``[$USER]`` is ``boolean(string)`` -- true for any non-empty login --
+which cannot be what the paper means.  With
+``lone_variable_name_test=True`` a predicate consisting of exactly one
+variable reference is evaluated as ``name() = $var``, matching the
+paper's reading.  DESIGN.md records this as a documented interpretation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NodeId
+from ..xmltree.node import NodeKind
+from .ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    PathExpr,
+    REVERSE_AXES,
+    Step,
+    UnionExpr,
+    VariableRef,
+)
+from .functions import CORE_FUNCTIONS, XPathFunction, XPathFunctionError
+from .values import (
+    NodeSet,
+    XPathValue,
+    is_node_set,
+    sort_document_order,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+__all__ = ["Context", "XPathEvaluationError", "evaluate"]
+
+
+class XPathEvaluationError(ValueError):
+    """Type errors and unknown names raised during evaluation."""
+
+
+@dataclass
+class Context:
+    """One XPath evaluation context.
+
+    Attributes:
+        doc: the document being queried.
+        node: the context node.
+        position: 1-based proximity position.
+        size: context size.
+        variables: variable bindings (``USER`` etc.); values are XPath
+            values.
+        functions: the function library in effect.
+        lone_variable_name_test: the paper-compat predicate extension
+            (see module docstring).
+        star_matches_text: paper-compat wildcard semantics.  The paper's
+            example policy writes ``//*`` for "the whole document" and
+            ``//diagnosis/*`` for "the content of diagnosis elements" --
+            its printed views (section 4.4.1) show text nodes being
+            granted/denied by these rules, so the paper's Prolog XPath
+            clearly lets ``*`` match text nodes.  Standard XPath 1.0
+            restricts ``*`` to the principal node type (elements).  With
+            this flag a lone ``*`` name test also matches text and
+            comment nodes; attribute-axis behaviour is unchanged.
+    """
+
+    doc: XMLDocument
+    node: NodeId
+    position: int = 1
+    size: int = 1
+    variables: Mapping[str, XPathValue] = field(default_factory=dict)
+    functions: Mapping[str, XPathFunction] = field(default_factory=lambda: CORE_FUNCTIONS)
+    lone_variable_name_test: bool = False
+    star_matches_text: bool = False
+
+    def at(self, node: NodeId, position: int, size: int) -> "Context":
+        """A sibling context at another node/position/size."""
+        return replace(self, node=node, position=position, size=size)
+
+
+def evaluate(expr: Expr, ctx: Context) -> XPathValue:
+    """Evaluate an XPath AST in a context, returning an XPath value."""
+    if isinstance(expr, LocationPath):
+        start = [NodeId(())] if expr.absolute else [ctx.node]
+        return _eval_steps(start, expr.steps, ctx)
+    if isinstance(expr, PathExpr):
+        base = evaluate(expr.start, ctx)
+        if not is_node_set(base):
+            raise XPathEvaluationError(
+                "a path may only continue from a node-set expression"
+            )
+        return _eval_steps(base, expr.steps, ctx)
+    if isinstance(expr, FilterExpr):
+        base = evaluate(expr.primary, ctx)
+        if not is_node_set(base):
+            raise XPathEvaluationError("predicates apply only to node-sets")
+        nodes: NodeSet = base
+        for predicate in expr.predicates:
+            nodes = _filter_predicate(nodes, predicate, ctx, reverse=False)
+        return nodes
+    if isinstance(expr, UnionExpr):
+        left = evaluate(expr.left, ctx)
+        right = evaluate(expr.right, ctx)
+        if not (is_node_set(left) and is_node_set(right)):
+            raise XPathEvaluationError("'|' requires node-set operands")
+        return sort_document_order(list(left) + list(right))
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, ctx)
+    if isinstance(expr, Negate):
+        return -to_number(evaluate(expr.operand, ctx), ctx.doc)
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, NumberLiteral):
+        return expr.value
+    if isinstance(expr, VariableRef):
+        try:
+            return ctx.variables[expr.name]
+        except KeyError:
+            raise XPathEvaluationError(f"unbound variable ${expr.name}") from None
+    if isinstance(expr, FunctionCall):
+        function = ctx.functions.get(expr.name)
+        if function is None:
+            raise XPathEvaluationError(f"unknown function {expr.name}()")
+        args = [evaluate(a, ctx) for a in expr.args]
+        try:
+            return function(ctx, args)
+        except XPathFunctionError as exc:
+            raise XPathEvaluationError(str(exc)) from exc
+    raise XPathEvaluationError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# location steps
+# ---------------------------------------------------------------------------
+def _eval_steps(start: Sequence[NodeId], steps: Sequence[Step], ctx: Context) -> NodeSet:
+    current: NodeSet = sort_document_order(start)
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        # Fast path for the ``//name`` desugar pair: a bare
+        # descendant-or-self::node() step followed by a predicate-free
+        # child::NAME step selects exactly the NAME-labelled element
+        # descendants of each context node -- answerable from the
+        # document's label index without walking the tree.
+        nxt = steps[index + 1] if index + 1 < len(steps) else None
+        if (
+            step.axis == "descendant-or-self"
+            and isinstance(step.test, KindTest)
+            and step.test.kind == "node"
+            and not step.predicates
+            and nxt is not None
+            and nxt.axis == "child"
+            and not nxt.predicates
+            and hasattr(ctx.doc, "nodes_with_label")
+        ):
+            candidates = _indexed_candidates(ctx, nxt.test)
+            if candidates is not None:
+                gathered = [
+                    n
+                    for n in candidates
+                    for c in current
+                    if c.is_ancestor_of(n)
+                ]
+                current = sort_document_order(gathered)
+                index += 2
+                continue
+        current = _eval_one_step(current, step, ctx)
+        index += 1
+    return current
+
+
+def _indexed_candidates(ctx: Context, test: NodeTest) -> Optional[Set[NodeId]]:
+    """Index-answerable candidate set for a ``//``-pair's child test.
+
+    Returns None when the test cannot be answered from the document's
+    label/kind indexes (then the generic evaluator runs).
+    """
+    doc = ctx.doc
+    if isinstance(test, NameTest):
+        if not test.is_wildcard:
+            return doc.nodes_with_label(test.name)
+        candidates = set(doc.nodes_with_kind(NodeKind.ELEMENT))
+        if ctx.star_matches_text:
+            candidates |= doc.nodes_with_kind(NodeKind.TEXT)
+            candidates |= doc.nodes_with_kind(NodeKind.COMMENT)
+        return candidates
+    assert isinstance(test, KindTest)
+    if test.kind == "text":
+        return set(doc.nodes_with_kind(NodeKind.TEXT))
+    if test.kind == "comment":
+        return set(doc.nodes_with_kind(NodeKind.COMMENT))
+    if test.kind == "node":
+        out: Set[NodeId] = set()
+        for kind in (
+            NodeKind.ELEMENT,
+            NodeKind.TEXT,
+            NodeKind.COMMENT,
+            NodeKind.PROCESSING_INSTRUCTION,
+        ):
+            out |= doc.nodes_with_kind(kind)
+        return out
+    return None  # processing-instruction('target') etc.: generic path
+
+
+def _eval_one_step(current: NodeSet, step: Step, ctx: Context) -> NodeSet:
+    gathered: List[NodeId] = []
+    reverse = step.axis in REVERSE_AXES
+    for context_node in current:
+        candidates = _axis_nodes(ctx.doc, step.axis, context_node)
+        candidates = [
+            n for n in candidates if _matches_test(ctx, step.axis, step.test, n)
+        ]
+        for predicate in step.predicates:
+            candidates = _filter_predicate(candidates, predicate, ctx, reverse)
+        gathered.extend(candidates)
+    return sort_document_order(gathered)
+
+
+def _axis_nodes(doc: XMLDocument, axis: str, node: NodeId) -> List[NodeId]:
+    """The axis sequence in *axis order* (reverse axes nearest-first)."""
+    if axis == "child":
+        return doc.children(node)
+    if axis == "descendant":
+        return list(doc.descendants(node))
+    if axis == "descendant-or-self":
+        return list(doc.descendants_or_self(node))
+    if axis == "parent":
+        parent = doc.parent(node)
+        return [parent] if parent is not None else []
+    if axis == "ancestor":
+        return list(doc.ancestors(node))
+    if axis == "ancestor-or-self":
+        return [node] + list(doc.ancestors(node))
+    if axis == "self":
+        return [node]
+    if axis == "following-sibling":
+        return doc.following_siblings(node)
+    if axis == "preceding-sibling":
+        return doc.preceding_siblings(node)
+    if axis == "following":
+        return doc.following(node)
+    if axis == "preceding":
+        return doc.preceding(node)
+    if axis == "attribute":
+        return doc.attributes(node)
+    if axis == "namespace":
+        return []
+    raise XPathEvaluationError(f"unknown axis {axis!r}")  # pragma: no cover
+
+
+def _matches_test(ctx: Context, axis: str, test: NodeTest, node: NodeId) -> bool:
+    doc = ctx.doc
+    kind = doc.kind(node)
+    if isinstance(test, KindTest):
+        if test.kind == "node":
+            return True
+        if test.kind == "text":
+            return kind is NodeKind.TEXT
+        if test.kind == "comment":
+            return kind is NodeKind.COMMENT
+        if test.kind == "processing-instruction":
+            if kind is not NodeKind.PROCESSING_INSTRUCTION:
+                return False
+            return not test.target or doc.label(node) == test.target
+        raise XPathEvaluationError(f"unknown kind test {test.kind!r}")
+    assert isinstance(test, NameTest)
+    # A name test selects nodes of the axis's principal node type only.
+    principal = NodeKind.ATTRIBUTE if axis == "attribute" else NodeKind.ELEMENT
+    if kind is not principal:
+        # Paper-compat: '*' additionally matches text/comment nodes.
+        if (
+            ctx.star_matches_text
+            and test.is_wildcard
+            and axis != "attribute"
+            and kind in (NodeKind.TEXT, NodeKind.COMMENT)
+        ):
+            return True
+        return False
+    return test.is_wildcard or doc.label(node) == test.name
+
+
+def _filter_predicate(
+    nodes: List[NodeId], predicate: Expr, ctx: Context, reverse: bool
+) -> List[NodeId]:
+    """Apply one predicate with correct proximity positions.
+
+    ``nodes`` must be in axis order; for reverse axes the proximity
+    position counts from the context node outward, which is exactly the
+    list order produced by :func:`_axis_nodes`.
+    """
+    # Paper-compat extension: a lone $var predicate reads name() = $var.
+    if ctx.lone_variable_name_test and isinstance(predicate, VariableRef):
+        wanted = to_string(evaluate(predicate, ctx), ctx.doc)
+        return [
+            n
+            for n in nodes
+            if ctx.doc.kind(n) in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE)
+            and ctx.doc.label(n) == wanted
+        ]
+    size = len(nodes)
+    kept: List[NodeId] = []
+    for index, node in enumerate(nodes, start=1):
+        sub = ctx.at(node, index, size)
+        value = evaluate(predicate, sub)
+        if isinstance(value, float) and not isinstance(value, bool):
+            selected = value == float(index)
+        else:
+            selected = to_boolean(value)
+        if selected:
+            kept.append(node)
+    if reverse:
+        # Keep axis order for any later predicate of the same step.
+        return kept
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# binary operators
+# ---------------------------------------------------------------------------
+_RELATIONAL = {"<", "<=", ">", ">="}
+
+
+def _eval_binary(expr: BinaryOp, ctx: Context) -> XPathValue:
+    op = expr.op
+    if op == "or":
+        return to_boolean(evaluate(expr.left, ctx)) or to_boolean(
+            evaluate(expr.right, ctx)
+        )
+    if op == "and":
+        return to_boolean(evaluate(expr.left, ctx)) and to_boolean(
+            evaluate(expr.right, ctx)
+        )
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op in ("=", "!="):
+        return _compare_equality(op, left, right, ctx)
+    if op in _RELATIONAL:
+        return _compare_relational(op, left, right, ctx)
+    return _arithmetic(op, left, right, ctx)
+
+
+def _node_strings(nodes: NodeSet, ctx: Context) -> List[str]:
+    return [ctx.doc.string_value(n) for n in nodes]
+
+
+def _compare_equality(op: str, left: XPathValue, right: XPathValue, ctx: Context) -> bool:
+    """XPath = and != (spec 3.4): existential over node-sets."""
+    want_equal = op == "="
+
+    if is_node_set(left) and is_node_set(right):
+        lefts = _node_strings(left, ctx)
+        rights = set(_node_strings(right, ctx))
+        if want_equal:
+            return any(s in rights for s in lefts)
+        return any(s != t for s in lefts for t in rights)
+    if is_node_set(left) or is_node_set(right):
+        nodes, other = (left, right) if is_node_set(left) else (right, left)
+        if isinstance(other, bool):
+            result = to_boolean(nodes) == other
+            return result if want_equal else not result
+        if isinstance(other, float):
+            return any(
+                (to_number(s, ctx.doc) == other) == want_equal
+                for s in _node_strings(nodes, ctx)
+            )
+        return any((s == other) == want_equal for s in _node_strings(nodes, ctx))
+    if isinstance(left, bool) or isinstance(right, bool):
+        result = to_boolean(left) == to_boolean(right)
+    elif isinstance(left, float) or isinstance(right, float):
+        result = to_number(left, ctx.doc) == to_number(right, ctx.doc)
+    else:
+        result = left == right
+    return result if want_equal else not result
+
+
+_REL_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare_relational(op: str, left: XPathValue, right: XPathValue, ctx: Context) -> bool:
+    compare = _REL_OPS[op]
+    if is_node_set(left) and is_node_set(right):
+        lefts = [to_number(s, ctx.doc) for s in _node_strings(left, ctx)]
+        rights = [to_number(s, ctx.doc) for s in _node_strings(right, ctx)]
+        return any(compare(a, b) for a in lefts for b in rights)
+    if is_node_set(left):
+        bound = to_number(right, ctx.doc)
+        return any(
+            compare(to_number(s, ctx.doc), bound) for s in _node_strings(left, ctx)
+        )
+    if is_node_set(right):
+        bound = to_number(left, ctx.doc)
+        return any(
+            compare(bound, to_number(s, ctx.doc)) for s in _node_strings(right, ctx)
+        )
+    return compare(to_number(left, ctx.doc), to_number(right, ctx.doc))
+
+
+def _arithmetic(op: str, left: XPathValue, right: XPathValue, ctx: Context) -> float:
+    a = to_number(left, ctx.doc)
+    b = to_number(right, ctx.doc)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "div":
+        if b == 0:
+            if a == 0 or math.isnan(a):
+                return math.nan
+            return math.inf if a > 0 else -math.inf
+        return a / b
+    if op == "mod":
+        # XPath mod takes the sign of the dividend (like fmod, not %).
+        if b == 0 or math.isnan(a) or math.isnan(b) or math.isinf(a):
+            return math.nan
+        return math.fmod(a, b)
+    raise XPathEvaluationError(f"unknown operator {op!r}")  # pragma: no cover

@@ -1,0 +1,134 @@
+"""Tokenizer for XPath 1.0 expressions.
+
+Implements the disambiguation rules of the XPath 1.0 spec section 3.7:
+
+- ``*`` is the multiplication operator when the preceding token could end
+  an operand, otherwise a wildcard name test;
+- the names ``and``, ``or``, ``div``, ``mod`` are operators in the same
+  "after an operand" position, otherwise ordinary names;
+- a name followed by ``(`` is a function call or a kind test; a name
+  followed by ``::`` is an axis name.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "XPathSyntaxError", "tokenize"]
+
+
+class XPathSyntaxError(ValueError):
+    """Malformed XPath expression.
+
+    Attributes:
+        position: character offset of the error in the expression.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kinds: ``name``, ``number``, ``literal``, ``variable``, ``op``
+    (multi-purpose operators and punctuation), ``eof``.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_op(self, *values: str) -> bool:
+        """True when this is an op token with one of the given values."""
+        return self.kind == "op" and self.value in values
+
+
+_NUMBER_RE = re.compile(r"\d+(\.\d*)?|\.\d+")
+_NAME_RE = re.compile(r"[A-Za-z_][-A-Za-z0-9._]*(:[A-Za-z_][-A-Za-z0-9._]*)?")
+_TWO_CHAR_OPS = ("//", "..", "::", "<=", ">=", "!=")
+_ONE_CHAR_OPS = "/()[].@,|+-=<>*"
+_OPERATOR_NAMES = frozenset({"and", "or", "div", "mod"})
+
+
+def tokenize(expression: str) -> List[Token]:
+    """Tokenize an XPath expression.
+
+    Returns a token list terminated by an ``eof`` token.
+
+    Raises:
+        XPathSyntaxError: on an unrecognized character or unterminated
+            literal.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    n = len(expression)
+
+    def preceding_allows_operator() -> bool:
+        """True when the previous token can end an operand (spec 3.7)."""
+        if not tokens:
+            return False
+        prev = tokens[-1]
+        if prev.kind in ("number", "literal", "variable"):
+            return True
+        if prev.kind == "name":
+            return True
+        return prev.is_op(")", "]", "..", ".")
+
+    while pos < n:
+        ch = expression[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch in "'\"":
+            end = expression.find(ch, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", pos)
+            tokens.append(Token("literal", expression[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if ch == "$":
+            match = _NAME_RE.match(expression, pos + 1)
+            if match is None:
+                raise XPathSyntaxError("expected a variable name after '$'", pos)
+            tokens.append(Token("variable", match.group(), pos))
+            pos = match.end()
+            continue
+        number = _NUMBER_RE.match(expression, pos)
+        if number is not None and (ch.isdigit() or (ch == "." and number.group() != ".")):
+            tokens.append(Token("number", number.group(), pos))
+            pos = number.end()
+            continue
+        two = expression[pos : pos + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, pos))
+            pos += 2
+            continue
+        if ch == "*":
+            if preceding_allows_operator():
+                tokens.append(Token("op", "*", pos))
+            else:
+                tokens.append(Token("name", "*", pos))
+            pos += 1
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, pos))
+            pos += 1
+            continue
+        match = _NAME_RE.match(expression, pos)
+        if match is not None:
+            name = match.group()
+            if name in _OPERATOR_NAMES and preceding_allows_operator():
+                tokens.append(Token("op", name, pos))
+            else:
+                tokens.append(Token("name", name, pos))
+            pos = match.end()
+            continue
+        raise XPathSyntaxError(f"unexpected character {ch!r}", pos)
+
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,266 @@
+"""Recursive-descent parser for XPath 1.0 expressions.
+
+Grammar follows the XPath 1.0 recommendation; ``//`` desugars to
+``/descendant-or-self::node()/`` and the abbreviations ``.``, ``..`` and
+``@`` expand to ``self::node()``, ``parent::node()`` and ``attribute::``
+during parsing, so the evaluator only ever sees canonical steps.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AXES,
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    UnionExpr,
+    VariableRef,
+)
+from .lexer import Token, XPathSyntaxError, tokenize
+
+__all__ = ["parse_xpath", "XPathSyntaxError"]
+
+_KIND_TESTS = frozenset({"text", "node", "comment", "processing-instruction"})
+
+#: The step ``descendant-or-self::node()`` that ``//`` abbreviates.
+_DESCENDANT_OR_SELF = Step("descendant-or-self", KindTest("node"))
+
+
+class _Parser:
+    """Single-use parser over a token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- primitives ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.current.position)
+
+    def expect_op(self, value: str) -> None:
+        if not self.current.is_op(value):
+            raise self.error(f"expected {value!r}")
+        self.advance()
+
+    def at_op(self, *values: str) -> bool:
+        return self.current.is_op(*values)
+
+    # -- expression grammar (precedence climbing) ----------------------
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.current.kind != "eof":
+            raise self.error(f"unexpected trailing input {self.current.value!r}")
+        return expr
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_op("or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.at_op("and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while self.at_op("=", "!="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while self.at_op("<", ">", "<=", ">="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.at_op("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.at_op("*", "div", "mod"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-"):
+            self.advance()
+            return Negate(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_path_expr()
+        while self.at_op("|"):
+            self.advance()
+            left = UnionExpr(left, self.parse_path_expr())
+        return left
+
+    # -- paths ----------------------------------------------------------
+    def parse_path_expr(self) -> Expr:
+        if self.starts_location_path():
+            return self.parse_location_path()
+        primary = self.parse_primary()
+        predicates = self.parse_predicates()
+        expr: Expr = FilterExpr(primary, predicates) if predicates else primary
+        if self.at_op("/", "//"):
+            steps: List[Step] = []
+            while self.at_op("/", "//"):
+                if self.advance().value == "//":
+                    steps.append(_DESCENDANT_OR_SELF)
+                steps.append(self.parse_step())
+            return PathExpr(expr, tuple(steps))
+        return expr
+
+    def starts_location_path(self) -> bool:
+        token = self.current
+        if token.is_op("/", "//", ".", "..", "@"):
+            return True
+        if token.kind != "name":
+            return False
+        # A name starts a location path unless it is a function call --
+        # except kind tests, which are steps despite the parenthesis.
+        nxt = self.tokens[self.index + 1]
+        if nxt.is_op("(") and token.value not in _KIND_TESTS:
+            return False
+        return True
+
+    def parse_location_path(self) -> LocationPath:
+        steps: List[Step] = []
+        absolute = False
+        if self.at_op("/", "//"):
+            absolute = True
+            if self.advance().value == "//":
+                steps.append(_DESCENDANT_OR_SELF)
+            elif self.current.kind == "eof" or self.at_op(")", "]", ",", "|"):
+                # Bare "/" selects just the document node.
+                return LocationPath(True, ())
+        steps.append(self.parse_step())
+        while self.at_op("/", "//"):
+            if self.advance().value == "//":
+                steps.append(_DESCENDANT_OR_SELF)
+            steps.append(self.parse_step())
+        return LocationPath(absolute, tuple(steps))
+
+    def parse_step(self) -> Step:
+        if self.at_op("."):
+            self.advance()
+            return Step("self", KindTest("node"), self.parse_predicates())
+        if self.at_op(".."):
+            self.advance()
+            return Step("parent", KindTest("node"), self.parse_predicates())
+        axis = "child"
+        if self.at_op("@"):
+            self.advance()
+            axis = "attribute"
+        elif (
+            self.current.kind == "name"
+            and self.tokens[self.index + 1].is_op("::")
+        ):
+            axis = self.advance().value
+            if axis not in AXES:
+                raise self.error(f"unknown axis {axis!r}")
+            self.advance()  # '::'
+        test = self.parse_node_test(axis)
+        return Step(axis, test, self.parse_predicates())
+
+    def parse_node_test(self, axis: str) -> NodeTest:
+        token = self.current
+        if token.kind != "name":
+            raise self.error("expected a node test")
+        self.advance()
+        if token.value in _KIND_TESTS and self.at_op("("):
+            self.advance()
+            target = ""
+            if self.current.kind == "literal":
+                if token.value != "processing-instruction":
+                    raise self.error("only processing-instruction() takes a literal")
+                target = self.advance().value
+            self.expect_op(")")
+            return KindTest(token.value, target)
+        return NameTest(token.value)
+
+    def parse_predicates(self) -> Tuple[Expr, ...]:
+        predicates: List[Expr] = []
+        while self.at_op("["):
+            self.advance()
+            predicates.append(self.parse_or())
+            self.expect_op("]")
+        return tuple(predicates)
+
+    # -- primary expressions ---------------------------------------------
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "variable":
+            self.advance()
+            return VariableRef(token.value)
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_or()
+            self.expect_op(")")
+            return inner
+        if token.kind == "literal":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "number":
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.kind == "name" and self.tokens[self.index + 1].is_op("("):
+            name = self.advance().value
+            self.advance()  # '('
+            args: List[Expr] = []
+            if not self.at_op(")"):
+                args.append(self.parse_or())
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_or())
+            self.expect_op(")")
+            return FunctionCall(name, tuple(args))
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+@lru_cache(maxsize=4096)
+def parse_xpath(expression: str) -> Expr:
+    """Parse an XPath 1.0 expression into an AST.
+
+    Parsed ASTs are immutable, so results are cached; the security layer
+    re-evaluates the same policy paths constantly.
+
+    Raises:
+        XPathSyntaxError: on malformed input.
+    """
+    return _Parser(tokenize(expression)).parse()

@@ -1,0 +1,100 @@
+"""XPath 1.0 value types and conversions.
+
+XPath has four types: node-set, boolean, number (IEEE double) and
+string.  A node-set is represented as a Python list of
+:class:`~repro.xmltree.labels.NodeId` in document order without
+duplicates.  This module implements the object-to-type conversions of
+spec sections 3.2 (functions ``boolean``/``number``/``string``) exactly,
+including the slightly odd number-to-string formatting rules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Union
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NodeId, document_order_key
+
+__all__ = [
+    "XPathValue",
+    "NodeSet",
+    "is_node_set",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "number_to_string",
+    "sort_document_order",
+]
+
+NodeSet = List[NodeId]
+XPathValue = Union[NodeSet, bool, float, str]
+
+
+def is_node_set(value: XPathValue) -> bool:
+    """True if the value is a node-set (a list of node ids)."""
+    return isinstance(value, list)
+
+
+def sort_document_order(nodes: Sequence[NodeId]) -> NodeSet:
+    """Deduplicate and sort ids into document order."""
+    return sorted(set(nodes), key=document_order_key)
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """The ``boolean()`` conversion (spec 4.3)."""
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return bool(value) and not math.isnan(value)
+    return bool(value)
+
+
+def to_number(value: XPathValue, doc: XMLDocument) -> float:
+    """The ``number()`` conversion (spec 4.4); NaN on failure."""
+    if isinstance(value, list):
+        return to_number(to_string(value, doc), doc)
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    text = value.strip()
+    try:
+        return float(text)
+    except ValueError:
+        return math.nan
+
+
+def number_to_string(value: float) -> str:
+    """Format a number the way XPath's ``string()`` does (spec 4.2).
+
+    Integers print without a decimal point; NaN and infinities use the
+    XPath spellings.
+    """
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def to_string(value: XPathValue, doc: XMLDocument) -> str:
+    """The ``string()`` conversion (spec 4.2).
+
+    A node-set converts to the string-value of its first node in
+    document order (empty string for the empty set).
+    """
+    if isinstance(value, list):
+        if not value:
+            return ""
+        first = min(value, key=document_order_key)
+        return doc.string_value(first)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return number_to_string(value)
+    return value

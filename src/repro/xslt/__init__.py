@@ -1,0 +1,37 @@
+"""Mini-XSLT engine and the XSLT-based security processor.
+
+The paper's conclusion describes an XSLT-based security processor
+built on the model; this package provides both the transformation
+engine (:func:`apply_stylesheet`) and the compiler from derived
+permissions to a view-producing stylesheet (:func:`view_stylesheet`).
+"""
+
+from .ast import (
+    ApplyTemplates,
+    AttributeNamed,
+    Copy,
+    ElementNamed,
+    Instruction,
+    Stylesheet,
+    TemplateRule,
+    TextLiteral,
+    ValueOf,
+)
+from .engine import XSLTError, apply_stylesheet
+from .security import match_path, view_stylesheet
+
+__all__ = [
+    "ApplyTemplates",
+    "AttributeNamed",
+    "Copy",
+    "ElementNamed",
+    "Instruction",
+    "Stylesheet",
+    "TemplateRule",
+    "TextLiteral",
+    "ValueOf",
+    "XSLTError",
+    "apply_stylesheet",
+    "match_path",
+    "view_stylesheet",
+]

@@ -1,0 +1,115 @@
+"""Instruction set for the mini-XSLT engine.
+
+The subset needed by the security processor (and useful generally):
+template rules with match patterns and priorities, and the sequence
+constructors ``copy``, ``apply-templates``, ``element``, ``attribute``,
+``text`` and ``value-of``.  This mirrors XSLT 1.0's core processing
+model [5] without the long tail (modes, keys, sorting, xsl:if/choose
+are out of scope -- the security processor never emits them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Instruction",
+    "ApplyTemplates",
+    "Copy",
+    "ElementNamed",
+    "AttributeNamed",
+    "TextLiteral",
+    "ValueOf",
+    "TemplateRule",
+    "Stylesheet",
+]
+
+
+class Instruction:
+    """Base class for sequence-constructor instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ApplyTemplates(Instruction):
+    """``<xsl:apply-templates select="..."/>``.
+
+    The default select of ``node()`` processes attribute nodes too in
+    this engine (a deliberate simplification: the security processor
+    must access-control attributes like everything else).
+    """
+
+    select: str = "node()"
+
+
+@dataclass(frozen=True)
+class Copy(Instruction):
+    """``<xsl:copy>``: shallow-copy the context node, then run ``body``
+    to produce its content."""
+
+    body: Tuple[Instruction, ...] = (ApplyTemplates(),)
+
+
+@dataclass(frozen=True)
+class ElementNamed(Instruction):
+    """``<xsl:element name="...">``: emit an element with a fixed name
+    (how the security processor rewrites labels to RESTRICTED)."""
+
+    name: str
+    body: Tuple[Instruction, ...] = (ApplyTemplates(),)
+
+
+@dataclass(frozen=True)
+class AttributeNamed(Instruction):
+    """``<xsl:attribute name="...">value</xsl:attribute>`` with a fixed
+    value."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class TextLiteral(Instruction):
+    """Emit fixed text."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class ValueOf(Instruction):
+    """``<xsl:value-of select="..."/>``: emit the string value."""
+
+    select: str
+
+
+@dataclass(frozen=True)
+class TemplateRule:
+    """One ``<xsl:template match="..." priority="...">``.
+
+    Empty ``body`` means "produce nothing" -- the pruning template.
+    """
+
+    match: str
+    body: Tuple[Instruction, ...] = ()
+    priority: float = 0.0
+
+    def __str__(self) -> str:
+        return f"template(match={self.match!r}, priority={self.priority})"
+
+
+@dataclass(frozen=True)
+class Stylesheet:
+    """An ordered collection of template rules.
+
+    Conflict resolution: highest priority wins; among equal priorities
+    the *last* rule in document order wins (XSLT 1.0 recoverable-error
+    behaviour).  Built-in rules (copy-through) apply when nothing
+    matches.
+    """
+
+    templates: Tuple[TemplateRule, ...]
+
+    def __len__(self) -> int:
+        return len(self.templates)

@@ -1,0 +1,204 @@
+"""The mini-XSLT processor: apply a stylesheet to a document.
+
+Processing model (XSLT 1.0 core):
+
+1. start by processing the document node;
+2. to process a node, find the highest-priority matching template (or
+   the built-in rule) and evaluate its body;
+3. ``apply-templates`` selects nodes (XPath, relative to the context
+   node) and processes each in document order.
+
+Built-in rules: document/element nodes apply templates to attributes
+and children; text and attribute nodes copy their value through;
+comments and processing instructions produce nothing.
+
+Pattern matching is implemented by evaluating each match pattern once
+per (stylesheet, document) pair from the root and caching the selected
+node-set -- sound for the XPath-pattern subset used here, and it keeps
+matching O(1) per node after the warm-up pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from ..xmltree.node import NodeKind
+from ..xpath.engine import XPathEngine
+from .ast import (
+    ApplyTemplates,
+    AttributeNamed,
+    Copy,
+    ElementNamed,
+    Instruction,
+    Stylesheet,
+    TemplateRule,
+    TextLiteral,
+    ValueOf,
+)
+
+__all__ = ["XSLTError", "apply_stylesheet"]
+
+
+class XSLTError(Exception):
+    """Unknown instruction or an instruction used in a bad context."""
+
+
+class _Transformer:
+    """Single-use transformation of one document by one stylesheet."""
+
+    def __init__(
+        self,
+        stylesheet: Stylesheet,
+        source: XMLDocument,
+        engine: Optional[XPathEngine] = None,
+    ) -> None:
+        self.stylesheet = stylesheet
+        self.source = source
+        self.engine = engine if engine is not None else XPathEngine()
+        self.output = XMLDocument()
+        self._match_cache: Dict[str, Set[NodeId]] = {}
+
+    # -- pattern matching -------------------------------------------------
+    def _matches(self, pattern: str, nid: NodeId) -> bool:
+        selected = self._match_cache.get(pattern)
+        if selected is None:
+            selected = set(self.engine.select(self.source, pattern))
+            self._match_cache[pattern] = selected
+        return nid in selected
+
+    def _best_template(self, nid: NodeId) -> Optional[TemplateRule]:
+        best: Optional[TemplateRule] = None
+        best_key: Tuple[float, int] = (float("-inf"), -1)
+        for index, template in enumerate(self.stylesheet.templates):
+            if not self._matches(template.match, nid):
+                continue
+            key = (template.priority, index)
+            if key > best_key:
+                best, best_key = template, key
+        return best
+
+    # -- processing --------------------------------------------------------
+    def process(self, nid: NodeId, out_parent: NodeId) -> None:
+        template = self._best_template(nid)
+        if template is not None:
+            self.run_body(template.body, nid, out_parent)
+            return
+        self._builtin(nid, out_parent)
+
+    def _builtin(self, nid: NodeId, out_parent: NodeId) -> None:
+        kind = self.source.kind(nid)
+        if kind in (NodeKind.DOCUMENT, NodeKind.ELEMENT):
+            for child in self._selectable_children(nid):
+                self.process(child, out_parent)
+        elif kind is NodeKind.TEXT:
+            self.output.append_child(
+                out_parent, NodeKind.TEXT, self.source.label(nid)
+            )
+        elif kind is NodeKind.ATTRIBUTE:
+            node = self.source.node(nid)
+            self._emit_attribute(out_parent, node.label, node.value)
+        # comments / PIs: built-in produces nothing.
+
+    def _emit_attribute(self, out_parent: NodeId, name: str, value: str) -> None:
+        """Attach an attribute if the output parent can carry one.
+
+        Emitting an attribute with no element being constructed is a
+        recoverable error in XSLT 1.0 (the attribute is ignored).
+        """
+        if self.output.kind(out_parent) is NodeKind.ELEMENT:
+            self.output.set_attribute(out_parent, name, value)
+
+    def _selectable_children(self, nid: NodeId) -> List[NodeId]:
+        if self.source.kind(nid) is NodeKind.ELEMENT:
+            return self.source.attributes(nid) + self.source.children(nid)
+        return self.source.children(nid)
+
+    def run_body(
+        self,
+        body: Sequence[Instruction],
+        context: NodeId,
+        out_parent: NodeId,
+    ) -> None:
+        for instruction in body:
+            self.run_instruction(instruction, context, out_parent)
+
+    def run_instruction(
+        self, instruction: Instruction, context: NodeId, out_parent: NodeId
+    ) -> None:
+        if isinstance(instruction, ApplyTemplates):
+            selected = self.engine.select(
+                self.source, instruction.select, context_node=context
+            )
+            # Include attributes for the default node() select: the
+            # security processor must route them through templates too.
+            if instruction.select == "node()" and self.source.kind(
+                context
+            ) is NodeKind.ELEMENT:
+                selected = self.source.attributes(context) + selected
+            for nid in selected:
+                self.process(nid, out_parent)
+            return
+        if isinstance(instruction, Copy):
+            node = self.source.node(context)
+            if node.kind is NodeKind.DOCUMENT:
+                self.run_body(instruction.body, context, out_parent)
+            elif node.kind is NodeKind.ELEMENT:
+                fresh = self.output.append_child(
+                    out_parent, NodeKind.ELEMENT, node.label
+                )
+                self.run_body(instruction.body, context, fresh)
+            elif node.kind is NodeKind.TEXT:
+                self.output.append_child(out_parent, NodeKind.TEXT, node.label)
+            elif node.kind is NodeKind.ATTRIBUTE:
+                self._emit_attribute(out_parent, node.label, node.value)
+            else:  # pragma: no cover - comments/PIs
+                pass
+            return
+        if isinstance(instruction, ElementNamed):
+            fresh = self.output.append_child(
+                out_parent, NodeKind.ELEMENT, instruction.name
+            )
+            self.run_body(instruction.body, context, fresh)
+            return
+        if isinstance(instruction, AttributeNamed):
+            self._emit_attribute(
+                out_parent, instruction.name, instruction.value
+            )
+            return
+        if isinstance(instruction, TextLiteral):
+            if instruction.value:
+                self.output.append_child(
+                    out_parent, NodeKind.TEXT, instruction.value
+                )
+            return
+        if isinstance(instruction, ValueOf):
+            value = self.engine.evaluate(
+                self.source, instruction.select, context_node=context
+            )
+            from ..xpath.values import to_string
+
+            text = to_string(value, self.source)
+            if text:
+                self.output.append_child(out_parent, NodeKind.TEXT, text)
+            return
+        raise XSLTError(f"unknown instruction {instruction!r}")
+
+
+def apply_stylesheet(
+    stylesheet: Stylesheet,
+    source: XMLDocument,
+    engine: Optional[XPathEngine] = None,
+) -> XMLDocument:
+    """Transform ``source`` by ``stylesheet``; returns a new document.
+
+    Args:
+        stylesheet: the template rules.
+        source: input document (never mutated).
+        engine: XPath engine for select/match expressions (a strict
+            default engine if omitted).
+    """
+    transformer = _Transformer(stylesheet, source, engine)
+    transformer.process(DOCUMENT_ID, DOCUMENT_ID)
+    return transformer.output

@@ -1,0 +1,147 @@
+"""The XSLT-based security processor (the paper's conclusion, realized).
+
+The paper's conclusion: "We are also currently implementing an
+XSLT-based [5] security processor based on our model, on top of a
+native XML database".  This module is that processor:
+:func:`view_stylesheet` compiles a user's derived permissions into a
+stylesheet which, applied to the *source* document, produces exactly
+the authorized view of axioms 15-17:
+
+- invisible subtree roots get an **empty template** (highest priority):
+  processing them emits nothing, pruning the subtree;
+- RESTRICTED nodes get a **rewriting template**: elements re-emit as
+  ``<RESTRICTED>`` with templates applied to their content, text nodes
+  emit the literal ``RESTRICTED``, attributes emit
+  ``RESTRICTED="RESTRICTED"``;
+- everything else falls to a low-priority **copy-through template**.
+
+Per-node match patterns are positional absolute paths
+(``/node()[1]/node()[2]``), which identify nodes uniquely regardless of
+labels -- labels are exactly what the stylesheet may be rewriting.
+
+The equivalence stylesheet(source) == materialized view is verified in
+``tests/xslt/test_security_processor.py`` on the paper's example and on
+random document/policy pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..security.lazy import LazyView
+from ..security.perm import PermissionResolver, PermissionTable
+from ..security.policy import Policy
+from ..security.privileges import Privilege
+from ..security.view import View, ViewBuilder
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from ..xmltree.node import NodeKind, RESTRICTED
+from .ast import (
+    ApplyTemplates,
+    AttributeNamed,
+    Copy,
+    ElementNamed,
+    Stylesheet,
+    TemplateRule,
+    TextLiteral,
+)
+
+__all__ = ["view_stylesheet", "match_path"]
+
+#: Template priorities: prune > rewrite > copy-through.
+_PRUNE_PRIORITY = 2.0
+_RESTRICT_PRIORITY = 1.0
+_COPY_PRIORITY = -1.0
+
+
+def match_path(doc: XMLDocument, nid: NodeId) -> str:
+    """A label-independent absolute pattern uniquely matching ``nid``.
+
+    Steps are positional ``node()[i]`` tests over the child axis;
+    attributes terminate with an ``@*[i]`` step.  Because the pattern
+    never mentions labels, it stays valid while the stylesheet rewrites
+    them.
+    """
+    steps: List[str] = []
+    current = nid
+    while not current.is_document:
+        parent = current.parent()
+        node = doc.node(current)
+        if node.kind is NodeKind.ATTRIBUTE:
+            position = doc.attributes(parent).index(current) + 1
+            steps.append(f"@*[{position}]")
+        else:
+            position = doc.children(parent).index(current) + 1
+            steps.append(f"node()[{position}]")
+        current = parent
+    return "/" + "/".join(reversed(steps))
+
+
+def view_stylesheet(
+    subject: Union[View, LazyView, PermissionTable],
+    doc: Optional[XMLDocument] = None,
+) -> Stylesheet:
+    """Compile a view (or a permission table + document) into XSLT.
+
+    Args:
+        subject: a derived :class:`View`/:class:`LazyView`, or a bare
+            :class:`PermissionTable` (then ``doc`` is required).
+        doc: the source document when ``subject`` is a permission table.
+
+    Returns:
+        A stylesheet whose application to the source document yields
+        the user's authorized view.
+    """
+    if isinstance(subject, (View, LazyView)):
+        permissions = subject.permissions
+        source = subject.source
+    else:
+        permissions = subject
+        if doc is None:
+            raise ValueError("a document is required with a PermissionTable")
+        source = doc
+
+    readable = permissions.nodes_with(Privilege.READ)
+    positioned = permissions.nodes_with(Privilege.POSITION)
+
+    templates: List[TemplateRule] = [
+        # Copy-through default for everything the specific templates
+        # do not override.
+        TemplateRule("//node() | //@*", (Copy(),), _COPY_PRIORITY),
+    ]
+
+    stack: List[NodeId] = [DOCUMENT_ID]
+    while stack:
+        parent = stack.pop()
+        children = list(source.children(parent))
+        if source.kind(parent) is NodeKind.ELEMENT:
+            children = source.attributes(parent) + children
+        for child in children:
+            if child in readable:
+                stack.append(child)
+                continue
+            pattern = match_path(source, child)
+            if child in positioned:
+                templates.append(_restrict_template(source, child, pattern))
+                stack.append(child)
+            else:
+                # Invisible: an empty template prunes the whole subtree.
+                templates.append(
+                    TemplateRule(pattern, (), _PRUNE_PRIORITY)
+                )
+    return Stylesheet(tuple(templates))
+
+
+def _restrict_template(
+    source: XMLDocument, nid: NodeId, pattern: str
+) -> TemplateRule:
+    kind = source.kind(nid)
+    if kind is NodeKind.ELEMENT:
+        body = (ElementNamed(RESTRICTED, (ApplyTemplates(),)),)
+    elif kind is NodeKind.TEXT:
+        body = (TextLiteral(RESTRICTED),)
+    elif kind is NodeKind.ATTRIBUTE:
+        body = (AttributeNamed(RESTRICTED, RESTRICTED),)
+    else:  # pragma: no cover - comments/PIs are never RESTRICTED
+        body = ()
+    return TemplateRule(pattern, body, _RESTRICT_PRIORITY)

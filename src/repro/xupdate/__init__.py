@@ -1,0 +1,35 @@
+"""XUpdate: the paper's modification language (section 3.4).
+
+Operation descriptions, the XML-syntax parser, and the unsecured
+executor implementing formulae (2)-(9).  The access-controlled
+semantics (axioms 18-25) live in :mod:`repro.security.write`.
+"""
+
+from .executor import UpdateResult, XUpdateError, XUpdateExecutor
+from .operations import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    UpdateScript,
+    XUpdateOperation,
+)
+from .parser import XUpdateParseError, parse_xupdate
+
+__all__ = [
+    "Append",
+    "InsertAfter",
+    "InsertBefore",
+    "Remove",
+    "Rename",
+    "UpdateContent",
+    "UpdateResult",
+    "UpdateScript",
+    "XUpdateError",
+    "XUpdateExecutor",
+    "XUpdateOperation",
+    "XUpdateParseError",
+    "parse_xupdate",
+]

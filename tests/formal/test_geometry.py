@@ -1,0 +1,88 @@
+"""The Datalog geometry theory agrees with the document's accessors."""
+
+from hypothesis import given, settings
+
+from repro.formal import document_theory
+from repro.logic import DatalogEngine, Var
+from repro.xmltree import parse_xml
+
+from tests.strategies import documents
+
+
+def engine_for(doc):
+    return DatalogEngine(document_theory(doc))
+
+
+class TestFixedDocument:
+    def setup_method(self):
+        self.doc = parse_xml(
+            "<patients><franck><service>oto</service></franck><robert/></patients>"
+        )
+        self.engine = engine_for(self.doc)
+
+    def test_node_facts_match(self):
+        derived = set(self.engine.query("node"))
+        assert derived == self.doc.facts()
+
+    def test_child_facts_match(self):
+        derived = set(self.engine.query("child"))
+        assert derived == self.doc.child_facts()
+
+    def test_parent_is_converse_of_child(self):
+        children = set(self.engine.query("child"))
+        parents = set(self.engine.query("parent"))
+        assert parents == {(y, x) for (x, y) in children}
+
+    def test_descendant_example_from_paper(self):
+        """child(n1,/), child(n2,n1), ... -> descendant closure."""
+        root = self.doc.root
+        franck = self.doc.children(root)[0]
+        service = self.doc.children(franck)[0]
+        assert self.engine.holds("descendant", service, root)
+        assert self.engine.holds("descendant", service, franck)
+        assert not self.engine.holds("descendant", root, service)
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_descendant_matches_document(doc):
+    engine = engine_for(doc)
+    derived = set(engine.query("descendant"))
+    expected = set()
+    for nid in doc.all_nodes():
+        for d in doc.descendants(nid):
+            expected.add((d, nid))
+    assert derived == expected
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_descendant_or_self_matches(doc):
+    engine = engine_for(doc)
+    derived = set(engine.query("descendant_or_self"))
+    expected = set()
+    for nid in doc.all_nodes():
+        for d in doc.descendants_or_self(nid):
+            expected.add((d, nid))
+    assert derived == expected
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_following_sibling_matches(doc):
+    engine = engine_for(doc)
+    derived = set(engine.query("following_sibling"))
+    expected = set()
+    for nid in doc.all_nodes():
+        for f in doc.following_siblings(nid):
+            expected.add((f, nid))
+    assert derived == expected
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_ancestor_is_converse_of_descendant(doc):
+    engine = engine_for(doc)
+    descendant = set(engine.query("descendant"))
+    ancestor = set(engine.query("ancestor"))
+    assert ancestor == {(y, x) for (x, y) in descendant}

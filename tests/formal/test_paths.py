@@ -1,0 +1,112 @@
+"""The XPath->Datalog compiler agrees with the procedural engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal import PathCompiler, UnsupportedPathError, document_theory
+from repro.logic import DatalogEngine
+from repro.xmltree import parse_xml
+from repro.xpath import XPathEngine
+
+from tests.strategies import RULE_PATHS, documents
+
+PROCEDURAL = XPathEngine(lone_variable_name_test=True, star_matches_text=True)
+
+
+def formal_select(doc, path, user=None):
+    program = document_theory(doc)
+    compiler = PathCompiler(program)
+    predicate = compiler.compile(path, user=user)
+    engine = DatalogEngine(program)
+    return {nid for (nid,) in engine.query(predicate)}
+
+
+class TestFixedPaths:
+    def setup_method(self):
+        self.doc = parse_xml(
+            "<patients><franck><service>oto</service>"
+            "<diagnosis>flu</diagnosis></franck>"
+            "<robert><diagnosis>cold</diagnosis></robert></patients>"
+        )
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/patients",
+            "/patients/*",
+            "//*",
+            "//diagnosis",
+            "//diagnosis/*",
+            "//text()",
+            "//node()",
+            "/patients/franck/diagnosis",
+            "/patients/descendant-or-self::*",
+            "//*[name()='robert']",
+        ],
+    )
+    def test_matches_procedural(self, path):
+        formal = formal_select(self.doc, path)
+        procedural = set(PROCEDURAL.select(self.doc, path))
+        assert formal == procedural, path
+
+    def test_user_variable(self):
+        formal = formal_select(
+            self.doc, "/patients/*[$USER]/descendant-or-self::*", user="robert"
+        )
+        procedural = set(
+            PROCEDURAL.select(
+                self.doc,
+                "/patients/*[$USER]/descendant-or-self::*",
+                variables={"USER": "robert"},
+            )
+        )
+        assert formal == procedural
+        assert len(formal) == 3  # robert, diagnosis, text
+
+    def test_parent_axis(self):
+        formal = formal_select(self.doc, "//diagnosis/..")
+        procedural = set(PROCEDURAL.select(self.doc, "//diagnosis/.."))
+        assert formal == procedural
+
+    def test_self_axis(self):
+        formal = formal_select(self.doc, "//franck/self::node()")
+        procedural = set(PROCEDURAL.select(self.doc, "//franck/self::node()"))
+        assert formal == procedural
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "relative/path",
+            "//a[1]",
+            "//a[@id='1']",
+            "//a | //b",
+            "count(//a)",
+            "//a/following-sibling::b",
+            "//a[$OTHER]",
+        ],
+    )
+    def test_rejected_with_clear_error(self, path):
+        doc = parse_xml("<r/>")
+        program = document_theory(doc)
+        with pytest.raises(UnsupportedPathError):
+            PathCompiler(program).compile(path, user="u")
+
+    def test_user_path_without_user_binding(self):
+        doc = parse_xml("<r/>")
+        program = document_theory(doc)
+        with pytest.raises(UnsupportedPathError):
+            PathCompiler(program).compile("/r/*[$USER]", user=None)
+
+
+@given(documents(), st.sampled_from(RULE_PATHS))
+@settings(max_examples=120, deadline=None)
+def test_differential_on_random_documents(doc, path):
+    """For every compilable path: formal selection == procedural."""
+    formal = formal_select(doc, path, user="u1")
+    procedural = set(
+        PROCEDURAL.select(doc, path, variables={"USER": "u1"})
+    )
+    assert formal == procedural

@@ -1,0 +1,136 @@
+"""Integration tests across the beyond-the-paper layers: lazy sessions,
+XSLT processor after updates, storage + delegation + sessions."""
+
+import pytest
+
+from repro.core import hospital_database
+from repro.security import SecureCollection
+from repro.storage import dump_database, load_database
+from repro.xmltree import element, serialize, text
+from repro.xslt import apply_stylesheet, view_stylesheet
+from repro.xupdate import Append, Remove, Rename, UpdateContent
+
+
+class TestLazyWorkflow:
+    """The full hospital workflow through lazily-enforced sessions."""
+
+    def test_end_to_end_lazy(self):
+        db = hospital_database()
+        secretary = db.login("beaufort", enforcement="lazy")
+        doctor = db.login("laporte", enforcement="lazy")
+
+        secretary.execute(
+            Append("/patients", element("albert", element("diagnosis"))),
+            strict=True,
+        )
+        doctor.execute(
+            Append("/patients/albert/diagnosis", text("angina")), strict=True
+        )
+        doctor.execute(
+            UpdateContent("/patients/albert/diagnosis", "pericarditis"),
+            strict=True,
+        )
+        tree = secretary.read_tree()
+        assert "/albert" in tree
+        assert "pericarditis" not in tree
+        assert "RESTRICTED" in tree
+
+    def test_lazy_and_materialized_sessions_interleave(self):
+        db = hospital_database()
+        lazy = db.login("laporte", enforcement="lazy")
+        materialized = db.login("beaufort")
+        lazy.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        # The materialized session picks up the lazy session's commit.
+        assert "RESTRICTED" in materialized.read_tree()
+        materialized.execute(Rename("/patients/franck", "francois"))
+        assert "francois" in lazy.read_tree()
+
+    def test_lazy_script_execution(self):
+        db = hospital_database()
+        doctor = db.login("laporte", enforcement="lazy")
+        result = doctor.execute(
+            '<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">'
+            '<xupdate:update select="/patients/franck/diagnosis">a</xupdate:update>'
+            '<xupdate:update select="/patients/robert/diagnosis">b</xupdate:update>'
+            "</xupdate:modifications>"
+        )
+        assert len(result.affected) == 2
+
+
+class TestXsltAfterUpdates:
+    def test_stylesheet_recompiles_against_new_state(self):
+        db = hospital_database()
+        db.login("beaufort").execute(
+            Append("/patients", element("albert", element("diagnosis"))),
+            strict=True,
+        )
+        view = db.build_view("beaufort")
+        output = apply_stylesheet(view_stylesheet(view), db.document)
+        assert serialize(output) == serialize(view.doc)
+
+    def test_stale_stylesheet_is_not_silently_wrong(self):
+        """A stylesheet compiled before an update may mis-render the new
+        state -- recompile per state; this guards the documentation."""
+        db = hospital_database()
+        old_view = db.build_view("beaufort")
+        old_sheet = view_stylesheet(old_view)
+        db.login("laporte").execute(
+            Remove("/patients/franck/diagnosis/text()"), strict=True
+        )
+        fresh_view = db.build_view("beaufort")
+        fresh_sheet = view_stylesheet(fresh_view)
+        fresh_out = apply_stylesheet(fresh_sheet, db.document)
+        assert serialize(fresh_out) == serialize(fresh_view.doc)
+        # The stale sheet still runs without crashing, but only the
+        # freshly compiled one is guaranteed to match the current view.
+        apply_stylesheet(old_sheet, db.document)
+
+
+class TestStoragePlusSessions:
+    def test_full_cycle_save_reload_work(self):
+        db = hospital_database()
+        db.login("laporte").execute(
+            UpdateContent("/patients/franck/diagnosis", "pharyngitis"),
+            strict=True,
+        )
+        reloaded = load_database(dump_database(db))
+        # Reloaded database keeps the updated content and the policy.
+        assert "pharyngitis" in reloaded.login("laporte").read_xml()
+        assert "RESTRICTED" in reloaded.login("beaufort").read_tree()
+        # And writes keep working.
+        result = reloaded.login("laporte").execute(
+            UpdateContent("/patients/franck/diagnosis", "cured"), strict=True
+        )
+        assert result.fully_applied
+
+
+class TestCollectionIntegration:
+    def test_paper_policy_in_a_collection(self):
+        from repro.core import MEDICAL_XML, PAPER_POLICY_RULES
+
+        collection = SecureCollection()
+        subjects = collection.subjects
+        subjects.add_role("staff")
+        subjects.add_role("secretary", member_of="staff")
+        subjects.add_role("doctor", member_of="staff")
+        subjects.add_role("epidemiologist", member_of="staff")
+        subjects.add_role("patient")
+        subjects.add_user("beaufort", member_of="secretary")
+        subjects.add_user("laporte", member_of="doctor")
+        for effect, privilege, path, subject in PAPER_POLICY_RULES:
+            if effect == "accept":
+                collection.policy.grant(privilege, path, subject)
+            else:
+                collection.policy.deny(privilege, path, subject)
+        collection.add_document("site-a", MEDICAL_XML)
+        collection.add_document("site-b", MEDICAL_XML)
+
+        session = collection.login("beaufort")
+        for name in ("site-a", "site-b"):
+            assert "RESTRICTED" in session.read_xml(name)
+        # A write at site-a leaves site-b untouched.
+        session.execute(
+            "site-a", Rename("/patients/franck", "francois"), strict=True
+        )
+        assert "francois" in session.read_xml("site-a")
+        assert "francois" not in session.read_xml("site-b")

@@ -1,0 +1,122 @@
+"""Multi-session workflow and cross-scheme consistency tests."""
+
+import pytest
+
+from repro.core import hospital_database
+from repro.security import AccessDenied
+from repro.xmltree import (
+    LSDXScheme,
+    PersistentDeweyScheme,
+    RenumberingScheme,
+    element,
+    serialize,
+    text,
+)
+from repro.xupdate import Append, Remove, Rename, UpdateContent
+
+
+class TestAdmissionWorkflow:
+    """The full hospital day of examples/hospital_workflow.py."""
+
+    def test_end_to_end(self):
+        db = hospital_database()
+        secretary = db.login("beaufort")
+        doctor = db.login("laporte")
+
+        # Admission.
+        secretary.execute(
+            Append(
+                "/patients",
+                element("albert", element("service", "cardiology"),
+                        element("diagnosis")),
+            ),
+            strict=True,
+        )
+        # Name fix.
+        secretary.execute(Rename("/patients/albert", "adalbert"), strict=True)
+        # Diagnosis posed by the doctor.
+        doctor.execute(
+            Append("/patients/adalbert/diagnosis", text("angina")),
+            strict=True,
+        )
+        # Revised.
+        doctor.execute(
+            UpdateContent("/patients/adalbert/diagnosis", "pericarditis"),
+            strict=True,
+        )
+        # The secretary sees the new record but not its content.
+        tree = secretary.read_tree()
+        assert "/adalbert" in tree
+        assert "pericarditis" not in tree
+        assert "RESTRICTED" in tree
+        # The doctor sees everything.
+        assert "pericarditis" in doctor.read_tree()
+        # Retraction.
+        doctor.execute(
+            Remove("/patients/adalbert/diagnosis/text()"), strict=True
+        )
+        assert "pericarditis" not in doctor.read_tree()
+
+    def test_denied_step_raises_and_commits_nothing(self):
+        db = hospital_database()
+        secretary = db.login("beaufort")
+        with pytest.raises(AccessDenied):
+            secretary.execute(
+                UpdateContent("/patients/franck/diagnosis", "x"),
+                strict=True,
+            )
+        assert db.version == 0
+
+
+class TestNumberingSchemeIndependence:
+    """The model's behaviour is identical under all three schemes."""
+
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [PersistentDeweyScheme, LSDXScheme, RenumberingScheme],
+        ids=["dewey", "lsdx", "renumbering"],
+    )
+    def test_views_and_writes_agree(self, scheme_factory):
+        db = hospital_database(scheme=scheme_factory())
+        secretary = db.login("beaufort")
+        assert "RESTRICTED" in secretary.read_tree()
+        secretary.execute(
+            Append("/patients", element("albert", element("diagnosis"))),
+            strict=True,
+        )
+        doctor = db.login("laporte")
+        doctor.execute(
+            Append("/patients/albert/diagnosis", text("angina")),
+            strict=True,
+        )
+        out = serialize(db.document)
+        assert "<albert><diagnosis>angina</diagnosis></albert>" in out
+
+    def test_serialized_views_identical_across_schemes(self):
+        outputs = set()
+        for factory in (PersistentDeweyScheme, LSDXScheme, RenumberingScheme):
+            db = hospital_database(scheme=factory())
+            outputs.add(db.login("richard").read_xml())
+        assert len(outputs) == 1
+
+
+class TestConcurrentSessions:
+    def test_two_sessions_interleave(self):
+        db = hospital_database()
+        doctor = db.login("laporte")
+        secretary = db.login("beaufort")
+        doctor.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        secretary.execute(Rename("/patients/franck", "francois"))
+        doctor_view = doctor.read_xml()
+        assert "<francois>" in doctor_view
+        assert "flu" in doctor_view
+
+    def test_stale_view_refreshes_on_next_access(self):
+        db = hospital_database()
+        secretary = db.login("beaufort")
+        first = secretary.view()
+        db.login("laporte").execute(
+            UpdateContent("/patients/franck/diagnosis", "flu")
+        )
+        second = secretary.view()
+        assert first is not second

@@ -1,0 +1,230 @@
+"""Datalog evaluation: fixpoints, negation, comparisons, queries."""
+
+import pytest
+
+from repro.logic import DatalogEngine, Program, Var, atom, cmp, neg, pos
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+def engine_with(setup):
+    p = Program()
+    setup(p)
+    return DatalogEngine(p)
+
+
+class TestBasicInference:
+    def test_facts_are_derivable(self):
+        e = engine_with(lambda p: p.fact("a", 1))
+        assert e.holds("a", 1)
+        assert not e.holds("a", 2)
+
+    def test_simple_rule(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.rule(atom("r", Y, X), pos("e", X, Y))
+
+        e = engine_with(setup)
+        assert e.holds("r", 2, 1)
+
+    def test_join_two_literals(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.fact("e", 2, 3)
+            p.rule(atom("two", X, Z), pos("e", X, Y), pos("e", Y, Z))
+
+        e = engine_with(setup)
+        assert e.query("two") == [(1, 3)]
+
+    def test_constants_in_rule_body(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.fact("e", 5, 2)
+            p.rule(atom("to_two", X), pos("e", X, 2))
+
+        e = engine_with(setup)
+        assert sorted(e.query("to_two")) == [(1,), (5,)]
+
+    def test_repeated_variable_forces_equality(self):
+        def setup(p):
+            p.fact("e", 1, 1)
+            p.fact("e", 1, 2)
+            p.rule(atom("loop", X), pos("e", X, X))
+
+        e = engine_with(setup)
+        assert e.query("loop") == [(1,)]
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        def setup(p):
+            for a, b in [(1, 2), (2, 3), (3, 4), (7, 8)]:
+                p.fact("e", a, b)
+            p.rule(atom("t", X, Y), pos("e", X, Y))
+            p.rule(atom("t", X, Z), pos("t", X, Y), pos("e", Y, Z))
+
+        e = engine_with(setup)
+        assert set(e.query("t")) == {
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (7, 8),
+        }
+
+    def test_closure_matches_networkx(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(7)
+        # Edges point upward only (a DAG): nx.descendants excludes the
+        # source even on cycles, while Datalog correctly derives t(u,u)
+        # for cyclic u, so the oracle comparison is meaningful on DAGs.
+        edges = set()
+        while len(edges) < 30:
+            a, b = rng.randint(0, 15), rng.randint(0, 15)
+            if a < b:
+                edges.add((a, b))
+
+        def setup(p):
+            for a, b in edges:
+                p.fact("e", a, b)
+            p.rule(atom("t", X, Y), pos("e", X, Y))
+            p.rule(atom("t", X, Z), pos("t", X, Y), pos("e", Y, Z))
+
+        e = engine_with(setup)
+        graph = nx.DiGraph(edges)
+        expected = {
+            (u, v)
+            for u in graph
+            for v in nx.descendants(graph, u)
+        }
+        assert set(e.query("t")) == expected
+
+    def test_mutual_recursion(self):
+        def setup(p):
+            p.fact("n", 0)
+            for i in range(6):
+                p.fact("succ", i, i + 1)
+            p.rule(atom("even", 0))
+            p.rule(atom("odd", Y), pos("even", X), pos("succ", X, Y))
+            p.rule(atom("even", Y), pos("odd", X), pos("succ", X, Y))
+
+        e = engine_with(setup)
+        assert {x for (x,) in e.query("even")} == {0, 2, 4, 6}
+        assert {x for (x,) in e.query("odd")} == {1, 3, 5}
+
+
+class TestNegation:
+    def test_negation_over_lower_stratum(self):
+        def setup(p):
+            for i in (1, 2, 3):
+                p.fact("n", i)
+            p.fact("bad", 2)
+            p.rule(atom("good", X), pos("n", X), neg("bad", X))
+
+        e = engine_with(setup)
+        assert {x for (x,) in e.query("good")} == {1, 3}
+
+    def test_existential_negation(self):
+        def setup(p):
+            p.fact("person", "a")
+            p.fact("person", "b")
+            p.fact("owns", "a", "car")
+            p.rule(atom("carless", X), pos("person", X), neg("owns", X, Y))
+
+        e = engine_with(setup)
+        assert e.query("carless") == [("b",)]
+
+    def test_negation_of_underived_predicate(self):
+        def setup(p):
+            p.fact("n", 1)
+            p.rule(atom("q", X), pos("n", X), neg("never", X))
+
+        e = engine_with(setup)
+        assert e.holds("q", 1)
+
+
+class TestComparisons:
+    def test_comparison_filters_bindings(self):
+        def setup(p):
+            for i in range(5):
+                p.fact("n", i)
+            p.rule(atom("big", X), pos("n", X), cmp(">", X, 2))
+
+        e = engine_with(setup)
+        assert {x for (x,) in e.query("big")} == {3, 4}
+
+    def test_comparison_between_variables(self):
+        def setup(p):
+            p.fact("pair", 1, 5)
+            p.fact("pair", 5, 1)
+            p.rule(atom("inc", X, Y), pos("pair", X, Y), cmp("<", X, Y))
+
+        e = engine_with(setup)
+        assert e.query("inc") == [(1, 5)]
+
+    def test_comparison_scheduled_after_binding(self):
+        """Body order comparison-first must still work (the planner
+        defers it until its variables are bound)."""
+        p = Program()
+        p.fact("n", 1)
+        p.fact("n", 5)
+        from repro.logic import Rule
+
+        rule = Rule(atom("big", X), (cmp(">", X, 2), pos("n", X)))
+        p.add_rule(rule)
+        e = DatalogEngine(p)
+        assert e.query("big") == [(5,)]
+
+
+class TestQueryApi:
+    def test_query_with_pattern(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.fact("e", 1, 3)
+            p.fact("e", 2, 3)
+
+        e = engine_with(setup)
+        assert sorted(e.query("e", 1, Var("_"))) == [(1, 2), (1, 3)]
+        assert e.query("e", Var("_"), 3) == [(1, 3), (2, 3)]
+
+    def test_query_unknown_predicate(self):
+        e = engine_with(lambda p: None)
+        assert e.query("nothing") == []
+
+    def test_solve_is_idempotent(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.rule(atom("t", X, Y), pos("e", X, Y))
+
+        e = engine_with(setup)
+        first = e.solve()
+        second = e.solve()
+        assert first == second
+
+    def test_solve_returns_all_relations(self):
+        def setup(p):
+            p.fact("e", 1, 2)
+            p.rule(atom("t", X, Y), pos("e", X, Y))
+
+        result = engine_with(setup).solve()
+        assert result["e"] == {(1, 2)}
+        assert result["t"] == {(1, 2)}
+
+
+class TestScale:
+    def test_long_chain_closure(self):
+        """Semi-naive evaluation handles a 300-node chain quickly."""
+
+        def setup(p):
+            for i in range(300):
+                p.fact("e", i, i + 1)
+            p.rule(atom("t", X, Y), pos("e", X, Y))
+            p.rule(atom("t", X, Z), pos("t", X, Y), pos("e", Y, Z))
+
+        e = engine_with(setup)
+        assert e.holds("t", 0, 300)
+        assert len(e.query("t")) == 300 * 301 // 2

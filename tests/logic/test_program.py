@@ -1,0 +1,90 @@
+"""Program container and stratification."""
+
+import pytest
+
+from repro.logic import Program, StratificationError, Var, atom, neg, pos
+
+X, Y = Var("X"), Var("Y")
+
+
+class TestFacts:
+    def test_fact_storage(self):
+        p = Program()
+        p.fact("edge", 1, 2)
+        p.fact("edge", 2, 3)
+        assert p.facts_for("edge") == {(1, 2), (2, 3)}
+
+    def test_duplicate_facts_deduped(self):
+        p = Program()
+        p.fact("a", 1)
+        p.fact("a", 1)
+        assert len(p.facts_for("a")) == 1
+
+    def test_non_ground_fact_rejected(self):
+        p = Program()
+        with pytest.raises(ValueError):
+            p.fact("a", X)
+
+    def test_unknown_predicate_has_no_facts(self):
+        assert Program().facts_for("nope") == set()
+
+
+class TestRules:
+    def test_unsafe_rule_rejected_at_insertion(self):
+        p = Program()
+        with pytest.raises(ValueError):
+            p.rule(atom("q", X, Y), pos("p", X))
+
+    def test_predicates_collects_all(self):
+        p = Program()
+        p.fact("e", 1)
+        p.rule(atom("q", X), pos("e", X), neg("r", X))
+        assert p.predicates() == {"e", "q", "r"}
+        assert p.idb_predicates() == {"q"}
+
+    def test_extend_merges(self):
+        a, b = Program(), Program()
+        a.fact("p", 1)
+        b.fact("p", 2)
+        b.rule(atom("q", X), pos("p", X))
+        a.extend(b)
+        assert a.facts_for("p") == {(1,), (2,)}
+        assert len(a.rules) == 1
+
+
+class TestStratification:
+    def test_positive_recursion_single_stratum(self):
+        p = Program()
+        p.rule(atom("t", X, Y), pos("e", X, Y))
+        p.rule(atom("t", X, Y), pos("t", X, Y))
+        strata = p.stratify()
+        assert len(strata) == 1
+
+    def test_negation_forces_higher_stratum(self):
+        p = Program()
+        p.rule(atom("q", X), pos("e", X))
+        p.rule(atom("r", X), pos("e", X), neg("q", X))
+        strata = p.stratify()
+        assert len(strata) == 2
+        assert strata[0][0].head.predicate == "q"
+        assert strata[1][0].head.predicate == "r"
+
+    def test_negative_cycle_rejected(self):
+        p = Program()
+        p.rule(atom("a", X), pos("e", X), neg("b", X))
+        p.rule(atom("b", X), pos("e", X), neg("a", X))
+        with pytest.raises(StratificationError):
+            p.stratify()
+
+    def test_self_negation_rejected(self):
+        p = Program()
+        p.rule(atom("a", X), pos("e", X), neg("a", X))
+        with pytest.raises(StratificationError):
+            p.stratify()
+
+    def test_long_chain_stratifies(self):
+        p = Program()
+        p.rule(atom("s1", X), pos("e", X))
+        for i in range(1, 6):
+            p.rule(atom(f"s{i + 1}", X), pos("e", X), neg(f"s{i}", X))
+        assert len(p.stratify()) == 6

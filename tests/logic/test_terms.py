@@ -1,0 +1,79 @@
+"""Terms, rules, and the safety checker."""
+
+import pytest
+
+from repro.logic import Atom, Comparison, Rule, Var, atom, cmp, neg, pos
+
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+class TestAtoms:
+    def test_ground_detection(self):
+        assert atom("p", 1, "a").is_ground()
+        assert not atom("p", X).is_ground()
+
+    def test_variables(self):
+        assert atom("p", X, 1, Y).variables() == {"X", "Y"}
+
+    def test_substitute(self):
+        ground = atom("p", X, Y).substitute({"X": 1, "Y": 2})
+        assert ground == atom("p", 1, 2)
+
+    def test_partial_substitute_keeps_variables(self):
+        partial = atom("p", X, Y).substitute({"X": 1})
+        assert partial == atom("p", 1, Y)
+
+    def test_atoms_hashable(self):
+        assert len({atom("p", 1), atom("p", 1)}) == 1
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        binding = {"X": 3, "Y": 5}
+        assert cmp("<", X, Y).holds(binding)
+        assert cmp("<=", X, X).holds(binding)
+        assert cmp(">", Y, X).holds(binding)
+        assert cmp(">=", Y, Y).holds(binding)
+        assert cmp("==", X, 3).holds(binding)
+        assert cmp("!=", X, Y).holds(binding)
+
+    def test_constants_on_both_sides(self):
+        assert cmp("<", 1, 2).holds({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            cmp("~~", X, Y)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            cmp("<", X, 1).holds({})
+
+
+class TestRuleSafety:
+    def test_safe_rule_passes(self):
+        Rule(atom("q", X), (pos("p", X),)).check_safety()
+
+    def test_head_variable_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Rule(atom("q", X, Y), (pos("p", X),)).check_safety()
+
+    def test_comparison_variables_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Rule(atom("q", X), (pos("p", X), cmp("<", Y, 1))).check_safety()
+
+    def test_negation_with_bound_variables_is_safe(self):
+        Rule(atom("q", X), (pos("p", X), neg("r", X))).check_safety()
+
+    def test_negation_with_local_existential_is_safe(self):
+        # Y occurs only inside the negated literal: not exists Y. r(X, Y).
+        Rule(atom("q", X), (pos("p", X), neg("r", X, Y))).check_safety()
+
+    def test_negation_variable_shared_but_unbound_is_unsafe(self):
+        # Y appears in the head but is only "bound" by a negation.
+        with pytest.raises(ValueError):
+            Rule(atom("q", X, Y), (pos("p", X), neg("r", X, Y))).check_safety()
+
+    def test_fact_rule_with_variables_is_unsafe(self):
+        with pytest.raises(ValueError):
+            Rule(atom("q", X), ()).check_safety()

@@ -1,0 +1,60 @@
+"""Audit log behaviour."""
+
+import pytest
+
+from repro.security import AuditLog, Privilege
+from repro.xmltree import DOCUMENT_ID
+from repro.xupdate import UpdateContent
+
+
+class TestAuditLog:
+    def test_records_are_sequenced(self):
+        log = AuditLog()
+        r1 = log.record("u", "Rename", "//a", DOCUMENT_ID, Privilege.UPDATE, True)
+        r2 = log.record("u", "Rename", "//a", DOCUMENT_ID, Privilege.UPDATE, False, "no")
+        assert r1.sequence < r2.sequence
+        assert len(log) == 2
+
+    def test_denials_filter(self):
+        log = AuditLog()
+        log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, False, "r")
+        assert len(log.denials()) == 1
+        assert not log.denials()[0].allowed
+
+    def test_for_user_filter(self):
+        log = AuditLog()
+        log.record("alice", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        log.record("bob", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        assert len(log.for_user("alice")) == 1
+
+    def test_clear(self):
+        log = AuditLog()
+        log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        log.clear()
+        assert len(log) == 0
+
+    def test_str_mentions_verdict(self):
+        log = AuditLog()
+        ok = log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        no = log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, False, "why")
+        assert "ALLOW" in str(ok)
+        assert "DENY" in str(no)
+        assert "why" in str(no)
+
+
+class TestDatabaseIntegration:
+    def test_database_writes_are_audited(self, db):
+        secretary = db.login("beaufort")
+        secretary.execute(UpdateContent("/patients/franck/diagnosis", "x"))
+        assert len(db.audit) > 0
+        denials = db.audit.denials()
+        assert denials
+        assert all(r.user == "beaufort" for r in denials)
+
+    def test_allowed_writes_recorded_too(self, db):
+        doctor = db.login("laporte")
+        doctor.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        allowed = [r for r in db.audit if r.allowed]
+        assert allowed
+        assert allowed[0].operation == "UpdateContent"

@@ -1,0 +1,151 @@
+"""Administration model: ownership, grant option, cascading revoke."""
+
+import pytest
+
+from repro.security import Policy, Privilege, SubjectHierarchy
+from repro.security.delegation import (
+    AdministeredPolicy,
+    DelegationError,
+    Grant,
+)
+from repro.security import SecureXMLDatabase
+from repro.xmltree import parse_xml
+
+
+@pytest.fixture
+def subjects():
+    h = SubjectHierarchy()
+    h.add_role("staff")
+    h.add_user("owner")
+    h.add_user("alice", member_of="staff")
+    h.add_user("bob", member_of="staff")
+    h.add_user("carol", member_of="staff")
+    return h
+
+
+@pytest.fixture
+def admin(subjects):
+    return AdministeredPolicy(subjects, owner="owner")
+
+
+class TestOwnership:
+    def test_owner_can_grant_anything(self, admin):
+        grant = admin.grant("owner", "read", "//*", "alice")
+        assert grant.grantor == "owner"
+        assert grant.authority is None
+        assert len(admin.policy) == 1
+
+    def test_owner_can_deny(self, admin):
+        admin.deny("owner", "read", "//secret", "staff")
+        assert list(admin.policy)[0].effect == "deny"
+
+    def test_unknown_owner_rejected(self, subjects):
+        with pytest.raises(DelegationError):
+            AdministeredPolicy(subjects, owner="ghost")
+
+    def test_non_owner_without_option_cannot_grant(self, admin):
+        admin.grant("owner", "read", "//*", "alice")  # no grant option
+        with pytest.raises(DelegationError):
+            admin.grant("alice", "read", "//*", "bob")
+
+
+class TestGrantOption:
+    def test_grantee_with_option_can_regrant(self, admin):
+        admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        grant = admin.grant("alice", "read", "//*", "bob")
+        assert grant.grantor == "alice"
+        assert grant.authority is not None
+
+    def test_option_is_pair_exact(self, admin):
+        """Holding //a does not authorize //a/b (conservative match)."""
+        admin.grant("owner", "read", "//a", "alice", grant_option=True)
+        with pytest.raises(DelegationError):
+            admin.grant("alice", "read", "//a/b", "bob")
+        with pytest.raises(DelegationError):
+            admin.grant("alice", "update", "//a", "bob")
+
+    def test_option_held_through_role(self, admin):
+        admin.grant("owner", "read", "//*", "staff", grant_option=True)
+        grant = admin.grant("bob", "read", "//*", "carol")
+        assert grant.grantor == "bob"
+
+    def test_delegation_chain(self, admin):
+        admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        admin.grant("alice", "read", "//*", "bob", grant_option=True)
+        grant = admin.grant("bob", "read", "//*", "carol")
+        chain = [g.grantor for g in admin.grants()]
+        assert chain == ["owner", "alice", "bob"]
+        assert grant.authority == admin.grants()[1].grant_id
+
+    def test_deny_requires_same_authority(self, admin):
+        admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        admin.deny("alice", "read", "//*", "bob")  # allowed
+        with pytest.raises(DelegationError):
+            admin.deny("bob", "read", "//*", "carol")
+
+
+class TestRevocation:
+    def test_grantor_can_revoke_own_grant(self, admin):
+        grant = admin.grant("owner", "read", "//*", "alice")
+        removed = admin.revoke("owner", grant.grant_id)
+        assert [g.grant_id for g in removed] == [grant.grant_id]
+        assert len(admin.policy) == 0
+
+    def test_stranger_cannot_revoke(self, admin):
+        grant = admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        regrant = admin.grant("alice", "read", "//*", "bob")
+        with pytest.raises(DelegationError):
+            admin.revoke("bob", grant.grant_id)
+        # But alice can revoke the grant she issued herself.
+        admin.revoke("alice", regrant.grant_id)
+
+    def test_owner_can_revoke_anything(self, admin):
+        admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        regrant = admin.grant("alice", "read", "//*", "bob")
+        removed = admin.revoke("owner", regrant.grant_id)
+        assert len(removed) == 1
+
+    def test_cascade_removes_dependent_grants(self, admin):
+        root = admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        admin.grant("alice", "read", "//*", "bob", grant_option=True)
+        admin.grant("bob", "read", "//*", "carol")
+        removed = admin.revoke("owner", root.grant_id)
+        assert len(removed) == 3
+        assert len(admin.policy) == 0
+        assert admin.grants() == []
+
+    def test_cascade_spares_independent_grants(self, admin):
+        root = admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        other = admin.grant("owner", "update", "//a", "bob")
+        admin.alice_regrant = admin.grant("alice", "read", "//*", "carol")
+        admin.revoke("owner", root.grant_id)
+        assert [g.grant_id for g in admin.grants()] == [other.grant_id]
+
+    def test_unknown_grant_rejected(self, admin):
+        with pytest.raises(DelegationError):
+            admin.revoke("owner", 999)
+
+
+class TestEndToEnd:
+    def test_delegated_rules_drive_views(self, subjects):
+        """Administered rules flow straight into view derivation."""
+        doc = parse_xml("<r><pub>p</pub><priv>s</priv></r>")
+        policy = Policy(subjects)
+        admin = AdministeredPolicy(subjects, "owner", policy)
+        db = SecureXMLDatabase(doc, subjects, policy)
+        admin.grant("owner", "read", "//node()", "alice", grant_option=True)
+        assert "<priv>s</priv>" in db.login("alice").read_xml()
+        # alice shares with bob, then her grant is revoked: bob's access
+        # falls with it (the cascade).
+        regrant = admin.grant("alice", "read", "//node()", "bob")
+        assert "<priv>s</priv>" in db.login("bob").read_xml()
+        admin.revoke("owner", admin.grants()[0].grant_id)
+        assert db.login("bob").read_xml() == ""
+        assert db.login("alice").read_xml() == ""
+
+    def test_grants_by_and_to(self, admin):
+        admin.grant("owner", "read", "//*", "alice", grant_option=True)
+        admin.grant("alice", "read", "//*", "bob")
+        assert len(admin.grants_by("alice")) == 1
+        assert len(admin.grants_to("bob")) == 1
+        assert admin.grants_to("nobody") == []

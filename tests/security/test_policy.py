@@ -1,0 +1,130 @@
+"""Policy store tests: priorities, validation, rule queries."""
+
+import pytest
+
+from repro.security import Policy, PolicyError, Privilege, SubjectHierarchy
+from repro.security.policy import SecurityRule
+
+
+@pytest.fixture
+def small_subjects():
+    h = SubjectHierarchy()
+    h.add_role("staff")
+    h.add_role("doctor", member_of="staff")
+    h.add_user("laporte", member_of="doctor")
+    h.add_user("outsider")
+    return h
+
+
+@pytest.fixture
+def small_policy(small_subjects):
+    return Policy(small_subjects)
+
+
+class TestInsertion:
+    def test_grant_returns_rule(self, small_policy):
+        rule = small_policy.grant("read", "//*", "staff")
+        assert rule.effect == "accept"
+        assert rule.privilege is Privilege.READ
+        assert rule.priority == 1
+
+    def test_priorities_strictly_increase(self, small_policy):
+        r1 = small_policy.grant("read", "//*", "staff")
+        r2 = small_policy.deny("read", "//a", "doctor")
+        r3 = small_policy.grant("position", "//a", "doctor")
+        assert r1.priority < r2.priority < r3.priority
+
+    def test_explicit_priorities_accepted(self, small_policy):
+        rule = small_policy.grant("read", "//*", "staff", priority=10)
+        assert rule.priority == 10
+
+    def test_auto_priority_continues_after_explicit(self, small_policy):
+        small_policy.grant("read", "//*", "staff", priority=100)
+        nxt = small_policy.grant("read", "//a", "doctor")
+        assert nxt.priority > 100
+
+    def test_duplicate_priority_rejected(self, small_policy):
+        small_policy.grant("read", "//*", "staff", priority=5)
+        with pytest.raises(PolicyError):
+            small_policy.deny("read", "//*", "doctor", priority=5)
+
+    def test_unknown_subject_rejected(self, small_policy):
+        with pytest.raises(PolicyError):
+            small_policy.grant("read", "//*", "ghost")
+
+    def test_invalid_path_rejected(self, small_policy):
+        with pytest.raises(PolicyError):
+            small_policy.grant("read", "//a[", "staff")
+
+    def test_invalid_privilege_rejected(self, small_policy):
+        with pytest.raises(ValueError):
+            small_policy.grant("fly", "//*", "staff")
+
+    def test_privilege_enum_accepted_directly(self, small_policy):
+        rule = small_policy.grant(Privilege.DELETE, "//*", "staff")
+        assert rule.privilege is Privilege.DELETE
+
+    def test_bad_effect_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityRule("maybe", Privilege.READ, "//*", "staff", 1)
+
+
+class TestQueries:
+    def test_iteration_in_priority_order(self, small_policy):
+        small_policy.grant("read", "//b", "staff", priority=7)
+        small_policy.grant("read", "//a", "staff", priority=3)
+        priorities = [r.priority for r in small_policy]
+        assert priorities == [3, 7]
+
+    def test_rules_for_uses_isa_closure(self, small_policy):
+        staff_rule = small_policy.grant("read", "//*", "staff")
+        doctor_rule = small_policy.grant("read", "//a", "doctor")
+        outsider_rule = small_policy.grant("read", "//b", "outsider")
+        applicable = small_policy.rules_for("laporte", Privilege.READ)
+        assert staff_rule in applicable
+        assert doctor_rule in applicable
+        assert outsider_rule not in applicable
+
+    def test_rules_for_filters_privilege(self, small_policy):
+        small_policy.grant("read", "//*", "staff")
+        write_rule = small_policy.grant("update", "//*", "staff")
+        applicable = small_policy.rules_for("laporte", Privilege.UPDATE)
+        assert applicable == [write_rule]
+
+    def test_facts_view(self, small_policy):
+        small_policy.grant("read", "//*", "staff", priority=10)
+        small_policy.deny("read", "//a", "doctor", priority=11)
+        assert list(small_policy.facts()) == [
+            ("accept", "read", "//*", "staff", 10),
+            ("deny", "read", "//a", "doctor", 11),
+        ]
+
+    def test_len(self, small_policy):
+        assert len(small_policy) == 0
+        small_policy.grant("read", "//*", "staff")
+        assert len(small_policy) == 1
+
+
+class TestRevocation:
+    def test_revoke_removes_rule(self, small_policy):
+        rule = small_policy.grant("read", "//*", "staff")
+        small_policy.revoke(rule)
+        assert len(small_policy) == 0
+
+    def test_revoke_unknown_rule_raises(self, small_policy):
+        ghost = SecurityRule("accept", Privilege.READ, "//*", "staff", 99)
+        with pytest.raises(PolicyError):
+            small_policy.revoke(ghost)
+
+
+class TestPrivilegeParsing:
+    @pytest.mark.parametrize("name", ["position", "read", "insert", "update", "delete"])
+    def test_all_five_privileges(self, name):
+        assert Privilege.parse(name).value == name
+
+    def test_case_insensitive(self):
+        assert Privilege.parse("READ") is Privilege.READ
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Privilege.parse("write")

@@ -1,0 +1,177 @@
+"""Property-based tests of the security model's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import (
+    Policy,
+    PermissionResolver,
+    Privilege,
+    SecureWriteExecutor,
+    ViewBuilder,
+)
+from repro.xmltree import RESTRICTED, NodeKind
+from repro.xupdate import Remove, Rename, UpdateContent
+
+from tests.strategies import (
+    RULE_PATHS,
+    build_policy,
+    build_subjects,
+    documents,
+    policy_rules,
+)
+
+BUILDER = ViewBuilder()
+RESOLVER = PermissionResolver()
+EXECUTOR = SecureWriteExecutor()
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=100, deadline=None)
+def test_view_is_subset_of_source(doc, rules):
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    view = BUILDER.build(doc, policy, "u2")
+    source_ids = set(doc.all_nodes())
+    for nid in view.doc.all_nodes():
+        assert nid in source_ids
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=100, deadline=None)
+def test_view_is_parent_closed(doc, rules):
+    """Axioms 16-17: a node is selected only if its parent is."""
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    view = BUILDER.build(doc, policy, "u2")
+    for nid in view.doc.all_nodes():
+        if not nid.is_document:
+            assert nid.parent() in view.doc
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=100, deadline=None)
+def test_restricted_iff_position_without_read(doc, rules):
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    view = BUILDER.build(doc, policy, "u2")
+    perms = view.permissions
+    for nid in view.doc.all_nodes():
+        if nid.is_document:
+            continue
+        if view.is_restricted(nid):
+            assert perms.holds(nid, Privilege.POSITION)
+            assert not perms.holds(nid, Privilege.READ)
+            assert view.doc.label(nid) == RESTRICTED
+        else:
+            assert perms.holds(nid, Privilege.READ)
+            assert view.doc.label(nid) == doc.label(nid)
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=100, deadline=None)
+def test_monotonicity_of_blanket_grant(doc, rules):
+    """Appending accept-read-everything at the end can only grow the
+    view (the final rule wins all read conflicts)."""
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    before = set(BUILDER.build(doc, policy, "u2").doc.all_nodes())
+    policy.grant("read", "//node()", "u2")
+    policy.grant("read", "//@*", "u2")
+    after = set(BUILDER.build(doc, policy, "u2").doc.all_nodes())
+    assert before <= after
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=100, deadline=None)
+def test_trailing_total_deny_empties_view(doc, rules):
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    policy.deny("read", "//node()", "u2")
+    policy.deny("position", "//node()", "u2")
+    policy.deny("read", "//@*", "u2")
+    policy.deny("position", "//@*", "u2")
+    view = BUILDER.build(doc, policy, "u2")
+    assert len(view.doc) == 1  # document node only (axiom 15)
+
+
+@given(
+    documents(),
+    policy_rules(),
+    st.sampled_from(RULE_PATHS),
+    st.sampled_from(["rename", "update", "remove"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_secure_writes_never_touch_invisible_labels(doc, rules, path, kind):
+    """Non-interference: a secure write by u2 never changes the label
+    of a node u2 cannot see -- except wholesale deletion of a visible
+    node's subtree (the paper's confidentiality-over-integrity choice
+    for remove)."""
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    view = BUILDER.build(doc, policy, "u2")
+    if kind == "rename":
+        op = Rename(path, "zzz")
+    elif kind == "update":
+        op = UpdateContent(path, "zzz")
+    else:
+        op = Remove(path)
+    result = EXECUTOR.apply(view, op)
+    new = result.document
+    visible = set(view.doc.all_nodes())
+    for nid in doc.all_nodes():
+        if nid in visible:
+            continue
+        if nid not in new:
+            # Only legal if an ancestor was visibly, permittedly removed.
+            assert isinstance(op, Remove)
+            assert any(anc in result.affected for anc in nid.ancestors())
+        else:
+            assert new.label(nid) == doc.label(nid)
+
+
+@given(documents(), policy_rules(), st.sampled_from(RULE_PATHS))
+@settings(max_examples=100, deadline=None)
+def test_denied_operations_leave_database_identical(doc, rules, path):
+    """If every target is denied, dbnew == db exactly."""
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    view = BUILDER.build(doc, policy, "u1")
+    result = EXECUTOR.apply(view, Rename(path, "zzz"))
+    if not result.affected:
+        assert result.document.facts() == doc.facts()
+
+
+@given(documents(), policy_rules())
+@settings(max_examples=60, deadline=None)
+def test_perm_resolution_matches_naive_axiom14(doc, rules):
+    """The resolver's replay equals the literal axiom-14 definition:
+    an accept with no strictly later matching deny."""
+    subjects = build_subjects()
+    policy = build_policy(subjects, rules)
+    user = "u2"
+    table = RESOLVER.resolve(doc, policy, user)
+    engine = RESOLVER.engine
+    ancestors = subjects.ancestors(user)
+    all_rules = list(policy)
+    for privilege in Privilege:
+        matching = [
+            (r, set(engine.select(doc, r.path, variables={"USER": user})))
+            for r in all_rules
+            if r.privilege is privilege and r.subject in ancestors
+        ]
+        for nid in doc.all_nodes():
+            expected = False
+            for rule, selected in matching:
+                if rule.effect != "accept" or nid not in selected:
+                    continue
+                overridden = any(
+                    later.effect == "deny"
+                    and later.priority > rule.priority
+                    and nid in later_sel
+                    for later, later_sel in matching
+                )
+                if not overridden:
+                    expected = True
+                    break
+            assert table.holds(nid, privilege) == expected

@@ -1,0 +1,171 @@
+"""Sessions and the database facade."""
+
+import pytest
+
+from repro.security import AccessDenied, SubjectError
+from repro.security.database import SecureXMLDatabase
+from repro.xmltree import element
+from repro.xupdate import Append, Rename, UpdateContent
+
+
+class TestLogin:
+    def test_declared_user_logs_in(self, db):
+        session = db.login("laporte")
+        assert session.user == "laporte"
+        assert session.database is db
+
+    def test_unknown_subject_rejected(self, db):
+        with pytest.raises(SubjectError):
+            db.login("ghost")
+
+    def test_role_cannot_log_in(self, db):
+        with pytest.raises(SubjectError):
+            db.login("doctor")
+
+
+class TestQueries:
+    def test_query_runs_on_view(self, db):
+        secretary = db.login("beaufort")
+        # Diagnosis content is RESTRICTED in the secretary's view.
+        assert secretary.query("count(//text()[.='tonsillitis'])") == 0.0
+        doctor = db.login("laporte")
+        assert doctor.query("count(//text()[.='tonsillitis'])") == 1.0
+
+    def test_user_variable_bound(self, db):
+        robert = db.login("robert")
+        got = robert.select("/patients/*[$USER]")
+        assert len(got) == 1
+
+    def test_select_requires_node_set(self, db):
+        from repro.xpath import XPathEvaluationError
+
+        with pytest.raises(XPathEvaluationError):
+            db.login("laporte").select("count(//*)")
+
+    def test_can_checks_privilege(self, db):
+        doctor = db.login("laporte")
+        diag = doctor.select("/patients/franck/diagnosis/text()")[0]
+        assert doctor.can("update", diag)
+        assert doctor.can("delete", diag)
+        secretary = db.login("beaufort")
+        assert not secretary.can("update", diag)
+
+    def test_read_xml_and_tree(self, db):
+        s = db.login("robert")
+        assert "<robert>" in s.read_xml()
+        assert "/robert" in s.read_tree()
+
+
+class TestExecution:
+    def test_execute_commits(self, db):
+        doctor = db.login("laporte")
+        doctor.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        assert db.version == 1
+        # Another session observes the change.
+        assert db.login("laporte").query(
+            "string(/patients/franck/diagnosis)"
+        ) == "flu"
+
+    def test_execute_xupdate_xml_text(self, db):
+        doctor = db.login("laporte")
+        doctor.execute(
+            '<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">'
+            '<xupdate:update select="/patients/franck/diagnosis">flu'
+            "</xupdate:update></xupdate:modifications>"
+        )
+        assert "flu" in doctor.read_xml()
+
+    def test_view_cache_invalidated_on_commit(self, db):
+        secretary = db.login("beaufort")
+        before = secretary.read_xml()
+        secretary.execute(
+            Append("/patients", element("new_patient", element("diagnosis")))
+        )
+        after = secretary.read_xml()
+        assert before != after
+        assert "new_patient" in after
+
+    def test_view_cached_between_reads(self, db):
+        session = db.login("beaufort")
+        assert session.view() is session.view()
+
+    def test_other_sessions_see_commits(self, db):
+        doctor = db.login("laporte")
+        secretary = db.login("beaufort")
+        secretary.view()  # warm the cache
+        doctor.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        # Secretary's next view reflects the doctor's write (content
+        # still RESTRICTED for her, but the version moved).
+        assert secretary.view().source is db.document
+
+    def test_strict_mode_propagates(self, db):
+        secretary = db.login("beaufort")
+        with pytest.raises(AccessDenied):
+            secretary.execute(
+                UpdateContent("/patients/franck/diagnosis", "x"),
+                strict=True,
+            )
+        # Nothing was committed.
+        assert db.version == 0
+
+
+class TestAdminPath:
+    def test_admin_update_bypasses_control(self, db):
+        db.admin_update(Rename("//diagnosis", "dx"))
+        assert db.engine.select(db.document, "//dx")
+        assert db.version == 1
+
+    def test_from_xml_constructor(self):
+        db = SecureXMLDatabase.from_xml("<r><a/></r>")
+        assert db.document.root is not None
+        assert len(db.policy) == 0
+
+    def test_mismatched_policy_subjects_rejected(self, subjects):
+        from repro.security import Policy, SubjectHierarchy
+        from repro.xmltree import parse_xml
+
+        other = SubjectHierarchy()
+        policy = Policy(other)
+        with pytest.raises(ValueError):
+            SecureXMLDatabase(parse_xml("<r/>"), subjects, policy)
+
+    def test_permissions_for_role(self, db):
+        """perm can be derived for roles too (not only users)."""
+        table = db.permissions_for("secretary")
+        assert table.user == "secretary"
+
+
+class TestExplain:
+    def test_explain_reports_deciding_rule(self, db):
+        secretary = db.login("beaufort")
+        entries = secretary.explain("read", "//diagnosis")
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry.held  # rule 1 grants read on the element
+            assert entry.rule is not None
+            assert entry.rule.priority == 10
+
+    def test_explain_denied_content(self, db):
+        secretary = db.login("beaufort")
+        # The diagnosis text appears in her view (as RESTRICTED), so it
+        # is selectable; read is denied by rule 2.
+        entries = secretary.explain("read", "//diagnosis/node()")
+        assert entries
+        for entry in entries:
+            assert not entry.held
+            assert entry.rule.effect == "deny"
+            assert entry.rule.priority == 11
+            assert "DENIED" in str(entry)
+
+    def test_explain_default_deny_has_no_rule(self, db):
+        robert = db.login("robert")
+        entries = robert.explain("delete", "/patients/robert")
+        assert len(entries) == 1
+        assert not entries[0].held
+        assert entries[0].rule is None
+        assert "no rule" in str(entries[0])
+
+    def test_explain_path_selects_on_view(self, db):
+        # franck is invisible to robert: nothing to explain.
+        robert = db.login("robert")
+        assert robert.explain("read", "//franck") == []

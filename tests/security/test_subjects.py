@@ -1,0 +1,132 @@
+"""Subject hierarchy tests: figure 3 and the axioms 11-12 closure."""
+
+import pytest
+
+from repro.security import SubjectError, SubjectHierarchy
+
+
+@pytest.fixture
+def hierarchy(subjects):
+    return subjects  # the figure-3 fixture from conftest
+
+
+class TestConstruction:
+    def test_roles_and_users_disjoint(self, hierarchy):
+        assert "staff" in hierarchy.roles
+        assert "laporte" in hierarchy.users
+        assert "staff" not in hierarchy.users
+        assert hierarchy.is_user("robert")
+        assert not hierarchy.is_user("doctor")
+
+    def test_duplicate_subject_rejected(self, hierarchy):
+        with pytest.raises(SubjectError):
+            hierarchy.add_role("staff")
+        with pytest.raises(SubjectError):
+            hierarchy.add_user("staff")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SubjectError):
+            SubjectHierarchy().add_role("")
+
+    def test_isa_requires_declared_subjects(self, hierarchy):
+        with pytest.raises(SubjectError):
+            hierarchy.add_isa("ghost", "staff")
+        with pytest.raises(SubjectError):
+            hierarchy.add_isa("laporte", "ghost")
+
+    def test_cycle_rejected(self, hierarchy):
+        with pytest.raises(SubjectError):
+            hierarchy.add_isa("staff", "laporte")
+
+    def test_redundant_edge_harmless(self, hierarchy):
+        hierarchy.add_isa("laporte", "doctor")  # already there
+        assert hierarchy.isa("laporte", "doctor")
+
+    def test_multiple_parents_allowed(self):
+        h = SubjectHierarchy()
+        h.add_role("a")
+        h.add_role("b")
+        h.add_user("u")
+        h.add_isa("u", "a")
+        h.add_isa("u", "b")
+        assert h.isa("u", "a") and h.isa("u", "b")
+
+
+class TestClosure:
+    """Axioms 11 (reflexivity) and 12 (transitivity)."""
+
+    def test_reflexive(self, hierarchy):
+        for subject in hierarchy.subjects:
+            assert hierarchy.isa(subject, subject)
+
+    def test_transitive(self, hierarchy):
+        assert hierarchy.isa("laporte", "doctor")
+        assert hierarchy.isa("doctor", "staff")
+        assert hierarchy.isa("laporte", "staff")
+
+    def test_not_symmetric(self, hierarchy):
+        assert not hierarchy.isa("staff", "laporte")
+        assert not hierarchy.isa("doctor", "laporte")
+
+    def test_separate_trees_unrelated(self, hierarchy):
+        assert not hierarchy.isa("robert", "staff")
+        assert not hierarchy.isa("laporte", "patient")
+
+    def test_ancestors_of_figure3_users(self, hierarchy):
+        assert hierarchy.ancestors("laporte") == {"laporte", "doctor", "staff"}
+        assert hierarchy.ancestors("beaufort") == {
+            "beaufort",
+            "secretary",
+            "staff",
+        }
+        assert hierarchy.ancestors("richard") == {
+            "richard",
+            "epidemiologist",
+            "staff",
+        }
+        assert hierarchy.ancestors("robert") == {"robert", "patient"}
+
+    def test_members_of_role(self, hierarchy):
+        assert hierarchy.members("patient") == {"patient", "robert", "franck"}
+        assert hierarchy.members("staff") == {
+            "staff",
+            "secretary",
+            "doctor",
+            "epidemiologist",
+            "beaufort",
+            "laporte",
+            "richard",
+        }
+
+    def test_closure_facts_contain_explicit_facts(self, hierarchy):
+        explicit = set(hierarchy.isa_facts())
+        closed = set(hierarchy.closure_facts())
+        assert explicit <= closed
+        # Paper's equation 10 lists exactly these explicit facts.
+        assert explicit == {
+            ("secretary", "staff"),
+            ("doctor", "staff"),
+            ("epidemiologist", "staff"),
+            ("laporte", "doctor"),
+            ("beaufort", "secretary"),
+            ("richard", "epidemiologist"),
+            ("robert", "patient"),
+            ("franck", "patient"),
+        }
+
+    def test_closure_updates_after_new_edge(self):
+        h = SubjectHierarchy()
+        h.add_role("a")
+        h.add_role("b")
+        h.add_user("u", member_of="a")
+        assert not h.isa("u", "b")
+        h.add_isa("a", "b")
+        assert h.isa("u", "b")
+
+    def test_unknown_subject_queries_raise(self, hierarchy):
+        with pytest.raises(SubjectError):
+            hierarchy.ancestors("ghost")
+        with pytest.raises(SubjectError):
+            hierarchy.members("ghost")
+        with pytest.raises(SubjectError):
+            hierarchy.direct_parents("ghost")

@@ -1,0 +1,189 @@
+"""View derivation (axioms 15-17), including the paper's figure 1."""
+
+import pytest
+
+from repro.security import (
+    Policy,
+    Privilege,
+    SubjectHierarchy,
+    ViewBuilder,
+)
+from repro.xmltree import RESTRICTED, parse_xml, render_tree
+
+
+@pytest.fixture
+def builder():
+    return ViewBuilder()
+
+
+def select(doc, path):
+    from repro.xpath import XPathEngine
+
+    return XPathEngine(star_matches_text=True).select(doc, path)
+
+
+class TestFigure1:
+    """The paper's figure 1: read on everything except the patient
+    name, position on the name -> RESTRICTED in the view."""
+
+    @pytest.fixture
+    def fig1(self, builder):
+        doc = parse_xml(
+            "<patients><robert><diagnosis>pneumonia</diagnosis></robert></patients>"
+        )
+        subjects = SubjectHierarchy()
+        subjects.add_user("s")
+        policy = Policy(subjects)
+        policy.grant("read", "//*", "s")
+        policy.deny("read", "/patients/robert", "s")
+        policy.grant("position", "/patients/robert", "s")
+        return builder.build(doc, policy, "s")
+
+    def test_right_tree_of_figure_1(self, fig1):
+        assert render_tree(fig1.doc).split("\n") == [
+            "/",
+            "  /patients",
+            "    /RESTRICTED",
+            "      /diagnosis",
+            "        text()pneumonia",
+        ]
+
+    def test_restricted_set(self, fig1):
+        assert len(fig1.restricted) == 1
+        (nid,) = fig1.restricted
+        assert fig1.label(nid) == RESTRICTED
+        assert fig1.is_restricted(nid)
+
+    def test_descendants_of_restricted_still_visible(self, fig1):
+        diagnosis = select(fig1.doc, "//diagnosis")
+        assert len(diagnosis) == 1
+        assert not fig1.is_restricted(diagnosis[0])
+
+
+class TestAxiom15:
+    def test_document_node_always_in_view(self, builder):
+        doc = parse_xml("<r/>")
+        subjects = SubjectHierarchy()
+        subjects.add_user("u")
+        policy = Policy(subjects)  # empty: denies everything
+        view = builder.build(doc, policy, "u")
+        assert view.doc.document_node.is_document
+        assert len(view.doc) == 1  # nothing else survives
+
+
+class TestAxiom16And17:
+    @pytest.fixture
+    def setup(self):
+        doc = parse_xml("<r><a><b>t</b></a><c/></r>")
+        subjects = SubjectHierarchy()
+        subjects.add_user("u")
+        policy = Policy(subjects)
+        return doc, subjects, policy
+
+    def test_read_shows_label(self, setup, builder):
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        view = builder.build(doc, policy, "u")
+        assert view.facts() == doc.facts()
+        assert view.restricted == frozenset()
+
+    def test_position_shows_restricted(self, setup, builder):
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        policy.deny("read", "//b", "u")
+        policy.grant("position", "//b", "u")
+        view = builder.build(doc, policy, "u")
+        b = select(doc, "//b")[0]
+        assert view.label(b) == RESTRICTED
+
+    def test_read_beats_position(self, setup, builder):
+        """Axiom 17 applies only when read is absent."""
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        policy.grant("position", "//b", "u")  # position AND read
+        view = builder.build(doc, policy, "u")
+        b = select(doc, "//b")[0]
+        assert view.label(b) == "b"
+        assert not view.is_restricted(b)
+
+    def test_no_privilege_prunes_subtree(self, setup, builder):
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        policy.deny("read", "//a", "u")
+        # No position on a: the whole a-subtree disappears, even though
+        # read on b is still granted (the parent-selection condition).
+        view = builder.build(doc, policy, "u")
+        assert select(view.doc, "//a") == []
+        assert select(view.doc, "//b") == []
+        assert len(select(view.doc, "//c")) == 1
+
+    def test_orphan_grant_without_parent_is_invisible(self, setup, builder):
+        """read on a deep node whose ancestors are invisible: pruned."""
+        doc, _subjects, policy = setup
+        policy.grant("read", "//b", "u")  # but not on a or r
+        view = builder.build(doc, policy, "u")
+        assert len(view.doc) == 1  # document node only
+
+    def test_view_is_parent_closed(self, setup, builder):
+        """Every non-document view node has its parent in the view."""
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        policy.deny("read", "//b", "u")
+        policy.grant("position", "//b", "u")
+        view = builder.build(doc, policy, "u")
+        for nid in view.doc.all_nodes():
+            if not nid.is_document:
+                assert nid.parent() in view.doc
+
+    def test_identifiers_not_renumbered(self, setup, builder):
+        """Section 4.4.1: selected nodes keep their source numbers."""
+        doc, _subjects, policy = setup
+        policy.grant("read", "//node()", "u")
+        view = builder.build(doc, policy, "u")
+        assert {n for n in view.doc.all_nodes()} <= {
+            n for n in doc.all_nodes()
+        }
+
+
+class TestViewsArePerUser:
+    def test_four_paper_views(self, db):
+        """Section 4.4.1's four views, via the database facade."""
+        secretary = db.login("beaufort").read_tree()
+        assert "text()RESTRICTED" in secretary
+        assert "tonsillitis" not in secretary
+        assert "/franck" in secretary
+
+        robert = db.login("robert").read_tree()
+        assert "/robert" in robert
+        assert "franck" not in robert
+        assert "pneumonia" in robert
+
+        richard = db.login("richard").read_tree()
+        assert "/RESTRICTED" in richard
+        assert "franck" not in richard
+        assert "tonsillitis" in richard
+
+        laporte = db.login("laporte").read_tree()
+        assert "RESTRICTED" not in laporte
+        assert "tonsillitis" in laporte
+
+
+class TestAttributesInViews:
+    def test_attribute_requires_privilege(self, builder):
+        doc = parse_xml('<r id="7"><a/></r>')
+        subjects = SubjectHierarchy()
+        subjects.add_user("u")
+        policy = Policy(subjects)
+        policy.grant("read", "//node()", "u")  # node() excludes attributes
+        view = builder.build(doc, policy, "u")
+        assert view.doc.attributes(view.doc.root) == []
+
+    def test_attribute_granted_via_attribute_axis(self, builder):
+        doc = parse_xml('<r id="7"><a/></r>')
+        subjects = SubjectHierarchy()
+        subjects.add_user("u")
+        policy = Policy(subjects)
+        policy.grant("read", "//node()", "u")
+        policy.grant("read", "//@*", "u")
+        view = builder.build(doc, policy, "u")
+        assert view.doc.attribute_value(view.doc.root, "id") == "7"

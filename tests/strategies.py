@@ -1,0 +1,113 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Builds random XML documents, edit sequences, and security policies
+within the fragment both engines (procedural and formal) support, so
+differential properties can be stated over them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.xmltree import (
+    Fragment,
+    NodeKind,
+    XMLDocument,
+    element,
+    text,
+)
+
+#: Small label alphabet keeps collisions (same-named siblings, rule
+#: paths matching several nodes) frequent, which is where bugs live.
+LABELS = ("a", "b", "c", "d", "patients", "diagnosis")
+TEXTS = ("x", "y", "zz", "pneumonia")
+USERS = ("u1", "u2")
+ROLES = ("r1", "r2")
+
+
+@st.composite
+def fragments(draw, max_depth: int = 3, max_children: int = 3) -> Fragment:
+    """A random element fragment of bounded depth and fan-out."""
+    name = draw(st.sampled_from(LABELS))
+    if max_depth <= 0:
+        return element(name)
+    n_children = draw(st.integers(min_value=0, max_value=max_children))
+    children = []
+    for _ in range(n_children):
+        if draw(st.booleans()):
+            children.append(text(draw(st.sampled_from(TEXTS))))
+        else:
+            children.append(
+                draw(fragments(max_depth=max_depth - 1, max_children=max_children))
+            )
+    return element(name, *children)
+
+
+@st.composite
+def documents(draw, max_depth: int = 3, max_children: int = 3) -> XMLDocument:
+    """A random document with a random root-element subtree."""
+    doc = XMLDocument()
+    fragment = draw(fragments(max_depth=max_depth, max_children=max_children))
+    fragment.attach(doc, doc.document_node.nid)
+    return doc
+
+
+#: Rule paths inside the PathCompiler fragment (and thus comparable
+#: between the procedural and formal engines).
+RULE_PATHS = (
+    "/*",
+    "//*",
+    "//a",
+    "//b",
+    "//a/*",
+    "//b/*",
+    "//diagnosis",
+    "//diagnosis/*",
+    "/patients",
+    "/patients/*",
+    "//a/descendant-or-self::*",
+    "//text()",
+    "//c/text()",
+    "//*[name()='d']",
+)
+
+PRIVILEGES = ("read", "position", "insert", "update", "delete")
+
+
+@st.composite
+def policy_rules(draw, max_rules: int = 8):
+    """A random list of (effect, privilege, path, subject) tuples."""
+    n = draw(st.integers(min_value=0, max_value=max_rules))
+    rules = []
+    for _ in range(n):
+        effect = draw(st.sampled_from(("accept", "deny")))
+        privilege = draw(st.sampled_from(PRIVILEGES))
+        path = draw(st.sampled_from(RULE_PATHS))
+        subject = draw(st.sampled_from(USERS + ROLES))
+        rules.append((effect, privilege, path, subject))
+    return rules
+
+
+def build_subjects():
+    """The fixed little hierarchy the random policies reference."""
+    from repro.security import SubjectHierarchy
+
+    subjects = SubjectHierarchy()
+    subjects.add_role("r1")
+    subjects.add_role("r2", member_of="r1")
+    subjects.add_user("u1", member_of="r1")
+    subjects.add_user("u2", member_of="r2")
+    return subjects
+
+
+def build_policy(subjects, rules):
+    """Install random rule tuples into a Policy with auto priorities."""
+    from repro.security import Policy
+
+    policy = Policy(subjects)
+    for effect, privilege, path, subject in rules:
+        if effect == "accept":
+            policy.grant(privilege, path, subject)
+        else:
+            policy.deny(privilege, path, subject)
+    return policy

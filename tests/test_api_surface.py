@@ -1,0 +1,82 @@
+"""Guards on the public API surface.
+
+Every public module, class and function must carry a docstring
+(deliverable: documented public API), and every ``__all__`` entry must
+resolve to a real attribute.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if exported is not None and name not in exported:
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented {undocumented}"
+
+
+def test_public_methods_documented():
+    """Every public method of every exported class has a docstring."""
+    missing = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                    missing.append(f"{module_name}.{name}.{attr_name}")
+    assert not missing, f"undocumented methods: {missing}"
+
+
+def test_top_level_exports_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3

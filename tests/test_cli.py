@@ -1,0 +1,149 @@
+"""CLI integration tests (run in-process via main())."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.storage import load_from_file
+
+XUPDATE_NS = 'xmlns:xupdate="http://www.xmldb.org/xupdate"'
+APPEND_BOB = (
+    f"<xupdate:modifications {XUPDATE_NS}>"
+    '<xupdate:append select="/patients">'
+    '<xupdate:element name="bob"/></xupdate:append>'
+    "</xupdate:modifications>"
+)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "db.xml")
+
+
+def run(*argv):
+    return main(list(argv))
+
+
+@pytest.fixture
+def seeded(db_path):
+    assert run("init", db_path, "--xml", "<patients/>") == 0
+    assert run("add-role", db_path, "staff") == 0
+    assert run("add-user", db_path, "alice", "--member-of", "staff") == 0
+    assert run("grant", db_path, "read", "//node()", "staff") == 0
+    assert run("grant", db_path, "insert", "/patients", "staff") == 0
+    return db_path
+
+
+class TestInit:
+    def test_init_creates_file(self, db_path):
+        assert run("init", db_path, "--xml", "<r/>") == 0
+        assert os.path.exists(db_path)
+        db = load_from_file(db_path)
+        assert db.document.label(db.document.root) == "r"
+
+    def test_init_refuses_overwrite(self, db_path):
+        run("init", db_path, "--xml", "<r/>")
+        assert run("init", db_path, "--xml", "<other/>") == 2
+
+    def test_init_force_overwrites(self, db_path):
+        run("init", db_path, "--xml", "<r/>")
+        assert run("init", db_path, "--xml", "<other/>", "--force") == 0
+        db = load_from_file(db_path)
+        assert db.document.label(db.document.root) == "other"
+
+    def test_init_from_document_file(self, tmp_path, db_path):
+        doc_path = str(tmp_path / "doc.xml")
+        with open(doc_path, "w") as handle:
+            handle.write("<patients><franck/></patients>")
+        assert run("init", db_path, "--document", doc_path) == 0
+        db = load_from_file(db_path)
+        assert len(db.document) == 3
+
+
+class TestSubjectsAndPolicy:
+    def test_duplicate_role_fails_cleanly(self, seeded):
+        assert run("add-role", seeded, "staff") == 2
+
+    def test_member_of_unknown_fails(self, seeded):
+        assert run("add-user", seeded, "bob", "--member-of", "ghost") == 2
+
+    def test_grant_bad_path_fails(self, seeded):
+        assert run("grant", seeded, "read", "//a[", "staff") == 2
+
+    def test_deny_recorded_after_grant(self, seeded):
+        assert run("deny", seeded, "read", "//secret", "staff") == 0
+        db = load_from_file(seeded)
+        facts = list(db.policy.facts())
+        assert facts[-1][0] == "deny"
+        assert facts[-1][4] > facts[0][4]
+
+    def test_show_runs(self, seeded, capsys):
+        assert run("show", seeded) == 0
+        out = capsys.readouterr().out
+        assert "role staff" in out
+        assert "user alice" in out
+        assert "rule(accept,read" in out
+
+
+class TestViewQueryUpdate:
+    def test_update_and_view(self, seeded, capsys):
+        assert run("update", seeded, "alice", APPEND_BOB) == 0
+        capsys.readouterr()
+        assert run("view", seeded, "alice") == 0
+        assert "<bob/>" in capsys.readouterr().out
+
+    def test_view_tree_notation(self, seeded, capsys):
+        assert run("view", seeded, "alice", "--tree") == 0
+        assert "/patients" in capsys.readouterr().out
+
+    def test_query_scalar(self, seeded, capsys):
+        run("update", seeded, "alice", APPEND_BOB)
+        capsys.readouterr()
+        assert run("query", seeded, "alice", "count(//bob)") == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_query_node_set(self, seeded, capsys):
+        run("update", seeded, "alice", APPEND_BOB)
+        capsys.readouterr()
+        assert run("query", seeded, "alice", "//bob") == 0
+        assert "<bob/>" in capsys.readouterr().out
+
+    def test_query_boolean(self, seeded, capsys):
+        assert run("query", seeded, "alice", "true()") == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_update_from_file(self, seeded, tmp_path, capsys):
+        script_path = str(tmp_path / "script.xml")
+        with open(script_path, "w") as handle:
+            handle.write(APPEND_BOB)
+        assert run("update", seeded, "alice", script_path) == 0
+
+    def test_denied_update_exit_code(self, seeded, capsys):
+        denied = (
+            f"<xupdate:modifications {XUPDATE_NS}>"
+            '<xupdate:remove select="/patients"/>'
+            "</xupdate:modifications>"
+        )
+        assert run("update", seeded, "alice", denied) == 3
+        assert "DENIED" in capsys.readouterr().out
+
+    def test_strict_denied_does_not_commit(self, seeded, capsys):
+        before = open(seeded).read()
+        denied = (
+            f"<xupdate:modifications {XUPDATE_NS}>"
+            '<xupdate:remove select="/patients"/>'
+            "</xupdate:modifications>"
+        )
+        assert run("update", seeded, "alice", denied, "--strict") == 3
+        assert open(seeded).read() == before
+
+    def test_unknown_user_fails(self, seeded):
+        assert run("view", seeded, "ghost") == 2
+
+    def test_missing_database_fails(self, tmp_path):
+        assert run("view", str(tmp_path / "nope.xml"), "alice") == 2
+
+    def test_audit_demo(self, seeded, capsys):
+        assert run("audit-demo", seeded, "alice", APPEND_BOB) == 0
+        assert "ALLOW" in capsys.readouterr().out

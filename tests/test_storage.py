@@ -1,0 +1,153 @@
+"""Persistence round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import hospital_database
+from repro.storage import (
+    StorageError,
+    dump_database,
+    load_database,
+    load_from_file,
+    save_to_file,
+)
+from repro.security import SecureXMLDatabase
+from repro.xupdate import UpdateContent
+
+from tests.strategies import build_policy, build_subjects, documents, policy_rules
+
+
+class TestRoundTrip:
+    def test_paper_database_round_trips(self):
+        db = hospital_database()
+        text = dump_database(db)
+        again = load_database(text)
+        # Same document shape.
+        from repro.xmltree import serialize
+
+        assert serialize(again.document) == serialize(db.document)
+        # Same subjects and closure.
+        assert again.subjects.subjects == db.subjects.subjects
+        assert set(again.subjects.closure_facts()) == set(
+            db.subjects.closure_facts()
+        )
+        # Same policy facts, priorities included.
+        assert list(again.policy.facts()) == list(db.policy.facts())
+
+    def test_views_identical_after_reload(self):
+        db = hospital_database()
+        again = load_database(dump_database(db))
+        for user in ("beaufort", "robert", "richard", "laporte"):
+            assert (
+                again.login(user).read_xml() == db.login(user).read_xml()
+            )
+
+    def test_writes_work_after_reload(self):
+        db = load_database(dump_database(hospital_database()))
+        doctor = db.login("laporte")
+        result = doctor.execute(
+            UpdateContent("/patients/franck/diagnosis", "flu"), strict=True
+        )
+        assert result.fully_applied
+
+    def test_dump_is_stable(self):
+        db = hospital_database()
+        once = dump_database(db)
+        twice = dump_database(load_database(once))
+        assert once == twice
+
+    def test_empty_database(self):
+        db = SecureXMLDatabase.from_xml("<r/>")
+        again = load_database(dump_database(db))
+        assert again.document.root is not None
+        assert len(again.policy) == 0
+
+    def test_file_round_trip(self, tmp_path):
+        db = hospital_database()
+        path = str(tmp_path / "hospital.securedb.xml")
+        save_to_file(db, path)
+        again = load_from_file(path)
+        assert list(again.policy.facts()) == list(db.policy.facts())
+
+    @given(documents(), policy_rules())
+    @settings(max_examples=40, deadline=None)
+    def test_random_databases_round_trip(self, doc, rules):
+        from hypothesis import assume
+
+        from repro.xmltree import NodeKind
+
+        # Adjacent text siblings cannot be represented distinctly in
+        # XML text, so such documents are not faithfully storable;
+        # exclude them from the round-trip property.
+        for nid in doc.all_nodes():
+            kids = doc.children(nid)
+            assume(
+                not any(
+                    doc.kind(a) is NodeKind.TEXT and doc.kind(b) is NodeKind.TEXT
+                    for a, b in zip(kids, kids[1:])
+                )
+            )
+        subjects = build_subjects()
+        policy = build_policy(subjects, rules)
+        db = SecureXMLDatabase(doc, subjects, policy)
+        again = load_database(dump_database(db))
+        from repro.xmltree import serialize
+
+        assert serialize(again.document) == serialize(db.document)
+        assert list(again.policy.facts()) == list(db.policy.facts())
+        # Derived security state is identical too.  Node ids may differ
+        # (adjacent text children merge on the XML round-trip), so the
+        # comparison is on the serialized views.
+        assert serialize(again.build_view("u2").doc) == serialize(
+            db.build_view("u2").doc
+        )
+
+
+class TestErrors:
+    def test_wrong_root_element(self):
+        with pytest.raises(StorageError):
+            load_database("<not-a-db/>")
+
+    def test_unsupported_version(self):
+        with pytest.raises(StorageError):
+            load_database(
+                '<securedb version="999"><subjects/><policy/><document/></securedb>'
+            )
+
+    def test_missing_section(self):
+        with pytest.raises(StorageError):
+            load_database('<securedb version="1"><subjects/></securedb>')
+
+    def test_dangling_isa_reference(self):
+        with pytest.raises(Exception):
+            load_database(
+                '<securedb version="1">'
+                '<subjects><user name="u"><isa>ghost</isa></user></subjects>'
+                "<policy/><document/></securedb>"
+            )
+
+    def test_rule_for_unknown_subject(self):
+        with pytest.raises(Exception):
+            load_database(
+                '<securedb version="1"><subjects/>'
+                '<policy><rule effect="accept" privilege="read" '
+                'subject="ghost" priority="1" path="//*"/></policy>'
+                "<document/></securedb>"
+            )
+
+    def test_bad_effect(self):
+        with pytest.raises(StorageError):
+            load_database(
+                '<securedb version="1">'
+                '<subjects><user name="u"/></subjects>'
+                '<policy><rule effect="maybe" privilege="read" '
+                'subject="u" priority="1" path="//*"/></policy>'
+                "<document/></securedb>"
+            )
+
+    def test_two_document_roots(self):
+        with pytest.raises(StorageError):
+            load_database(
+                '<securedb version="1"><subjects/><policy/>'
+                "<document><a/><b/></document></securedb>"
+            )

@@ -1,0 +1,96 @@
+"""Persistence of the administration (delegation) state."""
+
+import pytest
+
+from repro.security import Policy, SecureXMLDatabase, SubjectHierarchy
+from repro.security.delegation import AdministeredPolicy, DelegationError
+from repro.storage import (
+    StorageError,
+    dump_administration,
+    dump_database,
+    load_administration,
+    load_database,
+)
+
+
+@pytest.fixture
+def setup():
+    subjects = SubjectHierarchy()
+    subjects.add_user("owner")
+    subjects.add_user("alice")
+    subjects.add_user("bob")
+    policy = Policy(subjects)
+    admin = AdministeredPolicy(subjects, "owner", policy)
+    db = SecureXMLDatabase.from_xml("<r><a>x</a></r>", subjects, policy)
+    return db, admin
+
+
+def roundtrip(db, admin):
+    db2 = load_database(dump_database(db))
+    admin2 = load_administration(
+        dump_administration(admin), db2.subjects, db2.policy
+    )
+    return db2, admin2
+
+
+class TestRoundTrip:
+    def test_grants_survive_reload(self, setup):
+        db, admin = setup
+        admin.grant("owner", "read", "//node()", "alice", grant_option=True)
+        admin.grant("alice", "read", "//node()", "bob")
+        db2, admin2 = roundtrip(db, admin)
+        assert admin2.owner == "owner"
+        grants = admin2.grants()
+        assert [g.grantor for g in grants] == ["owner", "alice"]
+        assert grants[0].grant_option is True
+        assert grants[1].authority == grants[0].grant_id
+
+    def test_revocation_cascades_after_reload(self, setup):
+        db, admin = setup
+        root = admin.grant("owner", "read", "//node()", "alice", grant_option=True)
+        admin.grant("alice", "read", "//node()", "bob")
+        db2, admin2 = roundtrip(db, admin)
+        removed = admin2.revoke("owner", root.grant_id)
+        assert len(removed) == 2
+        assert len(db2.policy) == 0
+        # Access actually fell away.
+        assert db2.login("bob").read_xml() == ""
+
+    def test_new_grants_continue_numbering(self, setup):
+        db, admin = setup
+        first = admin.grant("owner", "read", "//node()", "alice")
+        db2, admin2 = roundtrip(db, admin)
+        fresh = admin2.grant("owner", "update", "//a", "alice")
+        assert fresh.grant_id > first.grant_id
+
+    def test_authority_enforced_after_reload(self, setup):
+        db, admin = setup
+        admin.grant("owner", "read", "//node()", "alice")  # no option
+        _db2, admin2 = roundtrip(db, admin)
+        with pytest.raises(DelegationError):
+            admin2.grant("alice", "read", "//node()", "bob")
+
+    def test_empty_administration(self, setup):
+        db, admin = setup
+        _db2, admin2 = roundtrip(db, admin)
+        assert admin2.grants() == []
+
+
+class TestErrors:
+    def test_wrong_root(self, setup):
+        db, _admin = setup
+        db2 = load_database(dump_database(db))
+        with pytest.raises(StorageError):
+            load_administration("<nope/>", db2.subjects, db2.policy)
+
+    def test_dangling_rule_priority(self, setup):
+        db, _admin = setup
+        db2 = load_database(dump_database(db))
+        with pytest.raises(StorageError):
+            load_administration(
+                '<administration owner="owner">'
+                '<grant id="1" grantor="owner" priority="99" '
+                'option="false" authority=""/></administration>',
+                db2.subjects,
+                db2.policy,
+            )

@@ -1,0 +1,83 @@
+"""Persistence round-trip for multi-document collections."""
+
+import pytest
+
+from repro.security import SecureCollection
+from repro.storage import StorageError, dump_collection, load_collection
+from repro.xupdate import UpdateContent
+
+
+@pytest.fixture
+def collection():
+    c = SecureCollection()
+    c.subjects.add_role("staff")
+    c.subjects.add_user("nina", member_of="staff")
+    c.policy.grant("read", "//node()", "staff")
+    c.policy.deny("read", "//salary/text()", "staff")
+    c.policy.grant("position", "//salary/text()", "staff")
+    c.policy.grant("update", "//bed/text()", "staff")
+    c.add_document("patients", "<patients><p><bed>12</bed></p></patients>")
+    c.add_document("payroll", "<payroll><e><salary>9000</salary></e></payroll>")
+    return c
+
+
+class TestRoundTrip:
+    def test_names_and_documents_survive(self, collection):
+        again = load_collection(dump_collection(collection))
+        assert again.names() == collection.names()
+        for name in collection.names():
+            assert (
+                again.login("nina").read_xml(name)
+                == collection.login("nina").read_xml(name)
+            )
+
+    def test_policy_and_subjects_survive(self, collection):
+        again = load_collection(dump_collection(collection))
+        assert list(again.policy.facts()) == list(collection.policy.facts())
+        assert again.subjects.subjects == collection.subjects.subjects
+
+    def test_dump_is_stable(self, collection):
+        once = dump_collection(collection)
+        assert dump_collection(load_collection(once)) == once
+
+    def test_writes_work_after_reload(self, collection):
+        again = load_collection(dump_collection(collection))
+        result = again.login("nina").execute(
+            "patients", UpdateContent("//bed", "7"), strict=True
+        )
+        assert result.fully_applied
+        assert "7" in again.login("nina").read_xml("patients")
+
+    def test_restricted_labels_after_reload(self, collection):
+        again = load_collection(dump_collection(collection))
+        xml = again.login("nina").read_xml("payroll")
+        assert "RESTRICTED" in xml
+        assert "9000" not in xml
+
+    def test_empty_collection(self):
+        c = SecureCollection()
+        again = load_collection(dump_collection(c))
+        assert again.names() == []
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(StorageError):
+            load_collection("<securedb/>")
+
+    def test_duplicate_document_names_rejected(self):
+        with pytest.raises(Exception):
+            load_collection(
+                '<securecollection version="1"><subjects/><policy/>'
+                '<document name="a"><a/></document>'
+                '<document name="a"><b/></document>'
+                "</securecollection>"
+            )
+
+    def test_two_roots_in_one_document(self):
+        with pytest.raises(StorageError):
+            load_collection(
+                '<securecollection version="1"><subjects/><policy/>'
+                '<document name="a"><a/><b/></document>'
+                "</securecollection>"
+            )

@@ -1,0 +1,356 @@
+"""Unit tests for the XMLDocument store and its geometry accessors."""
+
+import pytest
+
+from repro.xmltree import (
+    DOCUMENT_ID,
+    DocumentError,
+    NodeKind,
+    RenumberingScheme,
+    XMLDocument,
+    parse_xml,
+)
+
+
+@pytest.fixture
+def medical():
+    return parse_xml(
+        "<patients>"
+        "<franck><service>otolarynology</service>"
+        "<diagnosis>tonsillitis</diagnosis></franck>"
+        "<robert><service>pneumology</service>"
+        "<diagnosis>pneumonia</diagnosis></robert>"
+        "</patients>"
+    )
+
+
+class TestConstruction:
+    def test_empty_document_has_only_document_node(self):
+        doc = XMLDocument()
+        assert len(doc) == 1
+        assert doc.root is None
+        assert doc.document_node.is_document
+
+    def test_add_root(self):
+        doc = XMLDocument()
+        root = doc.add_root("patients")
+        assert doc.root == root
+        assert doc.label(root) == "patients"
+
+    def test_second_root_rejected(self):
+        doc = XMLDocument()
+        doc.add_root("a")
+        with pytest.raises(DocumentError):
+            doc.add_root("b")
+        with pytest.raises(DocumentError):
+            doc.append_child(DOCUMENT_ID, NodeKind.ELEMENT, "c")
+
+    def test_text_cannot_have_children(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        t = doc.append_child(root, NodeKind.TEXT, "hello")
+        with pytest.raises(DocumentError):
+            doc.append_child(t, NodeKind.ELEMENT, "b")
+
+    def test_document_kind_cannot_be_created(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        with pytest.raises(DocumentError):
+            doc.append_child(root, NodeKind.DOCUMENT, "/")
+
+    def test_unknown_node_raises(self):
+        doc = XMLDocument()
+        ghost = DOCUMENT_ID.child(object())  # never installed
+        with pytest.raises(DocumentError):
+            doc.node(ghost)
+        assert doc.get(ghost) is None
+
+
+class TestGeometry:
+    def test_children_in_document_order(self, medical):
+        root = medical.root
+        kids = medical.children(root)
+        assert [medical.label(k) for k in kids] == ["franck", "robert"]
+
+    def test_parent_of_root_is_document(self, medical):
+        assert medical.parent(medical.root) == DOCUMENT_ID
+        assert medical.parent(DOCUMENT_ID) is None
+
+    def test_descendants_order_and_count(self, medical):
+        root = medical.root
+        labels = [medical.label(n) for n in medical.descendants(root)]
+        assert labels == [
+            "franck",
+            "service",
+            "otolarynology",
+            "diagnosis",
+            "tonsillitis",
+            "robert",
+            "service",
+            "pneumology",
+            "diagnosis",
+            "pneumonia",
+        ]
+
+    def test_descendants_or_self_includes_self(self, medical):
+        root = medical.root
+        nodes = list(medical.descendants_or_self(root))
+        assert nodes[0] == root
+        assert len(nodes) == 11
+
+    def test_ancestors(self, medical):
+        franck = medical.children(medical.root)[0]
+        service = medical.children(franck)[0]
+        chain = list(medical.ancestors(service))
+        assert chain == [franck, medical.root, DOCUMENT_ID]
+
+    def test_sibling_axes(self, medical):
+        franck, robert = medical.children(medical.root)
+        assert medical.following_siblings(franck) == [robert]
+        assert medical.preceding_siblings(franck) == []
+        assert medical.preceding_siblings(robert) == [franck]
+        assert medical.following_siblings(robert) == []
+
+    def test_following_crosses_subtrees(self, medical):
+        franck = medical.children(medical.root)[0]
+        service = medical.children(franck)[0]
+        following = medical.following(service)
+        labels = [medical.label(n) for n in following]
+        # Everything after service's subtree in document order.
+        assert labels == [
+            "diagnosis",
+            "tonsillitis",
+            "robert",
+            "service",
+            "pneumology",
+            "diagnosis",
+            "pneumonia",
+        ]
+
+    def test_preceding_is_reverse_document_order(self, medical):
+        robert = medical.children(medical.root)[1]
+        preceding = medical.preceding(robert)
+        labels = [medical.label(n) for n in preceding]
+        assert labels == [
+            "tonsillitis",
+            "diagnosis",
+            "otolarynology",
+            "service",
+            "franck",
+        ]
+
+    def test_following_and_preceding_partition(self, medical):
+        """following + preceding + ancestors + descendants-or-self
+        partition the element/text nodes (the XPath axes identity)."""
+        all_nodes = set(medical.all_nodes())
+        for nid in all_nodes:
+            if medical.kind(nid) is NodeKind.ATTRIBUTE:
+                continue
+            parts = (
+                set(medical.following(nid))
+                | set(medical.preceding(nid))
+                | set(medical.ancestors(nid))
+                | set(medical.descendants_or_self(nid))
+            )
+            non_attr = {
+                n for n in all_nodes if medical.kind(n) is not NodeKind.ATTRIBUTE
+            }
+            assert parts == non_attr
+
+    def test_string_value_of_element(self, medical):
+        franck = medical.children(medical.root)[0]
+        assert medical.string_value(franck) == "otolarynologytonsillitis"
+
+    def test_string_value_of_text(self, medical):
+        franck = medical.children(medical.root)[0]
+        service = medical.children(franck)[0]
+        t = medical.children(service)[0]
+        assert medical.string_value(t) == "otolarynology"
+
+
+class TestFacts:
+    def test_fact_count(self, medical):
+        # document node + 11 element/text nodes
+        assert len(medical.facts()) == 12
+
+    def test_child_facts_match_children(self, medical):
+        facts = medical.child_facts()
+        for child, parent in facts:
+            assert child in medical.children(parent)
+        total = sum(len(medical.children(n)) for n in medical.all_nodes())
+        assert len(facts) == total
+
+    def test_path_string(self, medical):
+        franck = medical.children(medical.root)[0]
+        service = medical.children(franck)[0]
+        t = medical.children(service)[0]
+        assert medical.path_string(DOCUMENT_ID) == "/"
+        assert medical.path_string(franck) == "/patients/franck"
+        assert medical.path_string(t) == "/patients/franck/service/text()"
+
+    def test_path_string_disambiguates_same_names(self):
+        doc = parse_xml("<r><a/><a/></r>")
+        first, second = doc.children(doc.root)
+        assert doc.path_string(first) == "/r/a[1]"
+        assert doc.path_string(second) == "/r/a[2]"
+
+
+class TestMutation:
+    def test_relabel(self, medical):
+        franck = medical.children(medical.root)[0]
+        medical.relabel(franck, "francois")
+        assert medical.label(franck) == "francois"
+
+    def test_relabel_document_node_rejected(self, medical):
+        with pytest.raises(DocumentError):
+            medical.relabel(DOCUMENT_ID, "nope")
+
+    def test_remove_subtree_counts_nodes(self, medical):
+        franck = medical.children(medical.root)[0]
+        removed = medical.remove_subtree(franck)
+        assert removed == 5
+        assert franck not in medical
+        assert len(medical.children(medical.root)) == 1
+
+    def test_remove_document_node_rejected(self, medical):
+        with pytest.raises(DocumentError):
+            medical.remove_subtree(DOCUMENT_ID)
+
+    def test_insert_before_and_after(self, medical):
+        franck, robert = medical.children(medical.root)
+        a = medical.insert_before(franck, NodeKind.ELEMENT, "aaa")
+        z = medical.insert_after(robert, NodeKind.ELEMENT, "zzz")
+        labels = [medical.label(k) for k in medical.children(medical.root)]
+        assert labels == ["aaa", "franck", "robert", "zzz"]
+        m = medical.insert_after(franck, NodeKind.ELEMENT, "mmm")
+        labels = [medical.label(k) for k in medical.children(medical.root)]
+        assert labels == ["aaa", "franck", "mmm", "robert", "zzz"]
+
+    def test_insert_sibling_of_document_rejected(self, medical):
+        with pytest.raises(DocumentError):
+            medical.insert_before(DOCUMENT_ID, NodeKind.ELEMENT, "x")
+
+    def test_existing_ids_stable_across_inserts(self, medical):
+        """The paper's persistence requirement (default scheme)."""
+        before = {nid for nid in medical.all_nodes()}
+        franck = medical.children(medical.root)[0]
+        for _ in range(20):
+            medical.insert_after(franck, NodeKind.ELEMENT, "filler")
+        assert before <= set(medical.all_nodes())
+        assert medical.renumber_count == 0
+
+    def test_copy_is_independent(self, medical):
+        dup = medical.copy()
+        franck = medical.children(medical.root)[0]
+        medical.relabel(franck, "changed")
+        assert dup.label(franck) == "franck"
+        medical.remove_subtree(franck)
+        assert franck in dup
+
+
+class TestAttributes:
+    def test_set_and_read_attribute(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        attr = doc.set_attribute(root, "id", "42")
+        assert doc.attribute_value(root, "id") == "42"
+        assert doc.attributes(root) == [attr]
+
+    def test_overwrite_attribute_keeps_id(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        first = doc.set_attribute(root, "id", "1")
+        second = doc.set_attribute(root, "id", "2")
+        assert first == second
+        assert doc.attribute_value(root, "id") == "2"
+
+    def test_attribute_on_text_rejected(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        t = doc.append_child(root, NodeKind.TEXT, "x")
+        with pytest.raises(DocumentError):
+            doc.set_attribute(t, "id", "1")
+
+    def test_attributes_not_in_child_axis(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        doc.set_attribute(root, "id", "1")
+        doc.append_child(root, NodeKind.ELEMENT, "b")
+        assert [doc.label(c) for c in doc.children(root)] == ["b"]
+        assert [doc.label(a) for a in doc.attributes(root)] == ["id"]
+
+    def test_missing_attribute_value_is_none(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        assert doc.attribute_value(root, "nope") is None
+
+
+class TestRenumbering:
+    def test_renumbering_scheme_rewrites_ids(self):
+        doc = parse_xml("<r><a/><b/></r>", scheme=RenumberingScheme())
+        a = doc.children(doc.root)[0]
+        doc.insert_after(a, NodeKind.ELEMENT, "m")
+        assert doc.renumber_count == 1
+        assert doc.renumbered_nodes > 0
+        assert doc.last_renumber_mapping  # stale ids are re-resolvable
+        labels = [doc.label(k) for k in doc.children(doc.root)]
+        assert labels == ["a", "m", "b"]
+
+    def test_renumber_mapping_resolves_stale_ids(self):
+        doc = parse_xml("<r><a/><b/></r>", scheme=RenumberingScheme())
+        a = doc.children(doc.root)[0]
+        doc.insert_after(a, NodeKind.ELEMENT, "m0")
+        a = doc.last_renumber_mapping.get(a, a)
+        assert doc.label(a) == "a"
+
+    def test_persistent_scheme_never_renumbers(self):
+        doc = parse_xml("<r><a/><b/></r>")
+        a = doc.children(doc.root)[0]
+        for i in range(50):
+            doc.insert_after(a, NodeKind.ELEMENT, f"m{i}")
+        assert doc.renumber_count == 0
+        assert doc.last_renumber_mapping == {}
+
+
+class TestCommentsAndValues:
+    def test_comment_nodes_via_api(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        c = doc.append_child(root, NodeKind.COMMENT, "remark")
+        assert doc.kind(c) is NodeKind.COMMENT
+        assert c in doc.children(root)
+        from repro.xpath import XPathEngine
+
+        engine = XPathEngine()
+        assert engine.select(doc, "//comment()") == [c]
+        # comment() is excluded from element name tests.
+        assert engine.select(doc, "/a/*") == []
+
+    def test_set_value_on_attribute(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        attr = doc.set_attribute(root, "k", "v1")
+        doc.set_value(attr, "v2")
+        assert doc.attribute_value(root, "k") == "v2"
+
+    def test_set_value_on_document_rejected(self):
+        doc = XMLDocument()
+        with pytest.raises(DocumentError):
+            doc.set_value(DOCUMENT_ID, "x")
+
+    def test_insert_sibling_of_attribute_rejected(self):
+        doc = XMLDocument()
+        root = doc.add_root("a")
+        attr = doc.set_attribute(root, "k", "v")
+        with pytest.raises(DocumentError):
+            doc.insert_before(attr, NodeKind.ELEMENT, "b")
+        with pytest.raises(DocumentError):
+            doc.insert_after(attr, NodeKind.ELEMENT, "b")
+
+    def test_mutation_stamp_tracks_all_mutations(self):
+        doc = XMLDocument()
+        before = doc.mutation_stamp
+        root = doc.add_root("a")
+        doc.set_attribute(root, "k", "v")
+        doc.relabel(root, "b")
+        assert doc.mutation_stamp > before

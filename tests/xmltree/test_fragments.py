@@ -1,0 +1,109 @@
+"""Unit tests for detached tree fragments (the paper's TREE parameter)."""
+
+import pytest
+
+from repro.xmltree import (
+    Fragment,
+    NodeKind,
+    XMLDocument,
+    element,
+    fragment_from_subtree,
+    parse_xml,
+    serialize,
+    text,
+)
+
+
+class TestBuilders:
+    def test_element_with_string_children_become_text(self):
+        frag = element("a", "hello", element("b"))
+        assert frag.children[0].kind is NodeKind.TEXT
+        assert frag.children[1].kind is NodeKind.ELEMENT
+
+    def test_text_fragment(self):
+        frag = text("v")
+        assert frag.kind is NodeKind.TEXT
+        assert frag.label == "v"
+
+    def test_text_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            Fragment(NodeKind.TEXT, "v", (), (text("x"),))
+
+    def test_document_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fragment(NodeKind.DOCUMENT, "/")
+
+    def test_attributes_sorted_deterministically(self):
+        frag = element("a", attributes={"z": "1", "b": "2"})
+        assert frag.attributes == (("b", "2"), ("z", "1"))
+
+    def test_size_counts_attributes(self):
+        frag = element("a", element("b", "t"), attributes={"id": "1"})
+        assert frag.size() == 4
+
+    def test_labels_are_preorder(self):
+        frag = element("a", element("b", "t"), element("c"))
+        assert list(frag.labels()) == ["a", "b", "t", "c"]
+
+
+class TestAttach:
+    def test_attach_appends_as_last_child(self):
+        doc = parse_xml("<r><x/></r>")
+        element("y", "v").attach(doc, doc.root)
+        assert serialize(doc) == "<r><x/><y>v</y></r>"
+
+    def test_attach_before(self):
+        doc = parse_xml("<r><x/></r>")
+        x = doc.children(doc.root)[0]
+        element("y").attach_before(doc, x)
+        assert serialize(doc) == "<r><y/><x/></r>"
+
+    def test_attach_after(self):
+        doc = parse_xml("<r><x/><z/></r>")
+        x = doc.children(doc.root)[0]
+        element("y").attach_after(doc, x)
+        assert serialize(doc) == "<r><x/><y/><z/></r>"
+
+    def test_attach_returns_new_root_id(self):
+        doc = parse_xml("<r/>")
+        nid = element("y", element("z")).attach(doc, doc.root)
+        assert doc.label(nid) == "y"
+        assert [doc.label(c) for c in doc.children(nid)] == ["z"]
+
+    def test_attach_installs_attributes(self):
+        doc = parse_xml("<r/>")
+        nid = element("y", attributes={"id": "7"}).attach(doc, doc.root)
+        assert doc.attribute_value(nid, "id") == "7"
+
+    def test_fragment_reusable_across_documents(self):
+        frag = element("y", "v")
+        doc1 = parse_xml("<r/>")
+        doc2 = parse_xml("<s/>")
+        frag.attach(doc1, doc1.root)
+        frag.attach(doc2, doc2.root)
+        assert serialize(doc1) == "<r><y>v</y></r>"
+        assert serialize(doc2) == "<s><y>v</y></s>"
+
+
+class TestFromSubtree:
+    def test_detach_copies_subtree(self):
+        doc = parse_xml('<r><a id="1"><b>t</b></a></r>')
+        a = doc.children(doc.root)[0]
+        frag = fragment_from_subtree(doc, a)
+        assert frag.label == "a"
+        assert frag.attributes == (("id", "1"),)
+        assert frag.children[0].label == "b"
+
+    def test_detached_fragment_is_independent(self):
+        doc = parse_xml("<r><a><b>t</b></a></r>")
+        a = doc.children(doc.root)[0]
+        frag = fragment_from_subtree(doc, a)
+        doc.remove_subtree(a)
+        other = parse_xml("<s/>")
+        frag.attach(other, other.root)
+        assert serialize(other) == "<s><a><b>t</b></a></s>"
+
+    def test_document_node_rejected(self):
+        doc = parse_xml("<r/>")
+        with pytest.raises(ValueError):
+            fragment_from_subtree(doc, doc.document_node.nid)

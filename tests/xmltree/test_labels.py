@@ -1,0 +1,217 @@
+"""Unit and property tests for the numbering schemes.
+
+The paper's requirements (section 3.1): geometry derivable from the
+numbers alone, and -- for persistent schemes -- numbers never change
+across updates.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.labels import (
+    DOCUMENT_ID,
+    LSDXScheme,
+    NodeId,
+    PersistentDeweyScheme,
+    RenumberingRequired,
+    RenumberingScheme,
+    document_order_key,
+)
+
+
+class TestNodeId:
+    def test_document_node_is_level_zero(self):
+        assert DOCUMENT_ID.level == 0
+        assert DOCUMENT_ID.is_document
+
+    def test_document_node_has_no_parent(self):
+        with pytest.raises(ValueError):
+            DOCUMENT_ID.parent()
+
+    def test_child_and_parent_roundtrip(self):
+        child = DOCUMENT_ID.child(Fraction(1))
+        assert child.parent() == DOCUMENT_ID
+        assert child.level == 1
+
+    def test_ancestors_enumerate_to_document(self):
+        nid = DOCUMENT_ID.child(Fraction(1)).child(Fraction(2)).child(Fraction(3))
+        chain = list(nid.ancestors())
+        assert len(chain) == 3
+        assert chain[-1] == DOCUMENT_ID
+
+    def test_is_ancestor_is_proper(self):
+        a = DOCUMENT_ID.child(Fraction(1))
+        b = a.child(Fraction(1))
+        assert a.is_ancestor_of(b)
+        assert not a.is_ancestor_of(a)
+        assert not b.is_ancestor_of(a)
+        assert b.is_descendant_of(a)
+
+    def test_unrelated_nodes_are_not_ancestors(self):
+        a = DOCUMENT_ID.child(Fraction(1))
+        b = DOCUMENT_ID.child(Fraction(2))
+        assert not a.is_ancestor_of(b)
+        assert not b.is_ancestor_of(a)
+
+    def test_document_order_is_preorder(self):
+        root = DOCUMENT_ID.child(Fraction(1))
+        first = root.child(Fraction(1))
+        first_kid = first.child(Fraction(1))
+        second = root.child(Fraction(2))
+        order = sorted(
+            [second, first_kid, root, first, DOCUMENT_ID],
+            key=document_order_key,
+        )
+        assert order == [DOCUMENT_ID, root, first, first_kid, second]
+
+    def test_ordering_operators(self):
+        a = DOCUMENT_ID.child(Fraction(1))
+        b = DOCUMENT_ID.child(Fraction(2))
+        assert a < b and a <= b and b > a and b >= a
+        assert a <= a and a >= a
+
+    def test_hashable_and_equal_by_value(self):
+        a = DOCUMENT_ID.child(Fraction(1))
+        b = DOCUMENT_ID.child(Fraction(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestPersistentDeweyScheme:
+    def setup_method(self):
+        self.scheme = PersistentDeweyScheme()
+
+    def test_is_persistent(self):
+        assert self.scheme.persistent
+
+    def test_initial_component(self):
+        assert self.scheme.initial_component() == Fraction(1)
+
+    def test_between_two_components_is_midpoint(self):
+        mid = self.scheme.component_between(Fraction(1), Fraction(2))
+        assert Fraction(1) < mid < Fraction(2)
+
+    def test_before_first(self):
+        assert self.scheme.component_between(None, Fraction(1)) < Fraction(1)
+
+    def test_after_last(self):
+        assert self.scheme.component_between(Fraction(5), None) > Fraction(5)
+
+    def test_empty_sibling_list(self):
+        assert self.scheme.component_between(None, None) == Fraction(1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            self.scheme.component_between(Fraction(2), Fraction(1))
+
+    def test_child_id_between_validates_parent(self):
+        parent = DOCUMENT_ID.child(Fraction(1))
+        stranger = DOCUMENT_ID.child(Fraction(2)).child(Fraction(1))
+        with pytest.raises(ValueError):
+            self.scheme.child_id_between(parent, stranger, None)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=50))
+    def test_random_insertions_never_collide(self, positions):
+        """Dense insertion: components stay unique and ordered."""
+        components = [self.scheme.initial_component()]
+        for pos in positions:
+            index = pos % (len(components) + 1)
+            lo = components[index - 1] if index > 0 else None
+            hi = components[index] if index < len(components) else None
+            fresh = self.scheme.component_between(lo, hi)
+            if lo is not None:
+                assert fresh > lo
+            if hi is not None:
+                assert fresh < hi
+            components.insert(index, fresh)
+        assert components == sorted(components)
+        assert len(set(components)) == len(components)
+
+
+class TestLSDXScheme:
+    def setup_method(self):
+        self.scheme = LSDXScheme()
+
+    def test_is_persistent(self):
+        assert self.scheme.persistent
+
+    def test_initial_key_not_ending_in_a(self):
+        assert not self.scheme.initial_component().endswith("a")
+
+    def test_between_adjacent_letters(self):
+        key = self.scheme.component_between("b", "c")
+        assert "b" < key < "c"
+
+    def test_between_far_letters(self):
+        key = self.scheme.component_between("b", "x")
+        assert "b" < key < "x"
+
+    def test_before_first(self):
+        key = self.scheme.component_between(None, "b")
+        assert key < "b"
+
+    def test_after_last(self):
+        key = self.scheme.component_between("z", None)
+        assert key > "z"
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            self.scheme.component_between("c", "b")
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=60))
+    @settings(max_examples=60)
+    def test_random_insertions_never_collide(self, positions):
+        components = [self.scheme.initial_component()]
+        for pos in positions:
+            index = pos % (len(components) + 1)
+            lo = components[index - 1] if index > 0 else None
+            hi = components[index] if index < len(components) else None
+            fresh = self.scheme.component_between(lo, hi)
+            if lo is not None:
+                assert fresh > lo
+            if hi is not None:
+                assert fresh < hi
+            components.insert(index, fresh)
+        assert components == sorted(components)
+        assert len(set(components)) == len(components)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=40))
+    @settings(max_examples=60)
+    def test_keys_never_end_in_minimal_letter(self, positions):
+        """The LSDX invariant that keeps room below every key."""
+        components = [self.scheme.initial_component()]
+        for pos in positions:
+            index = pos % (len(components) + 1)
+            lo = components[index - 1] if index > 0 else None
+            hi = components[index] if index < len(components) else None
+            fresh = self.scheme.component_between(lo, hi)
+            components.insert(index, fresh)
+        for key in components:
+            assert not key.endswith("a"), key
+
+
+class TestRenumberingScheme:
+    def setup_method(self):
+        self.scheme = RenumberingScheme()
+
+    def test_is_not_persistent(self):
+        assert not self.scheme.persistent
+
+    def test_append_works_without_renumbering(self):
+        assert self.scheme.component_between(Fraction(3), None) == Fraction(4)
+
+    def test_gap_insert_works(self):
+        mid = self.scheme.component_between(Fraction(2), Fraction(6))
+        assert Fraction(2) < mid < Fraction(6)
+
+    def test_adjacent_insert_requires_renumbering(self):
+        with pytest.raises(RenumberingRequired):
+            self.scheme.component_between(Fraction(1), Fraction(2))
+
+    def test_before_first_at_floor_requires_renumbering(self):
+        with pytest.raises(RenumberingRequired):
+            self.scheme.component_between(None, Fraction(1))

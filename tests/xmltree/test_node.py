@@ -1,0 +1,44 @@
+"""Node model unit tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.xmltree import DOCUMENT_ID, Node, NodeKind, RESTRICTED
+
+
+NID = DOCUMENT_ID.child(Fraction(1))
+
+
+class TestNode:
+    def test_kind_predicates(self):
+        assert Node(NID, NodeKind.ELEMENT, "a").is_element
+        assert Node(NID, NodeKind.TEXT, "t").is_text
+        assert Node(NID, NodeKind.ATTRIBUTE, "k", "v").is_attribute
+        assert Node(DOCUMENT_ID, NodeKind.DOCUMENT, "/").is_document
+
+    def test_fact_projection(self):
+        node = Node(NID, NodeKind.ELEMENT, "patients")
+        assert node.fact() == (NID, "patients")
+
+    def test_relabelled_preserves_identity_and_kind(self):
+        node = Node(NID, NodeKind.ELEMENT, "a")
+        renamed = node.relabelled("b")
+        assert renamed.nid == NID
+        assert renamed.kind is NodeKind.ELEMENT
+        assert renamed.label == "b"
+        assert node.label == "a"  # original untouched (frozen)
+
+    def test_string_value_by_kind(self):
+        assert Node(NID, NodeKind.TEXT, "hello").string_value() == "hello"
+        assert Node(NID, NodeKind.ATTRIBUTE, "k", "v").string_value() == "v"
+        assert Node(NID, NodeKind.COMMENT, "c").string_value() == "c"
+        assert Node(NID, NodeKind.ELEMENT, "a").string_value() == ""
+
+    def test_frozen(self):
+        node = Node(NID, NodeKind.ELEMENT, "a")
+        with pytest.raises(Exception):
+            node.label = "b"  # type: ignore[misc]
+
+    def test_restricted_constant(self):
+        assert RESTRICTED == "RESTRICTED"

@@ -1,0 +1,129 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.xmltree import NodeKind, XMLSyntaxError, parse_fragment, parse_xml
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.label(doc.root) == "a"
+        assert doc.children(doc.root) == []
+
+    def test_open_close_pair(self):
+        doc = parse_xml("<a></a>")
+        assert doc.label(doc.root) == "a"
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        b = doc.children(doc.root)[0]
+        c = doc.children(b)[0]
+        assert doc.label(c) == "c"
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello</a>")
+        t = doc.children(doc.root)[0]
+        assert doc.kind(t) is NodeKind.TEXT
+        assert doc.label(t) == "hello"
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        labels = [doc.label(k) for k in doc.children(doc.root)]
+        assert labels == ["b", "c"]
+
+    def test_mixed_content_keeps_text(self):
+        doc = parse_xml("<a>pre<b/>post</a>")
+        kinds = [doc.kind(k) for k in doc.children(doc.root)]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+    def test_attributes(self):
+        doc = parse_xml('<a id="1" lang=\'fr\'/>')
+        assert doc.attribute_value(doc.root, "id") == "1"
+        assert doc.attribute_value(doc.root, "lang") == "fr"
+
+    def test_xml_declaration_and_doctype_skipped(self):
+        doc = parse_xml('<?xml version="1.0"?><!DOCTYPE a []><a/>')
+        assert doc.label(doc.root) == "a"
+
+    def test_comments_skipped(self):
+        doc = parse_xml("<a><!-- hidden --><b/></a>")
+        assert [doc.label(k) for k in doc.children(doc.root)] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        doc = parse_xml("<a><?php echo ?><b/></a>")
+        assert [doc.label(k) for k in doc.children(doc.root)] == ["b"]
+
+    def test_cdata_preserved_verbatim(self):
+        doc = parse_xml("<a><![CDATA[<not> & parsed]]></a>")
+        t = doc.children(doc.root)[0]
+        assert doc.label(t) == "<not> & parsed"
+
+    def test_names_with_namespace_prefix(self):
+        doc = parse_xml("<xu:mods><xu:item/></xu:mods>")
+        assert doc.label(doc.root) == "xu:mods"
+
+
+class TestEntities:
+    def test_standard_entities(self):
+        doc = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.label(doc.children(doc.root)[0]) == "<>&'\""
+
+    def test_numeric_references(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.label(doc.children(doc.root)[0]) == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a title="a&amp;b"/>')
+        assert doc.attribute_value(doc.root, "title") == "a&b"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&nope;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&amp</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a attr></a>",
+            "<a attr=unquoted/>",
+            '<a attr="unterminated/>',
+            "<a><!-- unterminated</a>",
+            "<a><![CDATA[unterminated</a>",
+            "plain text",
+            "< a/>",
+        ],
+    )
+    def test_malformed_inputs_rejected(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a></b>")
+        except XMLSyntaxError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestFragmentParsing:
+    def test_fragment_is_detached(self):
+        frag = parse_fragment("<a><b>t</b></a>")
+        assert frag.label == "a"
+        assert frag.children[0].label == "b"
+        assert frag.children[0].children[0].kind is NodeKind.TEXT
+
+    def test_fragment_size(self):
+        frag = parse_fragment('<a id="1"><b/>t</a>')
+        assert frag.size() == 4  # a, @id, b, text

@@ -1,0 +1,127 @@
+"""Evaluation tests for all thirteen axes on a fixed tree."""
+
+import pytest
+
+from repro.xmltree import parse_xml
+from repro.xpath import XPathEngine
+
+XML = (
+    '<root a="1">'
+    "<x><x1/><x2><deep/></x2></x>"
+    "<y>text-y</y>"
+    "<z><z1/></z>"
+    "</root>"
+)
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(XML)
+
+
+@pytest.fixture
+def engine():
+    return XPathEngine()
+
+
+def labels(doc, nodes):
+    return [doc.label(n) for n in nodes]
+
+
+class TestForwardAxes:
+    def test_child(self, doc, engine):
+        assert labels(doc, engine.select(doc, "/root/*")) == ["x", "y", "z"]
+
+    def test_child_from_nested(self, doc, engine):
+        assert labels(doc, engine.select(doc, "/root/x/child::*")) == ["x1", "x2"]
+
+    def test_descendant(self, doc, engine):
+        got = labels(doc, engine.select(doc, "/root/descendant::*"))
+        assert got == ["x", "x1", "x2", "deep", "y", "z", "z1"]
+
+    def test_descendant_or_self(self, doc, engine):
+        got = labels(doc, engine.select(doc, "/root/x/descendant-or-self::*"))
+        assert got == ["x", "x1", "x2", "deep"]
+
+    def test_self(self, doc, engine):
+        assert labels(doc, engine.select(doc, "/root/self::*")) == ["root"]
+
+    def test_self_with_name_filter(self, doc, engine):
+        assert engine.select(doc, "/root/self::nope") == []
+
+    def test_following_sibling(self, doc, engine):
+        got = labels(doc, engine.select(doc, "/root/x/following-sibling::*"))
+        assert got == ["y", "z"]
+
+    def test_following(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//x2/following::*"))
+        assert got == ["y", "z", "z1"]
+
+    def test_attribute(self, doc, engine):
+        got = engine.select(doc, "/root/@a")
+        assert len(got) == 1
+        assert doc.node(got[0]).value == "1"
+
+    def test_attribute_wildcard(self, doc, engine):
+        assert len(engine.select(doc, "/root/@*")) == 1
+
+    def test_namespace_axis_is_empty(self, doc, engine):
+        assert engine.select(doc, "/root/namespace::*") == []
+
+
+class TestReverseAxes:
+    def test_parent(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//deep/parent::*"))
+        assert got == ["x2"]
+
+    def test_parent_of_root_element_is_document(self, doc, engine):
+        got = engine.select(doc, "/root/..")
+        assert len(got) == 1
+        assert got[0].is_document
+
+    def test_ancestor(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//deep/ancestor::*"))
+        assert got == ["root", "x", "x2"]  # document order
+
+    def test_ancestor_or_self(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//deep/ancestor-or-self::*"))
+        assert got == ["root", "x", "x2", "deep"]
+
+    def test_preceding_sibling(self, doc, engine):
+        got = labels(doc, engine.select(doc, "/root/z/preceding-sibling::*"))
+        assert got == ["x", "y"]  # result in document order
+
+    def test_preceding(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//z1/preceding::*"))
+        assert got == ["x", "x1", "x2", "deep", "y"]
+
+    def test_preceding_excludes_ancestors(self, doc, engine):
+        got = labels(doc, engine.select(doc, "//deep/preceding::*"))
+        assert got == ["x1"]
+
+
+class TestAxisAlgebra:
+    """Identities between axes, checked pointwise on the fixture."""
+
+    def test_descendant_is_child_closure(self, doc, engine):
+        direct = set(engine.select(doc, "/root/descendant::*"))
+        via_children = set(engine.select(doc, "/root/*/descendant-or-self::*"))
+        assert direct == via_children
+
+    def test_parent_inverts_child(self, doc, engine):
+        for label in ("x", "y", "z", "x1", "x2", "deep", "z1"):
+            node = engine.select(doc, f"//{label}")[0]
+            parents = engine.select(doc, f"//{label}/..")
+            children_back = engine.select(doc, f"//{label}/../child::*")
+            assert node in children_back
+            assert len(parents) == 1
+
+    def test_ancestor_inverts_descendant(self, doc, engine):
+        descendants = engine.select(doc, "/root/descendant::*")
+        root = engine.select(doc, "/root")[0]
+        for d in descendants:
+            anc = engine.select(doc, "//*", context_node=d)
+            # use explicit axis from the node instead
+        for d in descendants:
+            chain = engine.select(doc, "ancestor::*", context_node=d)
+            assert root in chain

@@ -1,0 +1,118 @@
+"""XPath comparison and arithmetic semantics (spec sections 3.4-3.5)."""
+
+import math
+
+import pytest
+
+from repro.xmltree import parse_xml
+from repro.xpath import XPathEngine
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(
+        "<r><v>1</v><v>2</v><v>3</v><w>2</w><w>9</w><empty/></r>"
+    )
+
+
+@pytest.fixture
+def engine():
+    return XPathEngine()
+
+
+class TestEquality:
+    def test_nodeset_vs_string_is_existential(self, engine, doc):
+        assert engine.evaluate(doc, "//v = '2'") is True
+        assert engine.evaluate(doc, "//v = '7'") is False
+
+    def test_nodeset_vs_number(self, engine, doc):
+        assert engine.evaluate(doc, "//v = 3") is True
+        assert engine.evaluate(doc, "//v = 4") is False
+
+    def test_nodeset_vs_nodeset(self, engine, doc):
+        assert engine.evaluate(doc, "//v = //w") is True  # both contain "2"
+        assert engine.evaluate(doc, "//v = //empty") is False
+
+    def test_both_eq_and_neq_can_hold(self, engine, doc):
+        """The classic XPath gotcha: existential on both sides."""
+        assert engine.evaluate(doc, "//v = '2'") is True
+        assert engine.evaluate(doc, "//v != '2'") is True
+
+    def test_empty_nodeset_comparisons(self, engine, doc):
+        assert engine.evaluate(doc, "//nope = '2'") is False
+        assert engine.evaluate(doc, "//nope != '2'") is False
+
+    def test_nodeset_vs_boolean(self, engine, doc):
+        assert engine.evaluate(doc, "//v = true()") is True
+        assert engine.evaluate(doc, "//nope = false()") is True
+        assert engine.evaluate(doc, "//nope != true()") is True
+
+    def test_scalar_equality_coercion(self, engine, doc):
+        assert engine.evaluate(doc, "1 = '1'") is True
+        assert engine.evaluate(doc, "true() = 1") is True
+        assert engine.evaluate(doc, "true() = 'anything'") is True
+        assert engine.evaluate(doc, "'a' = 'a'") is True
+        assert engine.evaluate(doc, "'a' != 'b'") is True
+
+
+class TestRelational:
+    def test_numeric_comparison(self, engine, doc):
+        assert engine.evaluate(doc, "2 < 3") is True
+        assert engine.evaluate(doc, "3 <= 3") is True
+        assert engine.evaluate(doc, "4 > 5") is False
+        assert engine.evaluate(doc, "5 >= 5") is True
+
+    def test_strings_compared_as_numbers(self, engine, doc):
+        assert engine.evaluate(doc, "'10' > '9'") is True  # numeric!
+
+    def test_nan_comparisons_false(self, engine, doc):
+        assert engine.evaluate(doc, "'abc' < 1") is False
+        assert engine.evaluate(doc, "'abc' >= 1") is False
+
+    def test_nodeset_relational(self, engine, doc):
+        assert engine.evaluate(doc, "//v > 2") is True
+        assert engine.evaluate(doc, "//v > 3") is False
+        assert engine.evaluate(doc, "2 < //v") is True
+        assert engine.evaluate(doc, "//v < //w") is True
+
+
+class TestArithmetic:
+    def test_basic_ops(self, engine, doc):
+        assert engine.evaluate(doc, "1 + 2") == 3.0
+        assert engine.evaluate(doc, "5 - 2") == 3.0
+        assert engine.evaluate(doc, "4 * 2.5") == 10.0
+        assert engine.evaluate(doc, "7 div 2") == 3.5
+
+    def test_mod_follows_dividend_sign(self, engine, doc):
+        assert engine.evaluate(doc, "5 mod 2") == 1.0
+        assert engine.evaluate(doc, "5 mod -2") == 1.0
+        assert engine.evaluate(doc, "-5 mod 2") == -1.0
+        assert engine.evaluate(doc, "-5 mod -2") == -1.0
+
+    def test_division_by_zero(self, engine, doc):
+        assert engine.evaluate(doc, "1 div 0") == math.inf
+        assert engine.evaluate(doc, "-1 div 0") == -math.inf
+        assert math.isnan(engine.evaluate(doc, "0 div 0"))
+
+    def test_mod_zero_is_nan(self, engine, doc):
+        assert math.isnan(engine.evaluate(doc, "5 mod 0"))
+
+    def test_unary_minus(self, engine, doc):
+        assert engine.evaluate(doc, "-(1 + 2)") == -3.0
+
+    def test_nodeset_coerced_to_number(self, engine, doc):
+        assert engine.evaluate(doc, "sum(//v) + 1") == 7.0
+        assert engine.evaluate(doc, "//w + 1") == 3.0  # first node "2"
+
+
+class TestBooleansOperators:
+    def test_or_and(self, engine, doc):
+        assert engine.evaluate(doc, "1 or 0") is True
+        assert engine.evaluate(doc, "1 and 0") is False
+
+    def test_short_circuit_or(self, engine, doc):
+        # The right side would raise (unknown function) if evaluated.
+        assert engine.evaluate(doc, "true() or frobnicate()") is True
+
+    def test_short_circuit_and(self, engine, doc):
+        assert engine.evaluate(doc, "false() and frobnicate()") is False

@@ -1,0 +1,94 @@
+"""XPathEngine facade: select/evaluate/xpath_facts and compat options."""
+
+import pytest
+
+from repro.xmltree import parse_xml
+from repro.xpath import XPathEngine, XPathEvaluationError, XPathSyntaxError
+
+
+@pytest.fixture
+def doc():
+    return parse_xml("<r><a>1</a><b>2</b></r>")
+
+
+class TestFacade:
+    def test_select_returns_node_set(self, doc):
+        engine = XPathEngine()
+        nodes = engine.select(doc, "//a")
+        assert len(nodes) == 1
+        assert doc.label(nodes[0]) == "a"
+
+    def test_select_rejects_scalar_result(self, doc):
+        engine = XPathEngine()
+        with pytest.raises(XPathEvaluationError):
+            engine.select(doc, "count(//a)")
+        with pytest.raises(XPathEvaluationError):
+            engine.select(doc, "'text'")
+
+    def test_evaluate_returns_any_type(self, doc):
+        engine = XPathEngine()
+        assert engine.evaluate(doc, "count(//*)") == 3.0
+        assert engine.evaluate(doc, "string(//a)") == "1"
+        assert engine.evaluate(doc, "//a = 1") is True
+
+    def test_compile_surfaces_syntax_errors(self, doc):
+        engine = XPathEngine()
+        with pytest.raises(XPathSyntaxError):
+            engine.compile("//a[")
+
+    def test_context_node_parameter(self, doc):
+        engine = XPathEngine()
+        a = engine.select(doc, "//a")[0]
+        sibs = engine.select(doc, "following-sibling::*", context_node=a)
+        assert [doc.label(n) for n in sibs] == ["b"]
+
+    def test_variables_parameter(self, doc):
+        engine = XPathEngine()
+        assert engine.evaluate(doc, "$X + 1", variables={"X": 2.0}) == 3.0
+
+    def test_node_set_variable(self, doc):
+        engine = XPathEngine()
+        a_nodes = engine.select(doc, "//a")
+        got = engine.select(doc, "$N/text()", variables={"N": a_nodes})
+        assert len(got) == 1
+
+
+class TestXPathFacts:
+    def test_xpath_facts_triples(self, doc):
+        """The paper's xpath(p, n, v) reading (section 3.4)."""
+        engine = XPathEngine()
+        facts = engine.xpath_facts(doc, "//a")
+        assert len(facts) == 1
+        ((path, nid, label),) = facts
+        assert path == "//a"
+        assert label == "a"
+        assert nid in doc
+
+    def test_xpath_facts_empty_for_no_match(self, doc):
+        engine = XPathEngine()
+        assert engine.xpath_facts(doc, "//zzz") == set()
+
+    def test_xpath_facts_with_variables(self, doc):
+        engine = XPathEngine(lone_variable_name_test=True)
+        facts = engine.xpath_facts(doc, "//*[$USER]", variables={"USER": "a"})
+        assert {label for (_p, _n, label) in facts} == {"a"}
+
+
+class TestEngineIsolation:
+    def test_options_do_not_leak_between_engines(self, doc):
+        strict = XPathEngine()
+        compat = XPathEngine(star_matches_text=True)
+        assert strict.select(doc, "//a/*") == []
+        assert len(compat.select(doc, "//a/*")) == 1
+        # The strict engine is still strict afterwards.
+        assert strict.select(doc, "//a/*") == []
+
+    def test_engines_share_parse_cache_safely(self, doc):
+        """The AST cache is keyed by text only; semantics differ per
+        engine because options live in the evaluation context."""
+        strict = XPathEngine()
+        compat = XPathEngine(star_matches_text=True)
+        path = "//b/*"
+        first = compat.select(doc, path)
+        second = strict.select(doc, path)
+        assert len(first) == 1 and second == []

@@ -1,0 +1,119 @@
+"""Tokenizer tests, focused on the XPath 3.7 disambiguation rules."""
+
+import pytest
+
+from repro.xpath.lexer import Token, XPathSyntaxError, tokenize
+
+
+def kinds(expr):
+    return [(t.kind, t.value) for t in tokenize(expr) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_names_and_slashes(self):
+        assert kinds("/a/b") == [
+            ("op", "/"),
+            ("name", "a"),
+            ("op", "/"),
+            ("name", "b"),
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a")[0] == ("op", "//")
+
+    def test_numbers(self):
+        assert kinds("3.14") == [("number", "3.14")]
+        assert kinds(".5") == [("number", ".5")]
+        assert kinds("42") == [("number", "42")]
+
+    def test_string_literals_both_quotes(self):
+        assert kinds("'abc'") == [("literal", "abc")]
+        assert kinds('"x y"') == [("literal", "x y")]
+
+    def test_variables(self):
+        assert kinds("$USER") == [("variable", "USER")]
+
+    def test_axis_separator(self):
+        assert kinds("child::a") == [
+            ("name", "child"),
+            ("op", "::"),
+            ("name", "a"),
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds("a <= b != c >= d") == [
+            ("name", "a"),
+            ("op", "<="),
+            ("name", "b"),
+            ("op", "!="),
+            ("name", "c"),
+            ("op", ">="),
+            ("name", "d"),
+        ]
+
+    def test_dotdot_and_dot(self):
+        assert kinds("../.") == [("op", ".."), ("op", "/"), ("op", ".")]
+
+    def test_qualified_names(self):
+        assert kinds("xu:rename") == [("name", "xu:rename")]
+
+    def test_names_with_hyphen(self):
+        assert kinds("insert-before") == [("name", "insert-before")]
+
+
+class TestDisambiguation:
+    def test_star_after_slash_is_name(self):
+        assert kinds("/*") == [("op", "/"), ("name", "*")]
+
+    def test_star_after_operand_is_operator(self):
+        assert kinds("2 * 3") == [
+            ("number", "2"),
+            ("op", "*"),
+            ("number", "3"),
+        ]
+
+    def test_star_after_paren_close_is_operator(self):
+        assert kinds("(1) * 2")[3] == ("op", "*")
+
+    def test_and_as_operator_after_operand(self):
+        assert ("op", "and") in kinds("a and b")
+
+    def test_and_as_name_at_start(self):
+        assert kinds("and")[0] == ("name", "and")
+
+    def test_div_mod_names_after_slash(self):
+        assert kinds("/div/mod") == [
+            ("op", "/"),
+            ("name", "div"),
+            ("op", "/"),
+            ("name", "mod"),
+        ]
+
+    def test_div_as_operator(self):
+        assert ("op", "div") in kinds("4 div 2")
+
+
+class TestErrors:
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_bad_variable(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("$ ")
+
+    def test_unknown_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+    def test_error_position(self):
+        try:
+            tokenize("abc # d")
+        except XPathSyntaxError as exc:
+            assert exc.position == 4
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_eof_token_always_present(self):
+        tokens = tokenize("")
+        assert tokens[-1].kind == "eof"

@@ -1,0 +1,184 @@
+"""Parser tests: AST shapes, abbreviations, precedence, errors."""
+
+import pytest
+
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+
+
+class TestLocationPaths:
+    def test_absolute_single_step(self):
+        path = parse_xpath("/patients")
+        assert isinstance(path, LocationPath)
+        assert path.absolute
+        assert path.steps == (Step("child", NameTest("patients")),)
+
+    def test_bare_slash_selects_document(self):
+        path = parse_xpath("/")
+        assert path == LocationPath(True, ())
+
+    def test_relative_path(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+        assert [s.test.name for s in path.steps] == ["a", "b"]
+
+    def test_double_slash_desugars(self):
+        path = parse_xpath("//a")
+        assert path.steps[0] == Step("descendant-or-self", KindTest("node"))
+        assert path.steps[1] == Step("child", NameTest("a"))
+
+    def test_inner_double_slash(self):
+        path = parse_xpath("/a//b")
+        assert [s.axis for s in path.steps] == [
+            "child",
+            "descendant-or-self",
+            "child",
+        ]
+
+    def test_explicit_axes(self):
+        path = parse_xpath("ancestor-or-self::x/following-sibling::*")
+        assert path.steps[0].axis == "ancestor-or-self"
+        assert path.steps[1].axis == "following-sibling"
+        assert path.steps[1].test == NameTest("*")
+
+    def test_abbreviated_dot_and_dotdot(self):
+        path = parse_xpath("../.")
+        assert path.steps[0] == Step("parent", KindTest("node"))
+        assert path.steps[1] == Step("self", KindTest("node"))
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("@id")
+        assert path.steps[0] == Step("attribute", NameTest("id"))
+
+    def test_kind_tests(self):
+        assert parse_xpath("text()").steps[0].test == KindTest("text")
+        assert parse_xpath("node()").steps[0].test == KindTest("node")
+        assert parse_xpath("comment()").steps[0].test == KindTest("comment")
+        pi = parse_xpath("processing-instruction('php')").steps[0].test
+        assert pi == KindTest("processing-instruction", "php")
+
+    def test_predicates_attach_to_step(self):
+        path = parse_xpath("/a[1][2]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("sideways::a")
+
+
+class TestExpressions:
+    def test_or_and_precedence(self):
+        expr = parse_xpath("1 or 2 and 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_equality_vs_relational_precedence(self):
+        expr = parse_xpath("1 = 2 < 3")
+        assert expr.op == "="
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "<"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_xpath("-1")
+        assert isinstance(expr, Negate)
+        assert expr.operand == NumberLiteral(1.0)
+
+    def test_double_negation(self):
+        expr = parse_xpath("--1")
+        assert isinstance(expr, Negate) and isinstance(expr.operand, Negate)
+
+    def test_union(self):
+        expr = parse_xpath("//a | //b")
+        assert isinstance(expr, UnionExpr)
+
+    def test_parentheses_override(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+
+    def test_literals(self):
+        assert parse_xpath("'s'") == Literal("s")
+        assert parse_xpath("2.5") == NumberLiteral(2.5)
+
+    def test_variable_reference(self):
+        assert parse_xpath("$USER") == VariableRef("USER")
+
+    def test_function_call_with_args(self):
+        expr = parse_xpath("concat('a', 'b', 'c')")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "concat"
+        assert len(expr.args) == 3
+
+    def test_function_call_no_args(self):
+        assert parse_xpath("last()") == FunctionCall("last")
+
+    def test_filter_expression(self):
+        expr = parse_xpath("$x[1]")
+        assert isinstance(expr, FilterExpr)
+        assert expr.primary == VariableRef("x")
+
+    def test_path_continues_from_filter(self):
+        expr = parse_xpath("$x/a")
+        assert isinstance(expr, PathExpr)
+        assert expr.start == VariableRef("x")
+        assert expr.steps[0].test == NameTest("a")
+
+    def test_kind_test_not_function_call(self):
+        """text() at path position is a node test, not a call."""
+        expr = parse_xpath("/a/text()")
+        assert isinstance(expr, LocationPath)
+        assert expr.steps[-1].test == KindTest("text")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "/a[",
+            "/a]",
+            "1 +",
+            "(1",
+            "f(1,",
+            "/a b",
+            "//",
+            "$",
+            "/a[']",
+            "processing-instruction(5)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_literal_only_on_pi(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("text('x')")
+
+
+class TestCaching:
+    def test_same_expression_returns_same_ast(self):
+        assert parse_xpath("/a/b/c") is parse_xpath("/a/b/c")
+
+    def test_str_roundtrips_reasonably(self):
+        # __str__ output is for diagnostics; just ensure it's stable.
+        expr = parse_xpath("/a//b[1]")
+        assert "descendant-or-self" in str(expr)

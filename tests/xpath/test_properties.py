@@ -1,0 +1,171 @@
+"""Property-based tests of the XPath evaluator on random documents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import NodeKind, document_order_key
+from repro.xpath import XPathEngine
+
+from tests.strategies import documents
+
+ENGINE = XPathEngine()
+COMPAT_ENGINE = XPathEngine(star_matches_text=True)
+
+PATHS = st.sampled_from(
+    [
+        "//*",
+        "//a",
+        "//a/*",
+        "//b//c",
+        "/*/*",
+        "//text()",
+        "//node()",
+        "//a/..",
+        "//*[1]",
+        "//*[last()]",
+        "//a | //b",
+        "//*/self::*",
+    ]
+)
+
+
+@given(documents(), PATHS)
+@settings(max_examples=120)
+def test_node_sets_are_sorted_and_unique(doc, path):
+    """Every node-set result is in document order without duplicates."""
+    result = ENGINE.select(doc, path)
+    keys = [document_order_key(n) for n in result]
+    assert keys == sorted(keys)
+    assert len(set(result)) == len(result)
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_descendant_equals_child_transitive_closure(doc):
+    via_axis = set(ENGINE.select(doc, "/descendant::*"))
+    # Fixpoint of repeated child steps.
+    frontier = set(ENGINE.select(doc, "/*"))
+    closure = set()
+    while frontier:
+        closure |= frontier
+        nxt = set()
+        for node in frontier:
+            nxt |= set(doc.children(node))
+        frontier = {n for n in nxt if doc.kind(n) is NodeKind.ELEMENT} - closure
+        closure |= nxt
+    elements = {n for n in closure if doc.kind(n) is NodeKind.ELEMENT}
+    assert via_axis == elements
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_following_preceding_partition(doc):
+    """For every node: following, preceding, ancestors and
+    descendants-or-self partition the non-attribute nodes."""
+    everything = {
+        n for n in doc.all_nodes() if doc.kind(n) is not NodeKind.ATTRIBUTE
+    }
+    for node in everything:
+        following = set(ENGINE.select(doc, "following::node()", context_node=node))
+        preceding = set(ENGINE.select(doc, "preceding::node()", context_node=node))
+        ancestors = set(ENGINE.select(doc, "ancestor::node()", context_node=node))
+        dos = set(
+            ENGINE.select(doc, "descendant-or-self::node()", context_node=node)
+        )
+        sets = [following, preceding, ancestors, dos]
+        union = set().union(*sets)
+        assert union == everything
+        total = sum(len(s) for s in sets)
+        assert total == len(everything)  # pairwise disjoint
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_double_slash_equals_descendant_or_self_expansion(doc):
+    assert ENGINE.select(doc, "//a") == ENGINE.select(
+        doc, "/descendant-or-self::node()/child::a"
+    )
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_union_is_commutative_and_idempotent(doc):
+    ab = ENGINE.select(doc, "//a | //b")
+    ba = ENGINE.select(doc, "//b | //a")
+    aa = ENGINE.select(doc, "//a | //a")
+    assert ab == ba
+    assert aa == ENGINE.select(doc, "//a")
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_count_matches_selection_length(doc):
+    count = ENGINE.evaluate(doc, "count(//*)")
+    assert count == float(len(ENGINE.select(doc, "//*")))
+
+
+@given(documents())
+@settings(max_examples=80)
+def test_parent_of_child_is_self(doc):
+    """x/child::*/parent::* never leaves x's subtree closure."""
+    for node in ENGINE.select(doc, "//*"):
+        kids = ENGINE.select(doc, "child::*", context_node=node)
+        if kids:
+            parents = ENGINE.select(doc, "child::*/..", context_node=node)
+            assert parents == [node]
+
+
+@given(documents())
+@settings(max_examples=100)
+def test_label_index_fast_path_equals_generic_evaluation(doc):
+    """``//a`` (fast path) == the same steps written so the generic
+    evaluator must run them (a vacuous predicate defeats the fast
+    path's predicate-free requirement)."""
+    for name in ("a", "b", "diagnosis", "zzz"):
+        fast = ENGINE.select(doc, f"//{name}")
+        slow = ENGINE.select(
+            doc, f"/descendant-or-self::node()/child::{name}[true()]"
+        )
+        assert fast == slow
+
+
+@given(documents())
+@settings(max_examples=60)
+def test_label_index_fast_path_from_inner_context(doc):
+    """The fast path respects the context subtree, not just the root."""
+    for context in ENGINE.select(doc, "/*/*"):
+        fast = ENGINE.select(doc, ".//a", context_node=context)
+        slow = ENGINE.select(
+            doc, "./descendant-or-self::node()/child::a[true()]",
+            context_node=context,
+        )
+        assert fast == slow
+
+
+@given(documents())
+@settings(max_examples=100)
+def test_kind_index_fast_paths_equal_generic(doc):
+    """``//*``, ``//node()``, ``//text()`` (index-answered) equal the
+    generic evaluation of the same steps (fast path defeated by a
+    vacuous predicate)."""
+    for engine in (ENGINE, COMPAT_ENGINE):
+        for test in ("*", "node()", "text()"):
+            fast = engine.select(doc, f"//{test}")
+            slow = engine.select(
+                doc, f"/descendant-or-self::node()/child::{test}[true()]"
+            )
+            assert fast == slow, (test, engine is COMPAT_ENGINE)
+
+
+@given(documents())
+@settings(max_examples=60)
+def test_kind_index_fast_path_from_inner_context(doc):
+    for context in ENGINE.select(doc, "/*/*"):
+        for test in ("*", "node()", "text()"):
+            fast = ENGINE.select(doc, f".//{test}", context_node=context)
+            slow = ENGINE.select(
+                doc,
+                f"./descendant-or-self::node()/child::{test}[true()]",
+                context_node=context,
+            )
+            assert fast == slow

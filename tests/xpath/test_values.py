@@ -1,0 +1,108 @@
+"""Value conversion tests (spec sections 4.2-4.4)."""
+
+import math
+
+import pytest
+
+from repro.xmltree import parse_xml
+from repro.xpath.values import (
+    is_node_set,
+    number_to_string,
+    sort_document_order,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+@pytest.fixture
+def doc():
+    return parse_xml("<r><a>first</a><a>second</a></r>")
+
+
+class TestToBoolean:
+    def test_nodeset(self, doc):
+        assert to_boolean([doc.root]) is True
+        assert to_boolean([]) is False
+
+    def test_numbers(self):
+        assert to_boolean(1.0) is True
+        assert to_boolean(-0.5) is True
+        assert to_boolean(0.0) is False
+        assert to_boolean(math.nan) is False
+        assert to_boolean(math.inf) is True
+
+    def test_strings(self):
+        assert to_boolean("x") is True
+        assert to_boolean("") is False
+        assert to_boolean("false") is True  # non-empty!
+
+    def test_booleans_pass_through(self):
+        assert to_boolean(True) is True
+        assert to_boolean(False) is False
+
+
+class TestToNumber:
+    def test_strings(self, doc):
+        assert to_number("42", doc) == 42.0
+        assert to_number("  -3.5 ", doc) == -3.5
+        assert math.isnan(to_number("abc", doc))
+        assert math.isnan(to_number("", doc))
+
+    def test_booleans(self, doc):
+        assert to_number(True, doc) == 1.0
+        assert to_number(False, doc) == 0.0
+
+    def test_nodeset_uses_first_node(self, doc):
+        doc2 = parse_xml("<r><a>7</a><a>9</a></r>")
+        nodes = [c for c in doc2.children(doc2.root)]
+        assert to_number(nodes, doc2) == 7.0
+
+    def test_empty_nodeset_is_nan(self, doc):
+        assert math.isnan(to_number([], doc))
+
+
+class TestToString:
+    def test_nodeset_uses_first_in_document_order(self, doc):
+        kids = doc.children(doc.root)
+        assert to_string(list(reversed(kids)), doc) == "first"
+
+    def test_empty_nodeset(self, doc):
+        assert to_string([], doc) == ""
+
+    def test_booleans(self, doc):
+        assert to_string(True, doc) == "true"
+        assert to_string(False, doc) == "false"
+
+
+class TestNumberToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, "1"),
+            (-1.0, "-1"),
+            (0.0, "0"),
+            (2.5, "2.5"),
+            (-0.25, "-0.25"),
+            (1e15, "1000000000000000"),
+            (math.inf, "Infinity"),
+            (-math.inf, "-Infinity"),
+            (math.nan, "NaN"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert number_to_string(value) == expected
+
+
+class TestNodeSetHelpers:
+    def test_is_node_set(self, doc):
+        assert is_node_set([doc.root])
+        assert is_node_set([])
+        assert not is_node_set("x")
+        assert not is_node_set(1.0)
+        assert not is_node_set(True)
+
+    def test_sort_document_order_dedupes(self, doc):
+        kids = doc.children(doc.root)
+        messy = [kids[1], kids[0], kids[1], doc.root]
+        assert sort_document_order(messy) == [doc.root, kids[0], kids[1]]

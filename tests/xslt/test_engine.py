@@ -1,0 +1,122 @@
+"""Mini-XSLT engine unit tests."""
+
+import pytest
+
+from repro.xmltree import parse_xml, serialize
+from repro.xslt import (
+    ApplyTemplates,
+    AttributeNamed,
+    Copy,
+    ElementNamed,
+    Stylesheet,
+    TemplateRule,
+    TextLiteral,
+    ValueOf,
+    apply_stylesheet,
+)
+
+
+def transform(xml, *templates):
+    doc = parse_xml(xml)
+    return serialize(apply_stylesheet(Stylesheet(tuple(templates)), doc))
+
+
+class TestBuiltinRules:
+    def test_empty_stylesheet_yields_text_only(self):
+        # Built-ins: elements recurse, text copies through.
+        assert transform("<a><b>x</b>y</a>") == "xy"
+
+    def test_attributes_dropped_without_parent_copy(self):
+        # An attribute's built-in copies it, but with no element being
+        # constructed there is nowhere to hang it; output is text only.
+        assert transform('<a id="1">x</a>') == "x"
+
+
+class TestCopyThrough:
+    COPY_ALL = TemplateRule("//node() | //@*", (Copy(),), 0.0)
+
+    def test_identity_transformation(self):
+        xml = '<a id="1"><b>x</b><c/></a>'
+        assert transform(xml, self.COPY_ALL) == xml
+
+    def test_identity_preserves_order(self):
+        xml = "<r><a/>mid<b/></r>"
+        assert transform(xml, self.COPY_ALL) == xml
+
+
+class TestTemplateSelection:
+    def test_higher_priority_wins(self):
+        out = transform(
+            "<a><b/></a>",
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//b", (ElementNamed("B2"),), 5.0),
+        )
+        assert out == "<a><B2/></a>"
+
+    def test_later_rule_wins_at_equal_priority(self):
+        out = transform(
+            "<a/>",
+            TemplateRule("//a", (ElementNamed("first"),), 0.0),
+            TemplateRule("//a", (ElementNamed("second"),), 0.0),
+        )
+        assert out == "<second/>"
+
+    def test_empty_template_prunes(self):
+        out = transform(
+            "<a><b><deep/></b><c/></a>",
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//b", (), 5.0),
+        )
+        assert out == "<a><c/></a>"
+
+
+class TestInstructions:
+    def test_element_named_rewrites_label(self):
+        out = transform(
+            "<a><b>x</b></a>",
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//b", (ElementNamed("R", (ApplyTemplates(),)),), 5.0),
+        )
+        assert out == "<a><R>x</R></a>"
+
+    def test_text_literal(self):
+        out = transform(
+            "<a><b>secret</b></a>",
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//b/text()", (TextLiteral("HIDDEN"),), 5.0),
+        )
+        assert out == "<a><b>HIDDEN</b></a>"
+
+    def test_attribute_named(self):
+        out = transform(
+            '<a id="1"/>',
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//@*", (AttributeNamed("k", "v"),), 5.0),
+        )
+        assert out == '<a k="v"/>'
+
+    def test_value_of(self):
+        out = transform(
+            "<a><b>x</b><b>y</b></a>",
+            TemplateRule(
+                "//a", (ElementNamed("sum", (ValueOf("b"),)),), 5.0
+            ),
+        )
+        # value-of takes the first node's string value.
+        assert out == "<sum>x</sum>"
+
+    def test_apply_templates_with_select(self):
+        out = transform(
+            "<a><keep/><drop/></a>",
+            TemplateRule("//node() | //@*", (Copy(),), 0.0),
+            TemplateRule("//a", (Copy((ApplyTemplates("keep"),)),), 5.0),
+        )
+        assert out == "<a><keep/></a>"
+
+    def test_source_not_mutated(self):
+        doc = parse_xml("<a><b/></a>")
+        before = serialize(doc)
+        apply_stylesheet(
+            Stylesheet((TemplateRule("//b", (ElementNamed("z"),), 1.0),)), doc
+        )
+        assert serialize(doc) == before

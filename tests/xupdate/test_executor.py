@@ -1,0 +1,244 @@
+"""Unsecured XUpdate semantics: the paper's formulae (2)-(9).
+
+The TestPaperExamples class reproduces the four worked examples of
+section 3.4 and asserts the exact derived fact sets the paper prints.
+"""
+
+import pytest
+
+from repro.xmltree import element, parse_xml, serialize, text
+from repro.xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    UpdateScript,
+    XUpdateError,
+    XUpdateExecutor,
+)
+
+MEDICAL = (
+    "<patients>"
+    "<franck><service>otolarynology</service>"
+    "<diagnosis>tonsillitis</diagnosis></franck>"
+    "<robert><service>pneumology</service>"
+    "<diagnosis>pneumonia</diagnosis></robert>"
+    "</patients>"
+)
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(MEDICAL)
+
+
+@pytest.fixture
+def ex():
+    return XUpdateExecutor()
+
+
+def label_multiset(doc):
+    labels = [doc.label(n) for n in doc.all_nodes()]
+    return sorted(labels)
+
+
+class TestPaperExamples:
+    """Section 3.4's four examples, checked against the printed F sets."""
+
+    def test_e3_rename_all_service_to_department(self, doc, ex):
+        result = ex.apply(doc, Rename("//service", "department"))
+        new = result.document
+        assert label_multiset(new) == sorted(
+            [
+                "/",
+                "patients",
+                "franck",
+                "department",
+                "otolarynology",
+                "diagnosis",
+                "tonsillitis",
+                "robert",
+                "department",
+                "pneumology",
+                "diagnosis",
+                "pneumonia",
+            ]
+        )
+        # Identifiers of untouched nodes are unchanged (formula 2).
+        assert new.facts() - doc.facts() == {
+            (n, "department")
+            for (n, v) in doc.facts()
+            if v == "service"
+        }
+
+    def test_e4_update_diagnosis_to_pharyngitis(self, doc, ex):
+        result = ex.apply(
+            doc, UpdateContent("/patients/franck/diagnosis", "pharyngitis")
+        )
+        new = result.document
+        assert "tonsillitis" not in label_multiset(new)
+        assert "pharyngitis" in label_multiset(new)
+        # Only the text child changed (formulae 4-5).
+        changed = {(n, v) for (n, v) in new.facts() if (n, v) not in doc.facts()}
+        assert len(changed) == 1
+        ((nid, label),) = changed
+        assert label == "pharyngitis"
+
+    def test_e5_append_new_medical_record(self, doc, ex):
+        tree = element(
+            "albert", element("service", "cardiology"), element("diagnosis")
+        )
+        result = ex.apply(doc, Append("/patients", tree))
+        new = result.document
+        # Formula 6: everything old is still there...
+        assert doc.facts() <= new.facts()
+        # ...plus the four inserted nodes with fresh numbers (formula 7).
+        added = new.facts() - doc.facts()
+        assert sorted(v for (_n, v) in added) == [
+            "albert",
+            "cardiology",
+            "diagnosis",
+            "service",
+        ]
+        # Derived geometry matches the paper's example: the inserted
+        # record is the *last* subtree, so robert precedes albert
+        # (the paper derives preceding_sibling(n7, n1'')).
+        albert = [n for (n, v) in added if v == "albert"][0]
+        robert = [n for (n, v) in doc.facts() if v == "robert"][0]
+        assert robert in new.preceding_siblings(albert)
+        assert new.children(new.root)[-1] == albert
+
+    def test_e6_remove_franck_diagnosis(self, doc, ex):
+        result = ex.apply(doc, Remove("/patients/franck/diagnosis"))
+        new = result.document
+        gone = doc.facts() - new.facts()
+        assert sorted(v for (_n, v) in gone) == ["diagnosis", "tonsillitis"]
+        assert new.facts() <= doc.facts()
+
+
+class TestRename:
+    def test_rename_multiple_targets(self, doc, ex):
+        result = ex.apply(doc, Rename("//diagnosis", "dx"))
+        assert len(result.affected) == 2
+
+    def test_rename_no_match_is_noop(self, doc, ex):
+        result = ex.apply(doc, Rename("//nothing", "x"))
+        assert result.affected == []
+        assert result.document.facts() == doc.facts()
+
+    def test_rename_document_node_skipped(self, doc, ex):
+        result = ex.apply(doc, Rename("/", "x"))
+        assert result.affected == []
+
+
+class TestUpdateContent:
+    def test_update_relabels_children_only(self, doc, ex):
+        result = ex.apply(doc, UpdateContent("//service", "surgery"))
+        new = result.document
+        # Both text children updated; element labels intact.
+        assert label_multiset(new).count("service") == 2
+        assert label_multiset(new).count("surgery") == 2
+
+    def test_update_childless_target_is_noop(self, ex):
+        doc = parse_xml("<r><empty/></r>")
+        result = ex.apply(doc, UpdateContent("//empty", "v"))
+        assert result.affected == []
+
+
+class TestInsertions:
+    def test_insert_before(self, doc, ex):
+        result = ex.apply(doc, InsertBefore("//robert", element("zoe")))
+        new = result.document
+        labels = [new.label(c) for c in new.children(new.root)]
+        assert labels == ["franck", "zoe", "robert"]
+
+    def test_insert_after(self, doc, ex):
+        result = ex.apply(doc, InsertAfter("//franck", element("zoe")))
+        new = result.document
+        labels = [new.label(c) for c in new.children(new.root)]
+        assert labels == ["franck", "zoe", "robert"]
+
+    def test_insert_at_every_match(self, doc, ex):
+        result = ex.apply(doc, InsertAfter("//service", element("note")))
+        assert len(result.affected) == 2
+
+    def test_insert_sibling_of_document_rejected(self, doc, ex):
+        with pytest.raises(XUpdateError):
+            ex.apply(doc, InsertBefore("/", element("x")))
+
+    def test_append_keeps_existing_ids(self, doc, ex):
+        """The persistence property across an update (section 3.1)."""
+        before = {n for (n, _v) in doc.facts()}
+        result = ex.apply(doc, Append("/patients", element("x")))
+        after = {n for (n, _v) in result.document.facts()}
+        assert before <= after
+
+    def test_append_text_tree(self, doc, ex):
+        result = ex.apply(
+            doc, Append("/patients/franck/service", text("extra"))
+        )
+        new = result.document
+        franck = new.children(new.root)[0]
+        service = new.children(franck)[0]
+        assert new.string_value(service) == "otolarynologyextra"
+
+
+class TestRemove:
+    def test_remove_subtree_entirely(self, doc, ex):
+        result = ex.apply(doc, Remove("//franck"))
+        new = result.document
+        assert len(new.children(new.root)) == 1
+        assert "tonsillitis" not in label_multiset(new)
+
+    def test_remove_nested_targets_processed_once(self, doc, ex):
+        # //franck selects the parent, //franck/diagnosis a descendant;
+        # removing the parent swallows the child (the undeleted fixpoint).
+        result = ex.apply(
+            doc, Remove("//franck | //franck/diagnosis")
+        )
+        assert len(result.affected) == 1
+
+    def test_remove_document_rejected(self, doc, ex):
+        with pytest.raises(XUpdateError):
+            ex.apply(doc, Remove("/"))
+
+
+class TestScriptsAndPurity:
+    def test_apply_never_mutates_input(self, doc, ex):
+        before = doc.facts()
+        ex.apply(doc, Rename("//service", "x"))
+        ex.apply(doc, Remove("//franck"))
+        ex.apply(doc, Append("/patients", element("y")))
+        assert doc.facts() == before
+
+    def test_apply_in_place_mutates(self, doc, ex):
+        ex.apply_in_place(doc, Rename("//service", "x"))
+        assert "x" in label_multiset(doc)
+
+    def test_script_applies_in_order(self, doc, ex):
+        script = UpdateScript(
+            (
+                Rename("//service", "department"),
+                Remove("//department"),  # sees the rename's result
+            )
+        )
+        result = ex.apply(doc, script)
+        labels = label_multiset(result.document)
+        assert "service" not in labels
+        assert "department" not in labels
+
+    def test_script_merges_reports(self, doc, ex):
+        script = UpdateScript(
+            (Rename("//service", "a"), Rename("//diagnosis", "b"))
+        )
+        result = ex.apply(doc, script)
+        assert len(result.affected) == 4
+
+    def test_unknown_operation_rejected(self, doc, ex):
+        class Weird:
+            path = "/"
+
+        with pytest.raises(XUpdateError):
+            ex.apply(doc, Weird())  # type: ignore[arg-type]

@@ -1,0 +1,47 @@
+"""Operation description objects: immutability and metadata."""
+
+import dataclasses
+
+import pytest
+
+from repro.xmltree import element
+from repro.xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    UpdateScript,
+)
+
+
+class TestDescriptions:
+    def test_operations_are_frozen(self):
+        op = Rename("//a", "b")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            op.path = "//c"  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        assert Rename("//a", "b") == Rename("//a", "b")
+        assert Remove("//a") != Remove("//b")
+
+    def test_required_privileges_match_section_4_4_2(self):
+        tree = element("x")
+        assert Rename("//a", "b").required_privilege == "update"
+        assert UpdateContent("//a", "v").required_privilege == "update"
+        assert Append("//a", tree).required_privilege == "insert"
+        assert InsertBefore("//a", tree).required_privilege == "insert"
+        assert InsertAfter("//a", tree).required_privilege == "insert"
+        assert Remove("//a").required_privilege == "delete"
+
+
+class TestUpdateScript:
+    def test_iteration_and_length(self):
+        ops = (Rename("//a", "b"), Remove("//b"))
+        script = UpdateScript(ops)
+        assert len(script) == 2
+        assert tuple(script) == ops
+
+    def test_empty_script(self):
+        assert len(UpdateScript(())) == 0

@@ -1,0 +1,171 @@
+"""XUpdate XML-syntax parser tests."""
+
+import pytest
+
+from repro.xmltree import NodeKind
+from repro.xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    XUpdateParseError,
+    parse_xupdate,
+)
+
+WRAP = '<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">{}</xupdate:modifications>'
+
+
+def parse_one(body):
+    script = parse_xupdate(WRAP.format(body))
+    assert len(script) >= 1
+    return script.operations[0]
+
+
+class TestInstructions:
+    def test_rename(self):
+        op = parse_one('<xupdate:rename select="//service">department</xupdate:rename>')
+        assert op == Rename("//service", "department")
+
+    def test_update(self):
+        op = parse_one('<xupdate:update select="//d">pharyngitis</xupdate:update>')
+        assert op == UpdateContent("//d", "pharyngitis")
+
+    def test_remove(self):
+        op = parse_one('<xupdate:remove select="//franck"/>')
+        assert op == Remove("//franck")
+
+    def test_append_with_element_constructor(self):
+        op = parse_one(
+            '<xupdate:append select="/patients">'
+            '<xupdate:element name="albert"><service>cardiology</service>'
+            "</xupdate:element></xupdate:append>"
+        )
+        assert isinstance(op, Append)
+        assert op.path == "/patients"
+        assert op.tree.label == "albert"
+        assert op.tree.children[0].label == "service"
+
+    def test_append_with_attribute_constructor(self):
+        op = parse_one(
+            '<xupdate:append select="/p">'
+            '<xupdate:element name="a">'
+            '<xupdate:attribute name="id">7</xupdate:attribute>'
+            "</xupdate:element></xupdate:append>"
+        )
+        assert op.tree.attributes == (("id", "7"),)
+
+    def test_append_with_text_constructor(self):
+        op = parse_one(
+            '<xupdate:append select="/p"><xupdate:text>hi</xupdate:text>'
+            "</xupdate:append>"
+        )
+        assert op.tree.kind is NodeKind.TEXT
+        assert op.tree.label == "hi"
+
+    def test_append_with_literal_xml(self):
+        op = parse_one(
+            '<xupdate:append select="/p"><rec><v>1</v></rec></xupdate:append>'
+        )
+        assert op.tree.label == "rec"
+
+    def test_insert_before_and_after(self):
+        ops = parse_xupdate(
+            WRAP.format(
+                '<xupdate:insert-before select="//a"><x/></xupdate:insert-before>'
+                '<xupdate:insert-after select="//b"><y/></xupdate:insert-after>'
+            )
+        ).operations
+        assert isinstance(ops[0], InsertBefore)
+        assert isinstance(ops[1], InsertAfter)
+
+    def test_multiple_content_items_expand(self):
+        script = parse_xupdate(
+            WRAP.format('<xupdate:append select="/p"><a/><b/></xupdate:append>')
+        )
+        assert len(script) == 2
+        assert all(isinstance(op, Append) for op in script)
+
+    def test_operations_keep_order(self):
+        script = parse_xupdate(
+            WRAP.format(
+                '<xupdate:rename select="//a">b</xupdate:rename>'
+                '<xupdate:remove select="//b"/>'
+            )
+        )
+        assert [type(op).__name__ for op in script] == ["Rename", "Remove"]
+
+    def test_alternate_prefix_accepted(self):
+        script = parse_xupdate(
+            '<xu:modifications xmlns:xu="http://www.xmldb.org/xupdate">'
+            '<xu:remove select="//a"/></xu:modifications>'
+        )
+        assert isinstance(script.operations[0], Remove)
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate("<not-modifications/>")
+
+    def test_missing_select(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(WRAP.format("<xupdate:remove/>"))
+
+    def test_unknown_instruction(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(WRAP.format('<xupdate:transmogrify select="/"/>'))
+
+    def test_non_xupdate_element_at_top_level(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(WRAP.format('<rogue select="/"/>'))
+
+    def test_stray_text_rejected(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(WRAP.format("stray"))
+
+    def test_element_constructor_needs_name(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(
+                WRAP.format(
+                    '<xupdate:append select="/"><xupdate:element/></xupdate:append>'
+                )
+            )
+
+    def test_empty_creation_content(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(WRAP.format('<xupdate:append select="/"/>'))
+
+    def test_rename_content_must_be_text(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(
+                WRAP.format('<xupdate:rename select="/"><b/></xupdate:rename>')
+            )
+
+    def test_variable_unsupported(self):
+        with pytest.raises(XUpdateParseError):
+            parse_xupdate(
+                WRAP.format('<xupdate:variable name="x" select="/"/>')
+            )
+
+
+class TestRoundtripWithExecutor:
+    def test_paper_style_script_end_to_end(self):
+        from repro.xmltree import parse_xml, serialize
+        from repro.xupdate import XUpdateExecutor
+
+        doc = parse_xml("<patients><franck><diagnosis>flu</diagnosis></franck></patients>")
+        script = parse_xupdate(
+            WRAP.format(
+                '<xupdate:update select="/patients/franck/diagnosis">cold</xupdate:update>'
+                '<xupdate:append select="/patients">'
+                '<xupdate:element name="albert"/></xupdate:append>'
+            )
+        )
+        result = XUpdateExecutor().apply(doc, script)
+        out = serialize(result.document)
+        assert out == (
+            "<patients><franck><diagnosis>cold</diagnosis></franck>"
+            "<albert/></patients>"
+        )

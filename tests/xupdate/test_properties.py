@@ -1,0 +1,124 @@
+"""Property tests of the XUpdate formulae (2)-(9) on random documents."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import NodeKind, element
+from repro.xupdate import (
+    Append,
+    InsertAfter,
+    InsertBefore,
+    Remove,
+    Rename,
+    UpdateContent,
+    XUpdateExecutor,
+)
+
+from tests.strategies import documents
+
+EXECUTOR = XUpdateExecutor()
+
+PATHS = st.sampled_from(["//a", "//b", "//a/*", "/*", "//text()", "//zzz"])
+
+
+@given(documents(), PATHS)
+@settings(max_examples=80, deadline=None)
+def test_rename_preserves_identifiers_and_count(doc, path):
+    """Formulae 2-3: rename changes labels only."""
+    result = EXECUTOR.apply(doc, Rename(path, "renamed"))
+    new = result.document
+    assert {n for (n, _v) in new.facts()} == {n for (n, _v) in doc.facts()}
+    changed = {n for (n, v) in new.facts() if (n, v) not in doc.facts()}
+    assert changed == {
+        n for n in result.affected
+    } - {n for n in result.affected if doc.label(n) == "renamed"}
+
+
+@given(documents(), PATHS)
+@settings(max_examples=80, deadline=None)
+def test_update_changes_only_children_of_targets(doc, path):
+    """Formulae 4-5: only children of addressed nodes are relabelled."""
+    result = EXECUTOR.apply(doc, UpdateContent(path, "VNEW"))
+    new = result.document
+    affected = set(result.affected)
+    child_of_target = set()
+    for target in result.selected:
+        child_of_target |= set(doc.children(target))
+    assert affected <= child_of_target
+    for n, v in new.facts():
+        if n in affected:
+            assert v == "VNEW"
+        else:
+            assert (n, v) in doc.facts()
+
+
+@given(documents(), PATHS)
+@settings(max_examples=80, deadline=None)
+def test_append_adds_tree_size_per_target(doc, path):
+    """Formulae 6-7: per selected node, one fragment copy appears."""
+    # Text nodes cannot take children (structural XML constraint, the
+    # executor raises); the property covers the structurally valid case.
+    targets = EXECUTOR.engine.select(doc, path)
+    assume(all(doc.kind(n) is not NodeKind.TEXT for n in targets))
+    tree = element("fresh", element("leaf", "t"))
+    result = EXECUTOR.apply(doc, Append(path, tree))
+    new = result.document
+    assert len(new) == len(doc) + tree.size() * len(result.selected)
+    # Formula 6: the original theory embeds unchanged.
+    assert doc.facts() <= new.facts()
+
+
+@given(documents(), PATHS)
+@settings(max_examples=80, deadline=None)
+def test_remove_removes_exactly_selected_subtrees(doc, path):
+    """Formulae 8-9: survivors are exactly the undeleted nodes."""
+    result = EXECUTOR.apply(doc, Remove(path))
+    new = result.document
+    deleted_roots = set(result.selected)
+    for n, v in doc.facts():
+        in_deleted_subtree = n in deleted_roots or any(
+            a in deleted_roots for a in n.ancestors()
+        )
+        if in_deleted_subtree:
+            assert n not in new
+        else:
+            assert (n, v) in new.facts()
+
+
+@given(documents(), PATHS)
+@settings(max_examples=60, deadline=None)
+def test_insert_before_after_are_mirror_images(doc, path):
+    """insert-before then reading forward == insert-after reading back."""
+    # A sibling of the root element would be a second document root --
+    # structurally impossible; skip those targets.
+    targets = EXECUTOR.engine.select(doc, path)
+    assume(all(not n.parent().is_document for n in targets))
+    tree = element("marker")
+    before = EXECUTOR.apply(doc, InsertBefore(path, tree))
+    after = EXECUTOR.apply(doc, InsertAfter(path, tree))
+    assert len(before.affected) == len(after.affected) == len(before.selected)
+    for target, marker in zip(before.selected, before.affected):
+        assert marker in before.document.preceding_siblings(target)
+    for target, marker in zip(after.selected, after.affected):
+        assert marker in after.document.following_siblings(target)
+
+
+@given(documents(), PATHS)
+@settings(max_examples=60, deadline=None)
+def test_persistence_across_every_operation(doc, path):
+    """Section 3.1's requirement: surviving nodes keep their numbers,
+    and all geometry derived from those numbers is unchanged."""
+    for op in (
+        Rename(path, "x"),
+        UpdateContent(path, "x"),
+        Remove(path),
+    ):
+        new = EXECUTOR.apply(doc, op).document
+        survivors = {n for (n, _v) in new.facts()}
+        originals = {n for (n, _v) in doc.facts()}
+        assert survivors <= originals
+        for n in survivors:
+            if n.is_document:
+                continue
+            assert new.parent(n) == doc.parent(n)
+            assert new.kind(n) is doc.kind(n)
