@@ -1,0 +1,20 @@
+# Test lanes.  `make verify` is what CI should run: the full suite,
+# then the fault-injection lane on its own so a kill-point that leaves
+# partial state fails the build visibly.
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test fault bench verify
+
+test:
+	$(PYTEST) -x -q
+
+# Crash-safety lane: every named kill-point in the executor and the
+# storage layer is injected and the atomicity invariant asserted.
+fault:
+	$(PYTEST) -x -q -m fault
+
+bench:
+	$(PYTEST) -q benchmarks
+
+verify: test fault

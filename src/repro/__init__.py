@@ -20,6 +20,13 @@ Quickstart::
     print(session.read_xml(indent="  "))
 """
 
+from .errors import (
+    ConcurrentUpdateError,
+    ReproError,
+    StorageCorrupt,
+    StorageError,
+    UpdateAborted,
+)
 from .security import (
     AccessDenied,
     AuditLog,
@@ -28,6 +35,7 @@ from .security import (
     PermissionTable,
     Policy,
     PolicyError,
+    PolicyLintWarning,
     Privilege,
     SecureUpdateResult,
     SecureWriteExecutor,
@@ -36,6 +44,7 @@ from .security import (
     Session,
     SubjectError,
     SubjectHierarchy,
+    Transaction,
     View,
     ViewBuilder,
 )
@@ -74,6 +83,7 @@ __all__ = [
     "AccessDenied",
     "Append",
     "AuditLog",
+    "ConcurrentUpdateError",
     "Fragment",
     "InsecureWriteExecutor",
     "InsertAfter",
@@ -86,18 +96,24 @@ __all__ = [
     "PersistentDeweyScheme",
     "Policy",
     "PolicyError",
+    "PolicyLintWarning",
     "Privilege",
     "RESTRICTED",
     "Remove",
     "Rename",
     "RenumberingScheme",
+    "ReproError",
     "SecureUpdateResult",
     "SecureWriteExecutor",
     "SecureXMLDatabase",
     "SecurityRule",
     "Session",
+    "StorageCorrupt",
+    "StorageError",
     "SubjectError",
     "SubjectHierarchy",
+    "Transaction",
+    "UpdateAborted",
     "UpdateContent",
     "UpdateScript",
     "View",

@@ -13,9 +13,13 @@ single-file format of :mod:`repro.storage`::
     python -m repro.cli view  db.xml beaufort
     python -m repro.cli query db.xml beaufort 'count(//diagnosis)'
     python -m repro.cli update db.xml laporte updates.xupdate.xml
+    python -m repro.cli lint db.xml
+    python -m repro.cli recover damaged.xml --write
 
-Every mutating command rewrites the database file atomically (write to
-a sibling temp file, then replace).
+Every mutating command rewrites the database file crash-safely (temp
+file + fsync + atomic rename, keeping the previous content in a
+rolling ``.bak`` sibling); ``recover`` salvages what it can from a
+partially corrupt file.
 """
 
 from __future__ import annotations
@@ -23,11 +27,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import tempfile
 from typing import List, Optional
 
 from .security.database import SecureXMLDatabase
-from .storage import dump_database, load_from_file
+from .storage import LoadReport, load_from_file, save_to_file
 from .xmltree.parser import parse_xml
 from .xmltree.serializer import render_tree, serialize
 from .xpath.values import is_node_set
@@ -40,17 +43,8 @@ class CliError(Exception):
 
 
 def _save(db: SecureXMLDatabase, path: str) -> None:
-    directory = os.path.dirname(os.path.abspath(path)) or "."
-    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(dump_database(db))
-            handle.write("\n")
-        os.replace(temp_path, path)
-    except BaseException:
-        if os.path.exists(temp_path):
-            os.unlink(temp_path)
-        raise
+    # Crash-safe: temp file + fsync + atomic rename, rolling .bak.
+    save_to_file(db, path)
 
 
 def _load(path: str) -> SecureXMLDatabase:
@@ -178,6 +172,37 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0 if result.fully_applied else 3
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Report dead, empty-path and audience-less policy rules."""
+    db = _load(args.database)
+    warnings = db.lint_policy()
+    for warning in warnings:
+        print(warning)
+    if not warnings:
+        print("policy is clean")
+        return 0
+    print(f"{len(warnings)} warning(s)")
+    return 4
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Load a damaged database leniently and report what was dropped."""
+    if not os.path.exists(args.database):
+        raise CliError(f"no database file at {args.database!r}")
+    report = LoadReport()
+    db = load_from_file(args.database, mode="lenient", report=report)
+    print(report)
+    print(
+        f"recovered: {len(db.document)} document nodes, "
+        f"{len(db.subjects.roles)} roles, {len(db.subjects.users)} users, "
+        f"{len(db.policy)} rules"
+    )
+    if args.write:
+        _save(db, args.database)
+        print(f"rewrote {args.database} with the recovered state")
+    return 0 if report.clean else 4
+
+
 def cmd_audit_demo(args: argparse.Namespace) -> int:
     """Load, replay one operation, and show the audit decisions.
 
@@ -255,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="fail (exit 3) on any denial without committing")
     p.set_defaults(handler=cmd_update)
+
+    p = sub.add_parser("lint",
+                       help="report dead/unreachable policy rules (exit 4 "
+                            "when any are found)")
+    p.add_argument("database")
+    p.set_defaults(handler=cmd_lint)
+
+    p = sub.add_parser("recover",
+                       help="leniently load a damaged database, reporting "
+                            "dropped entries (exit 4 when any were dropped)")
+    p.add_argument("database")
+    p.add_argument("--write", action="store_true",
+                   help="rewrite the file with the recovered state")
+    p.set_defaults(handler=cmd_recover)
 
     p = sub.add_parser("audit-demo",
                        help="replay one operation and print the decisions")

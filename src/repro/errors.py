@@ -1,0 +1,103 @@
+"""Structured error taxonomy for the whole library.
+
+Every failure the library can signal descends from :class:`ReproError`,
+so callers can catch one base class instead of an ad-hoc mix of
+``ValueError`` / ``PermissionError`` / bare ``Exception`` subclasses.
+Domain modules keep defining their own error types (``PolicyError``,
+``SubjectError``, ``XUpdateError``, ``AccessDenied``, ...) but parent
+them here; the storage errors live here outright because both
+:mod:`repro.storage` and :mod:`repro.cli` need them without importing
+each other.
+
+The taxonomy::
+
+    ReproError
+    ├── UpdateAborted          (a script rolled back mid-way)
+    ├── ConcurrentUpdateError  (optimistic-concurrency commit conflict)
+    ├── StorageError           (malformed/unsupported database file)
+    │   └── StorageCorrupt     (file damaged beyond strict loading)
+    ├── InjectedFault          (repro.testing.faults: simulated crash)
+    ├── PolicyError            (repro.security.policy)
+    ├── SubjectError           (repro.security.subjects)
+    ├── XUpdateError           (repro.xupdate.executor)
+    └── AccessDenied           (repro.security.write)
+
+Pre-existing exception lineages are preserved for compatibility:
+``StorageError`` and ``PolicyError`` remain ``ValueError`` subclasses,
+``AccessDenied`` remains a ``PermissionError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "ReproError",
+    "UpdateAborted",
+    "ConcurrentUpdateError",
+    "StorageError",
+    "StorageCorrupt",
+]
+
+
+class ReproError(Exception):
+    """Root of the library's error taxonomy."""
+
+
+class UpdateAborted(ReproError):
+    """A multi-operation update script failed and was rolled back.
+
+    The theory-replacement semantics (formulae (2)-(9), axioms 18-25) is
+    all-or-nothing: when any operation of a script fails, no part of the
+    script reaches the database.  This error reports *which* operation
+    failed and carries the last consistent intermediate document (the
+    savepoint after the preceding operation) for diagnosis -- the
+    savepoint is never installed anywhere.
+
+    Attributes:
+        operation_index: zero-based index of the failing operation.
+        operation: the failing operation's class name (``"Rename"``...).
+        completed: number of operations that had fully applied before
+            the failure; all of them were rolled back.
+        savepoint: the intermediate document after ``completed``
+            operations, or None when unavailable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        operation_index: Optional[int] = None,
+        operation: Optional[str] = None,
+        completed: int = 0,
+        savepoint: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.operation_index = operation_index
+        self.operation = operation
+        self.completed = completed
+        self.savepoint = savepoint
+
+
+class ConcurrentUpdateError(ReproError):
+    """A transaction tried to commit over a concurrent commit.
+
+    Raised by :class:`repro.security.database.Transaction` when the
+    database version moved between ``begin`` and ``commit`` -- the
+    optimistic-concurrency guard that keeps two interleaved scripts from
+    silently clobbering each other.
+    """
+
+
+class StorageError(ReproError, ValueError):
+    """Malformed or unsupported database file."""
+
+
+class StorageCorrupt(StorageError):
+    """The file is damaged beyond what strict loading accepts.
+
+    Lenient loading (:func:`repro.storage.load_from_file` with
+    ``mode="lenient"``) may still recover the readable parts; this error
+    is raised when even that is impossible (e.g. the XML itself is not
+    well-formed).
+    """

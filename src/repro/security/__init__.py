@@ -10,12 +10,19 @@ section 2.2 for comparison experiments.
 
 from .audit import AuditLog, AuditRecord
 from .collection import CollectionError, CollectionSession, SecureCollection
-from .database import SecureXMLDatabase
+from .database import SecureXMLDatabase, Transaction
 from .delegation import AdministeredPolicy, DelegationError, Grant
 from .insecure import InsecureWriteExecutor
 from .lazy import LazyView, build_lazy_view
 from .perm import PermissionResolver, PermissionTable
-from .policy import ACCEPT, DENY, Policy, PolicyError, SecurityRule
+from .policy import (
+    ACCEPT,
+    DENY,
+    Policy,
+    PolicyError,
+    PolicyLintWarning,
+    SecurityRule,
+)
 from .privileges import Privilege, READ_PRIVILEGES, WRITE_PRIVILEGES
 from .session import ExplainEntry, Session
 from .subjects import SubjectError, SubjectHierarchy
@@ -46,6 +53,7 @@ __all__ = [
     "PermissionTable",
     "Policy",
     "PolicyError",
+    "PolicyLintWarning",
     "Privilege",
     "READ_PRIVILEGES",
     "SecureCollection",
@@ -56,6 +64,7 @@ __all__ = [
     "Session",
     "SubjectError",
     "SubjectHierarchy",
+    "Transaction",
     "View",
     "ViewBuilder",
     "build_lazy_view",

@@ -21,7 +21,7 @@ __all__ = ["AuditRecord", "AuditLog"]
 
 @dataclass(frozen=True)
 class AuditRecord:
-    """One access decision.
+    """One access decision (or transaction event).
 
     Attributes:
         sequence: monotonically increasing record number.
@@ -29,22 +29,36 @@ class AuditRecord:
         operation: operation class name (``Rename``, ``Remove``, ...) or
             ``"view"`` for view-derivation events.
         path: the PATH parameter of the operation.
-        node: the node the decision was about.
-        privilege: the privilege that was checked.
+        node: the node the decision was about; None for script-level
+            events such as aborts.
+        privilege: the privilege that was checked; None for
+            script-level events.
         allowed: the outcome.
-        reason: denial reason; empty when allowed.
+        reason: denial/abort reason; empty when allowed.
+        event: ``"decision"`` for per-node grant/deny records,
+            ``"abort"`` for a script rollback.
+        rolled_back: for aborts, how many completed operations of the
+            script were rolled back.
     """
 
     sequence: int
     user: str
     operation: str
     path: str
-    node: NodeId
-    privilege: Privilege
-    allowed: bool
+    node: Optional[NodeId] = None
+    privilege: Optional[Privilege] = None
+    allowed: bool = False
     reason: str = ""
+    event: str = "decision"
+    rolled_back: int = 0
 
     def __str__(self) -> str:
+        if self.event == "abort":
+            return (
+                f"#{self.sequence} ABORT {self.user} {self.operation}"
+                f"({self.path}) rolled back {self.rolled_back} "
+                f"operation(s) -- {self.reason}"
+            )
         verdict = "ALLOW" if self.allowed else "DENY "
         detail = f" -- {self.reason}" if self.reason else ""
         return (
@@ -83,6 +97,42 @@ class AuditLog:
         )
         self._records.append(entry)
         return entry
+
+    def record_abort(
+        self,
+        user: str,
+        operation: str,
+        path: str,
+        reason: str,
+        operation_index: int = 0,
+        rolled_back: int = 0,
+    ) -> AuditRecord:
+        """Append a script-abort event (a failed or rolled-back write).
+
+        Args:
+            user: the session user whose script aborted.
+            operation: class name of the failing operation.
+            path: the failing operation's PATH parameter.
+            reason: why the script aborted.
+            operation_index: zero-based index of the failing operation.
+            rolled_back: completed operations undone by the rollback.
+        """
+        entry = AuditRecord(
+            sequence=next(self._sequence),
+            user=user,
+            operation=operation,
+            path=path,
+            allowed=False,
+            reason=f"aborted at operation {operation_index}: {reason}",
+            event="abort",
+            rolled_back=rolled_back,
+        )
+        self._records.append(entry)
+        return entry
+
+    def aborts(self) -> List[AuditRecord]:
+        """Only the script-abort events."""
+        return [r for r in self._records if r.event == "abort"]
 
     def __len__(self) -> int:
         return len(self._records)

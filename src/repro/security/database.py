@@ -10,8 +10,9 @@ and access-controlled updates (axioms 18-25).  Users interact through
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from ..errors import ConcurrentUpdateError
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NumberingScheme
 from ..xmltree.parser import parse_xml
@@ -25,7 +26,79 @@ from .session import Session
 from .subjects import SubjectError, SubjectHierarchy
 from .view import View, ViewBuilder
 
-__all__ = ["SecureXMLDatabase"]
+__all__ = ["SecureXMLDatabase", "Transaction"]
+
+
+class Transaction:
+    """One all-or-nothing theory replacement (``db`` -> ``dbnew``).
+
+    Obtained from :meth:`SecureXMLDatabase.transaction`.  The paper's
+    update semantics replaces the whole theory in one step; this object
+    makes that operational: between ``begin`` (construction) and
+    :meth:`commit`, the database is never observed in an intermediate
+    state -- commit installs the new document and bumps the version in
+    one swap (invalidating every session's cached view and the
+    permission caches keyed by the document), while :meth:`rollback`
+    (or an exception inside the ``with`` block) leaves the pre-script
+    theory exactly as it was.
+
+    Commit is guarded by optimistic concurrency: if another transaction
+    committed since this one began, :class:`ConcurrentUpdateError` is
+    raised instead of silently clobbering the interleaved write.
+
+    Example::
+
+        with db.transaction() as txn:
+            result = db.write_executor.apply(view, script, strict=True)
+            txn.commit(result.document)
+    """
+
+    def __init__(self, database: "SecureXMLDatabase") -> None:
+        self._database = database
+        self._base_version = database.version
+        self._base_document = database.document
+        self._state = "active"
+
+    @property
+    def active(self) -> bool:
+        """True until the transaction commits or rolls back."""
+        return self._state == "active"
+
+    @property
+    def base_version(self) -> int:
+        """The database version this transaction started from."""
+        return self._base_version
+
+    def commit(self, document: XMLDocument) -> None:
+        """Install ``document`` as the new theory, atomically.
+
+        Raises:
+            ConcurrentUpdateError: another commit happened since this
+                transaction began; nothing is installed.
+            RuntimeError: the transaction already ended.
+        """
+        if not self.active:
+            raise RuntimeError(f"transaction already {self._state}")
+        if self._database.version != self._base_version:
+            self._state = "rolled back"
+            raise ConcurrentUpdateError(
+                f"database moved from version {self._base_version} to "
+                f"{self._database.version} since this transaction began"
+            )
+        self._database._install(document)
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """End the transaction leaving the database untouched."""
+        if self.active:
+            self._state = "rolled back"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None or self.active:
+            self.rollback()
 
 
 class SecureXMLDatabase:
@@ -174,12 +247,43 @@ class SecureXMLDatabase:
         self, operation: "XUpdateOperation | UpdateScript"
     ) -> UpdateResult:
         """Apply an update with *no* access control (the administrator /
-        database-owner path, outside the paper's model)."""
-        result = self._unsecured.apply(self._document, operation)
-        self.commit(result.document)
+        database-owner path, outside the paper's model).
+
+        Transactional like :meth:`Session.execute`: a failing script
+        (:class:`~repro.errors.UpdateAborted`) commits nothing.
+        """
+        with self.transaction() as txn:
+            result = self._unsecured.apply(self._document, operation)
+            txn.commit(result.document)
         return result
 
+    def transaction(self) -> Transaction:
+        """Begin an all-or-nothing theory replacement."""
+        return Transaction(self)
+
     def commit(self, document: XMLDocument) -> None:
-        """Install a new source document and bump the version."""
+        """Install a new source document and bump the version.
+
+        Prefer :meth:`transaction`, which adds rollback-on-error and a
+        concurrent-commit guard around this swap.
+        """
+        self._install(document)
+
+    def _install(self, document: XMLDocument) -> None:
+        # The single point where the theory is replaced: document and
+        # version move together, so cached views (keyed by version) and
+        # permission caches (keyed weakly by document identity and its
+        # mutation stamp) can never observe a half-installed state.
         self._document = document
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # policy hygiene
+    # ------------------------------------------------------------------
+    def lint_policy(self) -> List["object"]:
+        """Run the policy linter against the current document.
+
+        Convenience for ``db.policy.lint(document=db.document,
+        engine=db.engine)``; see :meth:`repro.security.policy.Policy.lint`.
+        """
+        return self._policy.lint(document=self._document, engine=self._engine)

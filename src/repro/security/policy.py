@@ -20,15 +20,45 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from ..xpath.parser import parse_xpath
 from .privileges import Privilege
 from .subjects import SubjectHierarchy
 
-__all__ = ["Effect", "SecurityRule", "Policy", "PolicyError"]
+__all__ = [
+    "Effect",
+    "SecurityRule",
+    "Policy",
+    "PolicyError",
+    "PolicyLintWarning",
+]
 
 
-class PolicyError(ValueError):
+class PolicyError(ReproError, ValueError):
     """Invalid rule: unknown subject, bad path, duplicate priority..."""
+
+
+@dataclass(frozen=True)
+class PolicyLintWarning:
+    """One suspicious rule found by :meth:`Policy.lint`.
+
+    Attributes:
+        rule: the rule the warning is about.
+        kind: ``"no-audience"`` (no declared user can ever match the
+            rule's subject), ``"empty-path"`` (the path selects no node
+            of the document for any applicable user), or ``"dead"``
+            (every node it addresses is re-decided by later rules, so
+            under axiom 14's latest-rule-wins resolution the rule can
+            never determine an outcome).
+        detail: human-readable explanation.
+    """
+
+    rule: SecurityRule
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.rule} -- {self.detail}"
 
 
 #: Rule effects, the paper's first ``rule/5`` argument.
@@ -160,3 +190,95 @@ class Policy:
         """The paper's ``rule/5`` facts (set P), in priority order."""
         for rule in self:
             yield (rule.effect, rule.privilege.value, rule.path, rule.subject, rule.priority)
+
+    # ------------------------------------------------------------------
+    # consistency linting
+    # ------------------------------------------------------------------
+    def lint(self, document=None, engine=None) -> List[PolicyLintWarning]:
+        """Find rules that can never decide anything.
+
+        Under axiom 14's priority (timestamp) resolution, the latest
+        matching rule wins on every node it addresses.  A rule is
+        therefore *dead* when, for every declared user it applies to,
+        each node its path selects is also selected by some later rule
+        for the same privilege and user -- the earlier rule is fully
+        shadowed and revoking it changes no outcome.  Dead rules are a
+        known source of write-policy inconsistency (an administrator
+        believes a grant or deny is in force when it is not), so they
+        are worth surfacing even though they are formally harmless.
+
+        Args:
+            document: the source document rule paths are evaluated on.
+                Without it only the structural ``no-audience`` check
+                runs (a path-free analysis cannot see shadowing).
+            engine: XPath engine for rule paths; a paper-compat default
+                is built if omitted.
+
+        Returns:
+            Warnings in rule-priority order; empty means the policy is
+            clean.
+        """
+        warnings: List[PolicyLintWarning] = []
+        users = sorted(self._subjects.users)
+        audience: dict = {}
+        for rule in self:
+            aud = [
+                u for u in users if rule.subject in self._subjects.ancestors(u)
+            ]
+            audience[rule] = aud
+            if not aud:
+                warnings.append(
+                    PolicyLintWarning(
+                        rule,
+                        "no-audience",
+                        f"no declared user is (transitively) a member of "
+                        f"{rule.subject!r}, so the rule applies to nobody",
+                    )
+                )
+        if document is None:
+            return warnings
+
+        if engine is None:
+            from ..xpath.engine import XPathEngine
+
+            engine = XPathEngine(
+                lone_variable_name_test=True, star_matches_text=True
+            )
+        winners: set = set()
+        selects_anything = {rule: False for rule in self}
+        for user in users:
+            outcome: dict = {}
+            for rule in self:  # __iter__ yields priority order
+                if user not in audience[rule]:
+                    continue
+                selected = engine.select(
+                    document, rule.path, variables={"USER": user}
+                )
+                if len(selected):
+                    selects_anything[rule] = True
+                for nid in selected:
+                    outcome[(rule.privilege, nid)] = rule
+            winners.update(outcome.values())
+        for rule in self:
+            if not audience[rule]:
+                continue  # already warned above
+            if not selects_anything[rule]:
+                warnings.append(
+                    PolicyLintWarning(
+                        rule,
+                        "empty-path",
+                        f"path {rule.path!r} selects no node of the current "
+                        f"document for any applicable user",
+                    )
+                )
+            elif rule not in winners:
+                warnings.append(
+                    PolicyLintWarning(
+                        rule,
+                        "dead",
+                        "every node it addresses is re-decided by a later "
+                        "rule (axiom 14: latest rule wins), so this rule "
+                        "never determines an outcome",
+                    )
+                )
+        return sorted(warnings, key=lambda w: w.rule.priority)

@@ -185,6 +185,13 @@ class Session:
         resulting document is committed to the database, so other
         sessions observe it on their next view refresh.
 
+        The call is transactional: either the complete ``dbnew`` is
+        committed (document swap + version bump, which invalidates every
+        session's cached view and the permission caches), or -- on a
+        strict-mode denial, an internal failure, or an injected fault --
+        the database stays at the pre-script theory and every session's
+        view is byte-identical to what it was before the call.
+
         Args:
             operation: an operation object, an :class:`UpdateScript`,
                 or XUpdate XML text starting at
@@ -193,10 +200,19 @@ class Session:
                 :class:`~repro.security.write.AccessDenied` if any
                 selected node is refused (default: partial application
                 with denials reported in the result).
+
+        Raises:
+            AccessDenied: strict mode, any refused node; nothing is
+                committed.
+            UpdateAborted: a script operation failed; nothing is
+                committed and the abort is in the audit log.
+            ConcurrentUpdateError: another session committed while this
+                script was executing; nothing is committed.
         """
         if isinstance(operation, str):
             operation = parse_xupdate(operation)
         executor: SecureWriteExecutor = self._database.write_executor
-        result = executor.apply(self.view(), operation, strict=strict)
-        self._database.commit(result.document)
+        with self._database.transaction() as txn:
+            result = executor.apply(self.view(), operation, strict=strict)
+            txn.commit(result.document)
         return result

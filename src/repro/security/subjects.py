@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..errors import ReproError
+
 __all__ = ["SubjectError", "SubjectHierarchy"]
 
 
-class SubjectError(ValueError):
+class SubjectError(ReproError, ValueError):
     """Unknown subject, duplicate declaration, or a cycle in ``isa``."""
 
 

@@ -72,6 +72,20 @@ class View:
         """The ``node_view(n, v)`` facts of the derived view theory."""
         return self.doc.facts()
 
+    def fingerprint(self) -> str:
+        """Content hash of the serialized view document.
+
+        Two views with equal fingerprints are byte-identical to the
+        user; the crash-safety suite uses this to state the atomicity
+        invariant (a failed script leaves every session's fingerprint
+        unchanged).
+        """
+        import hashlib
+
+        from ..xmltree.serializer import serialize
+
+        return hashlib.sha256(serialize(self.doc).encode("utf-8")).hexdigest()
+
 
 class ViewBuilder:
     """Materializes :class:`View` objects (axioms 15-17).

@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import ReproError, UpdateAborted
+from ..testing.faults import kill_point
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NodeId
 from ..xmltree.node import NodeKind
@@ -54,7 +56,7 @@ from .view import View
 __all__ = ["AccessDenied", "Denial", "SecureUpdateResult", "SecureWriteExecutor"]
 
 
-class AccessDenied(PermissionError):
+class AccessDenied(ReproError, PermissionError):
     """Raised in strict mode when an operation is (partly) denied."""
 
     def __init__(self, denials: Sequence["Denial"]) -> None:
@@ -149,17 +151,54 @@ class SecureWriteExecutor:
         *before* the script -- callers wanting per-operation view refresh
         (the session layer does) should apply operations one at a time.
 
+        Scripts are transactional: every operation applies to a fresh
+        copy of the source, so a failure at any point -- a strict-mode
+        denial, an internal error, or an injected fault at the
+        ``before-op`` / ``after-op`` kill-points -- abandons the whole
+        script with the pre-script theory untouched.  The abort (with
+        how many completed operations were rolled back, and why) is
+        recorded in the audit log.
+
         Args:
             view: the user's current view (selection context and
                 privilege table).
             operation: one XUpdate operation or a script.
             strict: raise :class:`AccessDenied` on any denial.
+
+        Raises:
+            AccessDenied: strict mode, when any selected node is
+                refused; for scripts, prior operations are rolled back.
+            UpdateAborted: when a script operation fails for any other
+                reason.
         """
         if isinstance(operation, UpdateScript):
             result = SecureUpdateResult(document=view.source)
             current_view = view
-            for op in operation:
-                step = self.apply(current_view, op, strict=strict)
+            for index, op in enumerate(operation):
+                op_name = type(op).__name__
+                try:
+                    kill_point(
+                        "before-op", index=index, operation=op_name, secure=True
+                    )
+                    step = self.apply(current_view, op, strict=strict)
+                    kill_point(
+                        "after-op", index=index, operation=op_name, secure=True
+                    )
+                except AccessDenied as exc:
+                    self._audit_abort(view, op, index, f"denied: {exc}")
+                    raise
+                except UpdateAborted:
+                    raise
+                except Exception as exc:
+                    self._audit_abort(view, op, index, str(exc))
+                    raise UpdateAborted(
+                        f"script aborted at operation {index} ({op_name}): "
+                        f"{exc}; {index} completed operation(s) rolled back",
+                        operation_index=index,
+                        operation=op_name,
+                        completed=index,
+                        savepoint=result.document,
+                    ) from exc
                 result = result.merge(step)
                 current_view = _rebase_view(current_view, step.document)
             return result
@@ -167,6 +206,19 @@ class SecureWriteExecutor:
         if strict and result.denials:
             raise AccessDenied(result.denials)
         return result
+
+    def _audit_abort(self, view: View, operation, index: int, reason: str) -> None:
+        """Record a script abort (rolled-back operations included)."""
+        if self._audit is None:
+            return
+        self._audit.record_abort(
+            user=view.user,
+            operation=type(operation).__name__,
+            path=operation.path,
+            reason=reason,
+            operation_index=index,
+            rolled_back=index,
+        )
 
     # ------------------------------------------------------------------
     # one operation

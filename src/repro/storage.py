@@ -28,8 +28,14 @@ reloaded theory.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .errors import StorageCorrupt, StorageError
 from .security.collection import SecureCollection
 from .security.database import SecureXMLDatabase
 from .security.delegation import AdministeredPolicy, Grant
@@ -39,15 +45,20 @@ from .xmltree.document import XMLDocument
 from .xmltree.fragments import Fragment, element, fragment_from_subtree
 from .xmltree.labels import NumberingScheme
 from .xmltree.node import NodeKind
-from .xmltree.parser import parse_fragment
+from .xmltree.parser import XMLSyntaxError, parse_fragment
 from .xmltree.serializer import serialize
+from .testing.faults import kill_point
 
 __all__ = [
     "StorageError",
+    "StorageCorrupt",
+    "LoadProblem",
+    "LoadReport",
     "dump_database",
     "load_database",
     "save_to_file",
     "load_from_file",
+    "backup_path",
     "dump_administration",
     "load_administration",
     "dump_collection",
@@ -57,8 +68,50 @@ __all__ = [
 _FORMAT_VERSION = "1"
 
 
-class StorageError(ValueError):
-    """Malformed or unsupported database file."""
+@dataclass(frozen=True)
+class LoadProblem:
+    """One entry a lenient load had to drop or repair.
+
+    Attributes:
+        section: which part of the file (``subjects``, ``policy``,
+            ``document`` or ``file``).
+        detail: what was wrong and what was dropped.
+    """
+
+    section: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.section}] {self.detail}"
+
+
+@dataclass
+class LoadReport:
+    """What a lenient load recovered and what it dropped.
+
+    Attributes:
+        source: file path (or ``"<string>"``) the data came from.
+        problems: everything that was dropped or repaired, in file
+            order; empty means the file loaded cleanly.
+    """
+
+    source: str = "<string>"
+    problems: List[LoadProblem] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was dropped."""
+        return not self.problems
+
+    def add(self, section: str, detail: str) -> None:
+        """Record one dropped/repaired entry."""
+        self.problems.append(LoadProblem(section, detail))
+
+    def __str__(self) -> str:
+        if self.clean:
+            return f"{self.source}: loaded cleanly"
+        lines = "\n".join(f"  {p}" for p in self.problems)
+        return f"{self.source}: {len(self.problems)} problem(s) dropped\n{lines}"
 
 
 # ---------------------------------------------------------------------------
@@ -107,11 +160,76 @@ def dump_database(db: SecureXMLDatabase) -> str:
     return serialize(carrier, indent="  ")
 
 
-def save_to_file(db: SecureXMLDatabase, path: str) -> None:
-    """Write :func:`dump_database` output to a file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_database(db))
-        handle.write("\n")
+def backup_path(path: str) -> str:
+    """The rolling-backup sibling a successful save leaves behind."""
+    return path + ".bak"
+
+
+def save_to_file(db: SecureXMLDatabase, path: str, backup: bool = True) -> None:
+    """Write :func:`dump_database` output to a file, crash-safely.
+
+    The payload goes to a temp file in the same directory, is fsynced,
+    and is installed with an atomic rename -- at every instant ``path``
+    holds either the complete previous database or the complete new one,
+    never a torn write.  When ``backup`` is true and ``path`` already
+    exists, its previous content survives as :func:`backup_path`.
+
+    Kill-points consulted (see :mod:`repro.testing.faults`):
+    ``mid-write`` after roughly half the payload is written,
+    ``before-rename`` once the temp file is durable.
+    """
+    payload = dump_database(db) + "\n"
+    _write_atomically(payload, path, backup=backup)
+
+
+def _write_atomically(payload: str, path: str, backup: bool) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            half = len(payload) // 2
+            handle.write(payload[:half])
+            handle.flush()
+            kill_point("mid-write", path=path)
+            handle.write(payload[half:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        if backup and os.path.exists(path):
+            _refresh_backup(path)
+        kill_point("before-rename", path=path)
+        os.replace(temp_path, path)
+        _fsync_directory(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp_path)
+        raise
+
+
+def _refresh_backup(path: str) -> None:
+    """Point ``path + '.bak'`` at the current on-disk content."""
+    bak = backup_path(path)
+    with contextlib.suppress(FileNotFoundError):
+        os.unlink(bak)
+    try:
+        os.link(path, bak)  # instant; rename then swaps path away
+    except OSError:
+        shutil.copy2(path, bak)  # filesystem without hard links
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make the rename itself durable (best effort off POSIX)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 # ---------------------------------------------------------------------------
@@ -135,79 +253,141 @@ def _find_section(root: Fragment, name: str) -> Fragment:
     raise StorageError(f"missing <{name}> section")
 
 
+def _parse_root(text: str, expected_label: str, source: str) -> Fragment:
+    """Parse the file-level XML; damage here is unrecoverable."""
+    try:
+        root = parse_fragment(text)
+    except XMLSyntaxError as exc:
+        raise StorageCorrupt(
+            f"{source}: not well-formed XML ({exc}); "
+            f"restore from the .bak sibling if one exists"
+        ) from exc
+    if root.label != expected_label:
+        raise StorageCorrupt(
+            f"{source}: expected <{expected_label}>, got <{root.label}>"
+        )
+    return root
+
+
 def load_database(
-    text: str, scheme: Optional[NumberingScheme] = None
+    text: str,
+    scheme: Optional[NumberingScheme] = None,
+    mode: str = "strict",
+    report: Optional[LoadReport] = None,
+    source: str = "<string>",
 ) -> SecureXMLDatabase:
     """Rebuild a :class:`SecureXMLDatabase` from :func:`dump_database`
     output.
 
+    Args:
+        text: the file content.
+        scheme: numbering scheme for the rebuilt document.
+        mode: ``"strict"`` (default) raises on the first problem;
+            ``"lenient"`` recovers everything readable from a partially
+            corrupt ``<securedb>``, dropping broken subjects, rules or
+            isa links and recording each drop in ``report``.
+        report: a :class:`LoadReport` to fill in lenient mode (one is
+            created -- and discarded -- if omitted).
+        source: label used in error messages and the report (the file
+            path, when loading from a file).
+
     Raises:
-        StorageError: for structural problems (unknown version, missing
-            sections, dangling subject references, bad priorities).
+        StorageError: strict mode, for any structural problem (unknown
+            version, missing sections, dangling subject references, bad
+            priorities); messages carry ``source`` plus the offending
+            element for context.
+        StorageCorrupt: both modes, when the XML itself is not
+            well-formed or the root element is wrong -- nothing can be
+            recovered then.
     """
-    root = parse_fragment(text)
-    if root.label != "securedb":
-        raise StorageError(f"expected <securedb>, got <{root.label}>")
-    version = _attr(root, "version", "format version")
-    if version != _FORMAT_VERSION:
-        raise StorageError(f"unsupported securedb version {version!r}")
+    if mode not in ("strict", "lenient"):
+        raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
+    lenient = mode == "lenient"
+    if report is None:
+        report = LoadReport(source=source)
+    else:
+        report.source = source
 
-    subjects = SubjectHierarchy()
-    pending_isa: List[tuple] = []
-    for entry in _child_elements(_find_section(root, "subjects")):
-        name = _attr(entry, "name", "subject name")
-        if entry.label == "role":
-            subjects.add_role(name)
-        elif entry.label == "user":
-            subjects.add_user(name)
-        else:
-            raise StorageError(f"unknown subject kind <{entry.label}>")
-        for isa in _child_elements(entry):
-            if isa.label != "isa":
-                raise StorageError(f"unexpected <{isa.label}> in subject")
-            parent = "".join(
-                c.label for c in isa.children if c.kind is NodeKind.TEXT
-            ).strip()
-            if not parent:
-                raise StorageError(f"empty <isa> under subject {name!r}")
-            pending_isa.append((name, parent))
-    for child, parent in pending_isa:
-        subjects.add_isa(child, parent)
+    try:
+        root = _parse_root(text, "securedb", source)
+        version = _attr(root, "version", "format version")
+        if version != _FORMAT_VERSION:
+            if not lenient:
+                raise StorageError(f"unsupported securedb version {version!r}")
+            report.add("file", f"unsupported version {version!r}; loaded anyway")
 
-    policy = Policy(subjects)
-    rules = _child_elements(_find_section(root, "policy"))
-    for rule in sorted(rules, key=lambda r: int(_attr(r, "priority", "priority"))):
-        if rule.label != "rule":
-            raise StorageError(f"unexpected <{rule.label}> in policy")
-        effect = _attr(rule, "effect", "rule effect")
-        privilege = _attr(rule, "privilege", "rule privilege")
-        subject = _attr(rule, "subject", "rule subject")
-        priority = int(_attr(rule, "priority", "rule priority"))
-        path = _attr(rule, "path", "rule path")
-        if effect == ACCEPT:
-            policy.grant(privilege, path, subject, priority=priority)
-        elif effect == "deny":
-            policy.deny(privilege, path, subject, priority=priority)
-        else:
-            raise StorageError(f"unknown rule effect {effect!r}")
+        subjects = _load_subjects(
+            _section(root, "subjects", lenient, report),
+            report if lenient else None,
+        )
+        policy = _load_policy(
+            _section(root, "policy", lenient, report),
+            subjects,
+            report if lenient else None,
+        )
 
-    document = XMLDocument(scheme)
-    doc_section = _find_section(root, "document")
-    roots = _child_elements(doc_section)
-    if len(roots) > 1:
-        raise StorageError("<document> may contain at most one root element")
-    if roots:
-        roots[0].attach(document, document.document_node.nid)
+        document = XMLDocument(scheme)
+        doc_section = _section(root, "document", lenient, report)
+        roots = _child_elements(doc_section)
+        if len(roots) > 1:
+            if not lenient:
+                raise StorageError(
+                    "<document> may contain at most one root element"
+                )
+            report.add(
+                "document",
+                f"{len(roots)} root elements; kept the first "
+                f"(<{roots[0].label}>), dropped the rest",
+            )
+            roots = roots[:1]
+        if roots:
+            roots[0].attach(document, document.document_node.nid)
+    except StorageCorrupt:
+        raise
+    except StorageError as exc:
+        raise type(exc)(f"{source}: {exc}") from exc
 
     return SecureXMLDatabase(document, subjects, policy)
 
 
+def _section(
+    root: Fragment, name: str, lenient: bool, report: LoadReport
+) -> Fragment:
+    """Find a required section; lenient mode substitutes an empty one."""
+    try:
+        return _find_section(root, name)
+    except StorageError:
+        if not lenient:
+            raise
+        report.add(name, f"missing <{name}> section; treated as empty")
+        return element(name)
+
+
 def load_from_file(
-    path: str, scheme: Optional[NumberingScheme] = None
+    path: str,
+    scheme: Optional[NumberingScheme] = None,
+    mode: str = "strict",
+    report: Optional[LoadReport] = None,
 ) -> SecureXMLDatabase:
-    """Read a database file written by :func:`save_to_file`."""
+    """Read a database file written by :func:`save_to_file`.
+
+    Args:
+        path: the database file.
+        scheme: numbering scheme for the rebuilt document.
+        mode: ``"strict"`` (default) or ``"lenient"``; see
+            :func:`load_database`.
+        report: a :class:`LoadReport` filled with everything a lenient
+            load dropped; pass one in to inspect the recovery.
+
+    Raises:
+        StorageError: strict mode, with the file path and offending
+            element in the message.
+        StorageCorrupt: unrecoverable damage (either mode); the message
+            points at the ``.bak`` sibling when restoring is an option.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return load_database(handle.read(), scheme)
+        text = handle.read()
+    return load_database(text, scheme, mode=mode, report=report, source=path)
 
 
 # ---------------------------------------------------------------------------
@@ -358,48 +538,97 @@ def dump_collection(collection: SecureCollection) -> str:
     return serialize(carrier, indent="  ")
 
 
-def _load_subjects(section: Fragment) -> SubjectHierarchy:
+def _load_subjects(
+    section: Fragment, report: Optional[LoadReport] = None
+) -> SubjectHierarchy:
+    """Rebuild the subject hierarchy; ``report`` enables lenient drops."""
     subjects = SubjectHierarchy()
     pending: List[tuple] = []
     for entry in _child_elements(section):
-        name = _attr(entry, "name", "subject name")
-        if entry.label == "role":
-            subjects.add_role(name)
-        elif entry.label == "user":
-            subjects.add_user(name)
-        else:
-            raise StorageError(f"unknown subject kind <{entry.label}>")
-        for isa in _child_elements(entry):
-            if isa.label != "isa":
-                raise StorageError(f"unexpected <{isa.label}> in subject")
-            parent = "".join(
-                c.label for c in isa.children if c.kind is NodeKind.TEXT
-            ).strip()
-            if not parent:
-                raise StorageError(f"empty <isa> under subject {name!r}")
-            pending.append((name, parent))
+        try:
+            name = _attr(entry, "name", "subject name")
+            if entry.label == "role":
+                subjects.add_role(name)
+            elif entry.label == "user":
+                subjects.add_user(name)
+            else:
+                raise StorageError(f"unknown subject kind <{entry.label}>")
+            for isa in _child_elements(entry):
+                if isa.label != "isa":
+                    raise StorageError(
+                        f"unexpected <{isa.label}> in subject {name!r}"
+                    )
+                parent = "".join(
+                    c.label for c in isa.children if c.kind is NodeKind.TEXT
+                ).strip()
+                if not parent:
+                    raise StorageError(f"empty <isa> under subject {name!r}")
+                pending.append((name, parent))
+        except Exception as exc:
+            if report is not None:
+                report.add("subjects", f"dropped <{entry.label}>: {exc}")
+                continue
+            if isinstance(exc, StorageError):
+                raise
+            raise StorageError(
+                f"bad <{entry.label}> entry in subjects: {exc}"
+            ) from exc
     for child, parent in pending:
-        subjects.add_isa(child, parent)
+        try:
+            subjects.add_isa(child, parent)
+        except Exception as exc:
+            if report is None:
+                raise StorageError(
+                    f"bad isa link {child!r} -> {parent!r}: {exc}"
+                ) from exc
+            report.add(
+                "subjects", f"dropped isa({child!r}, {parent!r}): {exc}"
+            )
     return subjects
 
 
-def _load_policy(section: Fragment, subjects: SubjectHierarchy) -> Policy:
+def _load_policy(
+    section: Fragment,
+    subjects: SubjectHierarchy,
+    report: Optional[LoadReport] = None,
+) -> Policy:
+    """Rebuild the policy; ``report`` enables lenient per-rule drops."""
     policy = Policy(subjects)
-    rules = _child_elements(section)
-    for rule in sorted(rules, key=lambda r: int(_attr(r, "priority", "priority"))):
-        if rule.label != "rule":
-            raise StorageError(f"unexpected <{rule.label}> in policy")
-        effect = _attr(rule, "effect", "rule effect")
-        privilege = _attr(rule, "privilege", "rule privilege")
-        subject = _attr(rule, "subject", "rule subject")
-        priority = int(_attr(rule, "priority", "rule priority"))
-        path = _attr(rule, "path", "rule path")
-        if effect == ACCEPT:
-            policy.grant(privilege, path, subject, priority=priority)
-        elif effect == "deny":
-            policy.deny(privilege, path, subject, priority=priority)
-        else:
-            raise StorageError(f"unknown rule effect {effect!r}")
+    ordered: List[tuple] = []
+    for rule in _child_elements(section):
+        try:
+            if rule.label != "rule":
+                raise StorageError(f"unexpected <{rule.label}> in policy")
+            ordered.append((int(_attr(rule, "priority", "rule priority")), rule))
+        except Exception as exc:
+            if report is None:
+                raise StorageError(
+                    f"bad <{rule.label}> entry in policy: {exc}"
+                ) from exc
+            report.add("policy", f"dropped <{rule.label}>: {exc}")
+    for priority, rule in sorted(ordered, key=lambda pair: pair[0]):
+        try:
+            effect = _attr(rule, "effect", "rule effect")
+            privilege = _attr(rule, "privilege", "rule privilege")
+            subject = _attr(rule, "subject", "rule subject")
+            path = _attr(rule, "path", "rule path")
+            if effect == ACCEPT:
+                policy.grant(privilege, path, subject, priority=priority)
+            elif effect == "deny":
+                policy.deny(privilege, path, subject, priority=priority)
+            else:
+                raise StorageError(f"unknown rule effect {effect!r}")
+        except Exception as exc:
+            if report is not None:
+                report.add(
+                    "policy", f"dropped rule with priority {priority}: {exc}"
+                )
+                continue
+            if isinstance(exc, StorageError):
+                raise
+            raise StorageError(
+                f"bad rule with priority {priority}: {exc}"
+            ) from exc
     return policy
 
 

@@ -1,0 +1,24 @@
+"""Test-support utilities that ship with the library.
+
+:mod:`repro.testing.faults` provides the fault-injection harness the
+update executor and the storage layer consult at named kill-points; the
+crash-safety test suites arm it to simulate failures at every point.
+"""
+
+from .faults import (
+    KILL_POINTS,
+    FaultInjector,
+    InjectedFault,
+    faults,
+    inject,
+    kill_point,
+)
+
+__all__ = [
+    "KILL_POINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "faults",
+    "inject",
+    "kill_point",
+]

@@ -1,0 +1,183 @@
+"""Fault injection: named kill-points for crash-safety testing.
+
+The transactional update path and the storage layer call
+:func:`kill_point` at the places where a crash would be most damaging.
+In production nothing is armed and the call is a dictionary-emptiness
+check; under test, :func:`inject` arms a point so that reaching it
+raises :class:`InjectedFault`, simulating a process death at exactly
+that instant.  The crash-safety suites then assert the atomicity
+invariant: a failed script leaves every session view byte-identical to
+its pre-script view, and an interrupted save leaves the previous
+on-disk file loadable.
+
+Named kill-points:
+
+=================  =====================================================
+``before-op``      script execution, before operation *i* starts
+``after-op``       script execution, after operation *i* applied but
+                   before its result is folded into the script result
+``mid-write``      storage, after roughly half the payload is written
+                   to the temp file (a torn write)
+``before-rename``  storage, after the temp file is durable but before
+                   the atomic rename installs it
+=================  =====================================================
+
+Example::
+
+    from repro.testing.faults import inject, InjectedFault
+
+    with inject("before-op", after=1):   # fail when op index 1 starts
+        with pytest.raises(UpdateAborted):
+            session.execute(script)
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "KILL_POINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "faults",
+    "inject",
+    "kill_point",
+]
+
+#: Every kill-point the library consults, in execution order.
+KILL_POINTS = ("before-op", "after-op", "mid-write", "before-rename")
+
+
+class InjectedFault(ReproError):
+    """A simulated crash raised by an armed kill-point.
+
+    Attributes:
+        point: the kill-point name that fired.
+        context: keyword context the call site passed to
+            :func:`kill_point` (operation index, file path, ...).
+    """
+
+    def __init__(self, point: str, context: Dict[str, Any]) -> None:
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(f"injected fault at kill-point {point!r}"
+                         + (f" ({detail})" if detail else ""))
+        self.point = point
+        self.context = dict(context)
+
+
+@dataclass
+class _Armed:
+    """One armed kill-point: fail on the (``after`` + 1)-th reach."""
+
+    remaining: int
+
+
+@dataclass
+class FaultInjector:
+    """A registry of armed kill-points plus a reach history.
+
+    Thread-safe; a module-level instance (:data:`faults`) is what the
+    library consults, but independent injectors can be built for
+    isolated tests.
+    """
+
+    _armed: Dict[str, _Armed] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Every reach of every kill-point since the last :meth:`reset`,
+    #: as ``(point, context)`` pairs -- lets tests assert coverage.
+    history: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+    #: When True, every reach is appended to :data:`history` even while
+    #: nothing is armed (off by default: zero cost in production).
+    trace: bool = False
+
+    def arm(self, point: str, after: int = 0) -> None:
+        """Make ``point`` raise on its next reach.
+
+        Args:
+            point: one of :data:`KILL_POINTS`.
+            after: number of reaches to let through first (so a script
+                of N operations can be killed at any operation index).
+        """
+        self._check(point)
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        with self._lock:
+            self._armed[point] = _Armed(remaining=after)
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one kill-point, or all of them when ``point`` is None."""
+        with self._lock:
+            if point is None:
+                self._armed.clear()
+            else:
+                self._check(point)
+                self._armed.pop(point, None)
+
+    def is_armed(self, point: str) -> bool:
+        """True if ``point`` is currently armed."""
+        self._check(point)
+        with self._lock:
+            return point in self._armed
+
+    def reset(self) -> None:
+        """Disarm everything and clear the reach history."""
+        with self._lock:
+            self._armed.clear()
+            self.history.clear()
+
+    def reach(self, point: str, **context: Any) -> None:
+        """Called by the library at a kill-point; raises when armed.
+
+        Raises:
+            InjectedFault: when ``point`` is armed and its countdown
+                has expired.
+        """
+        if not self._armed and not self.trace:
+            return  # hot path: nothing armed, nothing traced
+        self._check(point)
+        with self._lock:
+            if self.trace:
+                self.history.append((point, dict(context)))
+            armed = self._armed.get(point)
+            if armed is None:
+                return
+            if armed.remaining > 0:
+                armed.remaining -= 1
+                return
+            del self._armed[point]  # one-shot: fire once, then disarm
+        raise InjectedFault(point, context)
+
+    @contextmanager
+    def injected(self, point: str, after: int = 0) -> Iterator["FaultInjector"]:
+        """Arm ``point`` for the duration of a ``with`` block."""
+        self.arm(point, after=after)
+        try:
+            yield self
+        finally:
+            self.disarm(point)
+
+    @staticmethod
+    def _check(point: str) -> None:
+        if point not in KILL_POINTS:
+            raise ValueError(
+                f"unknown kill-point {point!r}; known: {', '.join(KILL_POINTS)}"
+            )
+
+
+#: The injector the executor and storage layers consult.
+faults = FaultInjector()
+
+
+def kill_point(point: str, **context: Any) -> None:
+    """Library-side hook: consult the default injector at ``point``."""
+    faults.reach(point, **context)
+
+
+def inject(point: str, after: int = 0):
+    """Test-side sugar: arm the default injector inside a ``with`` block."""
+    return faults.injected(point, after=after)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..errors import ReproError, UpdateAborted
+from ..testing.faults import kill_point
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NodeId
 from ..xmltree.node import NodeKind
@@ -35,7 +37,7 @@ from .operations import (
 __all__ = ["UpdateResult", "XUpdateExecutor", "XUpdateError"]
 
 
-class XUpdateError(Exception):
+class XUpdateError(ReproError):
     """Unknown operation type or malformed target."""
 
 
@@ -94,13 +96,40 @@ class XUpdateExecutor:
         The input document is never mutated; the result carries the new
         document (``dbnew``).
 
+        Scripts are transactional: each operation runs against a fresh
+        copy, so the document after operation *i* is a savepoint.  When
+        any operation fails, the whole script is abandoned and
+        :class:`~repro.errors.UpdateAborted` reports the failing index
+        with the last savepoint attached -- the input ``doc`` is the
+        rollback state, untouched by construction.  The ``before-op``
+        and ``after-op`` kill-points of :mod:`repro.testing.faults` are
+        consulted around every operation.
+
         Raises:
-            XUpdateError: for an unknown operation type.
+            XUpdateError: for an unknown operation type (single
+                operations).
+            UpdateAborted: when any operation of a script fails.
         """
         if isinstance(operation, UpdateScript):
             result = UpdateResult(document=doc)
-            for op in operation:
-                result = result.merge(self.apply(result.document, op, variables))
+            for index, op in enumerate(operation):
+                op_name = type(op).__name__
+                try:
+                    kill_point("before-op", index=index, operation=op_name)
+                    step = self.apply(result.document, op, variables)
+                    kill_point("after-op", index=index, operation=op_name)
+                except UpdateAborted:
+                    raise
+                except Exception as exc:
+                    raise UpdateAborted(
+                        f"script aborted at operation {index} ({op_name}): "
+                        f"{exc}; {index} completed operation(s) rolled back",
+                        operation_index=index,
+                        operation=op_name,
+                        completed=index,
+                        savepoint=result.document,
+                    ) from exc
+                result = result.merge(step)
             return result
         new_doc = doc.copy()
         targets = self._engine.select(new_doc, operation.path, variables=variables)

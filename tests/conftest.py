@@ -13,6 +13,16 @@ from repro.xpath import XPathEngine
 from repro.xupdate import XUpdateExecutor
 
 
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    """Disarm every kill-point around each test (fault-suite hygiene)."""
+    from repro.testing.faults import faults
+
+    faults.reset()
+    yield
+    faults.reset()
+
+
 @pytest.fixture
 def doc():
     """The figure-2 medical document, fresh per test."""

@@ -58,3 +58,37 @@ class TestDatabaseIntegration:
         allowed = [r for r in db.audit if r.allowed]
         assert allowed
         assert allowed[0].operation == "UpdateContent"
+
+
+class TestAbortRecords:
+    def test_record_abort_fields(self):
+        log = AuditLog()
+        entry = log.record_abort(
+            user="u",
+            operation="Remove",
+            path="//a",
+            reason="injected fault",
+            operation_index=2,
+            rolled_back=2,
+        )
+        assert entry.event == "abort"
+        assert not entry.allowed
+        assert entry.rolled_back == 2
+        assert entry.node is None and entry.privilege is None
+        assert "aborted at operation 2" in entry.reason
+
+    def test_aborts_filter(self):
+        log = AuditLog()
+        log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        log.record_abort(user="u", operation="Op", path="//a", reason="boom")
+        assert len(log.aborts()) == 1
+        assert len(log.denials()) == 1  # the abort counts as denied
+
+    def test_abort_str_format(self):
+        log = AuditLog()
+        entry = log.record_abort(
+            user="u", operation="Rename", path="//a", reason="x", rolled_back=3
+        )
+        text = str(entry)
+        assert "ABORT" in text
+        assert "rolled back 3" in text

@@ -1,0 +1,115 @@
+"""Policy consistency linter: dead, empty-path and audience-less rules."""
+
+import pytest
+
+from repro.core import hospital_database
+from repro.security import (
+    Policy,
+    PolicyLintWarning,
+    SecureXMLDatabase,
+    SubjectHierarchy,
+)
+
+
+def make_db(xml="<r><a/><b/></r>"):
+    subjects = SubjectHierarchy()
+    subjects.add_role("staff")
+    subjects.add_role("doctor", member_of="staff")
+    subjects.add_user("u", member_of="doctor")
+    return SecureXMLDatabase.from_xml(xml, subjects, Policy(subjects))
+
+
+class TestDeadRules:
+    def test_rule_fully_shadowed_by_later_rule_is_dead(self):
+        db = make_db()
+        early = db.policy.grant("read", "//a", "staff")
+        db.policy.deny("read", "//*", "staff")  # re-decides every node
+        warnings = db.policy.lint(document=db.document, engine=db.engine)
+        assert [w.rule for w in warnings if w.kind == "dead"] == [early]
+
+    def test_shadow_must_cover_every_node(self):
+        db = make_db()
+        db.policy.grant("read", "//*", "staff")
+        db.policy.deny("read", "//a", "staff")  # narrows, does not shadow
+        assert db.policy.lint(document=db.document, engine=db.engine) == []
+
+    def test_shadow_only_counts_for_same_privilege(self):
+        db = make_db()
+        db.policy.grant("read", "//a", "staff")
+        db.policy.deny("update", "//*", "staff")
+        assert db.policy.lint(document=db.document, engine=db.engine) == []
+
+    def test_role_shadowed_by_broader_subject(self):
+        # A doctor-rule followed by a staff-rule on the same nodes is
+        # dead: every doctor is staff, so the later rule always wins.
+        db = make_db()
+        early = db.policy.grant("read", "//a", "doctor")
+        db.policy.deny("read", "//a", "staff")
+        warnings = db.policy.lint(document=db.document, engine=db.engine)
+        assert [w.rule for w in warnings] == [early]
+
+    def test_narrow_subject_does_not_shadow_broader_one(self):
+        # staff-rule then doctor-rule: for a hypothetical staff-only
+        # user the first rule would still win; but with u (a doctor)
+        # as the only user, the doctor rule re-decides everything.
+        db = make_db()
+        early = db.policy.grant("read", "//a", "staff")
+        db.policy.deny("read", "//a", "doctor")
+        warnings = db.policy.lint(document=db.document, engine=db.engine)
+        assert [w.rule for w in warnings] == [early]
+
+
+class TestOtherKinds:
+    def test_empty_path_rule_flagged(self):
+        db = make_db()
+        rule = db.policy.grant("read", "//zzz", "staff")
+        warnings = db.policy.lint(document=db.document, engine=db.engine)
+        assert [(w.rule, w.kind) for w in warnings] == [(rule, "empty-path")]
+
+    def test_rule_for_userless_role_flagged(self):
+        db = make_db()
+        db.subjects.add_role("lonely")
+        rule = db.policy.grant("read", "//*", "lonely")
+        warnings = db.policy.lint(document=db.document, engine=db.engine)
+        assert [(w.rule, w.kind) for w in warnings] == [(rule, "no-audience")]
+
+    def test_no_audience_found_without_document_too(self):
+        db = make_db()
+        db.subjects.add_role("lonely")
+        rule = db.policy.grant("read", "//*", "lonely")
+        warnings = db.policy.lint()
+        assert [(w.rule, w.kind) for w in warnings] == [(rule, "no-audience")]
+
+    def test_structural_lint_cannot_see_shadowing(self):
+        db = make_db()
+        db.policy.grant("read", "//a", "staff")
+        db.policy.deny("read", "//*", "staff")
+        assert db.policy.lint() == []  # needs a document
+
+    def test_warning_str_is_readable(self):
+        db = make_db()
+        db.policy.grant("read", "//zzz", "staff")
+        (warning,) = db.policy.lint(document=db.document, engine=db.engine)
+        assert isinstance(warning, PolicyLintWarning)
+        assert "empty-path" in str(warning)
+        assert "//zzz" in str(warning)
+
+
+class TestDatabaseApi:
+    def test_lint_policy_convenience(self):
+        db = make_db()
+        db.policy.grant("read", "//zzz", "staff")
+        assert [w.kind for w in db.lint_policy()] == ["empty-path"]
+
+    def test_paper_policy_is_clean(self):
+        # The equation-13 policy has no dead rules: every rule decides
+        # at least one (privilege, node) outcome for some user.
+        db = hospital_database()
+        assert db.lint_policy() == []
+
+    def test_warnings_sorted_by_priority(self):
+        db = make_db()
+        db.policy.grant("read", "//zzz", "staff", priority=5)
+        db.policy.grant("update", "//qqq", "staff", priority=3)
+        warnings = db.lint_policy()
+        assert [w.rule.priority for w in warnings] == [3, 5]

@@ -111,3 +111,32 @@ def build_policy(subjects, rules):
         else:
             policy.deny(privilege, path, subject)
     return policy
+
+
+def storable(doc) -> bool:
+    """True when the document survives an XML text round-trip.
+
+    Adjacent text siblings merge when re-parsed, so documents containing
+    them are not faithfully storable; persistence properties skip them.
+    """
+    for nid in doc.all_nodes():
+        kids = doc.children(nid)
+        if any(
+            doc.kind(a) is NodeKind.TEXT and doc.kind(b) is NodeKind.TEXT
+            for a, b in zip(kids, kids[1:])
+        ):
+            return False
+    return True
+
+
+@st.composite
+def secure_databases(draw, max_depth: int = 3, max_children: int = 3):
+    """A random storable database: document + fixed subjects + policy."""
+    from repro.security import SecureXMLDatabase
+
+    doc = draw(
+        documents(max_depth=max_depth, max_children=max_children).filter(storable)
+    )
+    subjects = build_subjects()
+    policy = build_policy(subjects, draw(policy_rules()))
+    return SecureXMLDatabase(doc, subjects, policy)

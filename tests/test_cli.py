@@ -147,3 +147,61 @@ class TestViewQueryUpdate:
     def test_audit_demo(self, seeded, capsys):
         assert run("audit-demo", seeded, "alice", APPEND_BOB) == 0
         assert "ALLOW" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_policy_exits_zero(self, seeded, capsys):
+        assert run("lint", seeded) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dead_rule_exits_four(self, seeded, capsys):
+        # The read grant is fully shadowed by a later deny on the same
+        # path for the same role: dead under axiom 14.
+        assert run("deny", seeded, "read", "//node()", "staff") == 0
+        assert run("lint", seeded) == 4
+        out = capsys.readouterr().out
+        assert "dead" in out
+
+    def test_empty_path_rule_reported(self, seeded, capsys):
+        assert run("grant", seeded, "read", "//never-matches", "staff") == 0
+        assert run("lint", seeded) == 4
+        assert "empty-path" in capsys.readouterr().out
+
+
+class TestRecover:
+    def test_recover_reports_dropped_rule(self, seeded, capsys):
+        text = open(seeded).read()
+        broken = text.replace('subject="staff"', 'subject="ghost"', 1)
+        with open(seeded, "w") as handle:
+            handle.write(broken)
+        assert run("recover", seeded) == 4
+        out = capsys.readouterr().out
+        assert "ghost" in out
+        assert "recovered:" in out
+
+    def test_recover_clean_file_exits_zero(self, seeded, capsys):
+        assert run("recover", seeded) == 0
+        assert "cleanly" in capsys.readouterr().out
+
+    def test_recover_write_repairs_file(self, seeded, capsys):
+        text = open(seeded).read()
+        with open(seeded, "w") as handle:
+            handle.write(text.replace('subject="staff"', 'subject="ghost"', 1))
+        assert run("recover", seeded, "--write") == 4
+        capsys.readouterr()
+        # After the rewrite the file is strict-loadable and lint-clean.
+        assert run("recover", seeded) == 0
+
+    def test_recover_missing_file_fails(self, tmp_path):
+        assert run("recover", str(tmp_path / "nope.xml")) == 2
+
+
+class TestCrashSafeSaves:
+    def test_mutating_commands_keep_a_backup(self, seeded):
+        before = open(seeded).read()
+        assert run("add-role", seeded, "nurse", "--member-of", "staff") == 0
+        assert open(seeded + ".bak").read() == before
+
+    def test_backup_is_loadable(self, seeded):
+        run("add-role", seeded, "nurse")
+        assert load_from_file(seeded + ".bak").document.root is not None

@@ -1,0 +1,93 @@
+"""Unit tests for the fault-injection harness itself."""
+
+import pytest
+
+from repro.testing.faults import (
+    KILL_POINTS,
+    FaultInjector,
+    InjectedFault,
+    faults,
+    inject,
+    kill_point,
+)
+
+
+class TestFaultInjector:
+    def test_unarmed_reach_is_a_no_op(self):
+        injector = FaultInjector()
+        for point in KILL_POINTS:
+            injector.reach(point)  # must not raise
+
+    def test_armed_point_fires_once(self):
+        injector = FaultInjector()
+        injector.arm("before-op")
+        with pytest.raises(InjectedFault):
+            injector.reach("before-op")
+        injector.reach("before-op")  # one-shot: disarmed after firing
+
+    def test_countdown_lets_reaches_through(self):
+        injector = FaultInjector()
+        injector.arm("before-op", after=2)
+        injector.reach("before-op")
+        injector.reach("before-op")
+        with pytest.raises(InjectedFault):
+            injector.reach("before-op")
+
+    def test_fault_carries_point_and_context(self):
+        injector = FaultInjector()
+        injector.arm("mid-write")
+        with pytest.raises(InjectedFault) as info:
+            injector.reach("mid-write", path="/tmp/db.xml")
+        assert info.value.point == "mid-write"
+        assert info.value.context == {"path": "/tmp/db.xml"}
+        assert "mid-write" in str(info.value)
+
+    def test_unknown_point_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.arm("after-rename")
+        injector.arm("before-op")  # validation only runs on the armed path
+        with pytest.raises(ValueError):
+            injector.reach("nope")
+
+    def test_negative_countdown_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("before-op", after=-1)
+
+    def test_disarm_and_reset(self):
+        injector = FaultInjector()
+        injector.arm("before-op")
+        injector.arm("mid-write")
+        injector.disarm("before-op")
+        assert not injector.is_armed("before-op")
+        assert injector.is_armed("mid-write")
+        injector.reset()
+        assert not injector.is_armed("mid-write")
+
+    def test_context_manager_disarms_on_exit(self):
+        injector = FaultInjector()
+        with injector.injected("before-rename"):
+            assert injector.is_armed("before-rename")
+        assert not injector.is_armed("before-rename")
+
+    def test_trace_records_history(self):
+        injector = FaultInjector()
+        injector.trace = True
+        injector.reach("before-op", index=0)
+        injector.reach("after-op", index=0)
+        assert [p for p, _ in injector.history] == ["before-op", "after-op"]
+
+
+class TestModuleLevelInjector:
+    def test_kill_point_uses_default_injector(self):
+        with inject("before-op"):
+            with pytest.raises(InjectedFault):
+                kill_point("before-op", index=0)
+        kill_point("before-op", index=0)  # disarmed again
+
+    def test_default_injector_is_shared(self):
+        faults.arm("after-op")
+        try:
+            assert faults.is_armed("after-op")
+        finally:
+            faults.disarm()

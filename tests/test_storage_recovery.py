@@ -1,0 +1,167 @@
+"""Strict vs lenient loading of damaged database files."""
+
+import pytest
+
+from repro.errors import ReproError, StorageCorrupt, StorageError
+from repro.storage import LoadReport, load_database, load_from_file
+
+GOOD = (
+    '<securedb version="1">'
+    '<subjects>'
+    '<role name="staff"/>'
+    '<user name="alice"><isa>staff</isa></user>'
+    "</subjects>"
+    "<policy>"
+    '<rule effect="accept" privilege="read" subject="staff" '
+    'priority="1" path="//*"/>'
+    "</policy>"
+    "<document><r><a/></r></document>"
+    "</securedb>"
+)
+
+
+def lenient(text):
+    report = LoadReport()
+    db = load_database(text, mode="lenient", report=report)
+    return db, report
+
+
+class TestModes:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            load_database(GOOD, mode="casual")
+
+    def test_clean_file_loads_identically_in_both_modes(self):
+        strict_db = load_database(GOOD)
+        lenient_db, report = lenient(GOOD)
+        assert report.clean
+        assert list(strict_db.policy.facts()) == list(lenient_db.policy.facts())
+        assert strict_db.subjects.subjects == lenient_db.subjects.subjects
+
+    def test_taxonomy(self):
+        assert issubclass(StorageCorrupt, StorageError)
+        assert issubclass(StorageError, ReproError)
+        assert issubclass(StorageError, ValueError)
+
+
+class TestLenientRecovery:
+    def test_bad_rule_dropped_good_ones_kept(self):
+        text = GOOD.replace(
+            "<policy>",
+            '<policy><rule effect="accept" privilege="read" '
+            'subject="ghost" priority="2" path="//*"/>',
+        )
+        db, report = lenient(text)
+        assert len(db.policy) == 1
+        assert any("ghost" in str(p) for p in report.problems)
+        assert all(p.section == "policy" for p in report.problems)
+
+    def test_unparseable_priority_dropped(self):
+        text = GOOD.replace('priority="1"', 'priority="soon"')
+        db, report = lenient(text)
+        assert len(db.policy) == 0
+        assert not report.clean
+
+    def test_bad_effect_dropped(self):
+        text = GOOD.replace('effect="accept"', 'effect="maybe"')
+        db, report = lenient(text)
+        assert len(db.policy) == 0
+        assert any("maybe" in str(p) for p in report.problems)
+
+    def test_dangling_isa_dropped_subject_kept(self):
+        text = GOOD.replace("<isa>staff</isa>", "<isa>ghost</isa>")
+        db, report = lenient(text)
+        assert "alice" in db.subjects.users
+        assert any("isa" in str(p) for p in report.problems)
+
+    def test_unknown_subject_kind_dropped(self):
+        text = GOOD.replace('<role name="staff"/>', '<robot name="staff"/>')
+        db, report = lenient(text)
+        # The robot entry is dropped; the rule referencing it drops too.
+        assert "staff" not in db.subjects.subjects
+        assert len(db.policy) == 0
+        sections = {p.section for p in report.problems}
+        assert sections == {"subjects", "policy"}
+
+    def test_missing_section_treated_as_empty(self):
+        text = '<securedb version="1"><document><r/></document></securedb>'
+        db, report = lenient(text)
+        assert len(db.policy) == 0
+        assert len(report.problems) == 2  # subjects + policy
+        assert db.document.root is not None
+
+    def test_extra_document_roots_first_kept(self):
+        text = GOOD.replace("<r><a/></r>", "<r><a/></r><second/>")
+        db, report = lenient(text)
+        assert db.document.label(db.document.root) == "r"
+        assert any("kept the first" in str(p) for p in report.problems)
+
+    def test_unsupported_version_loaded_with_warning(self):
+        text = GOOD.replace('version="1"', 'version="999"')
+        db, report = lenient(text)
+        assert db.document.root is not None
+        assert any("version" in str(p) for p in report.problems)
+
+    def test_committed_data_never_lost(self):
+        # Everything valid in a half-broken file must survive recovery.
+        text = GOOD.replace(
+            "<policy>",
+            '<policy><rule effect="deny" privilege="read" '
+            'subject="nobody" priority="0" path="//*"/>',
+        )
+        db, report = lenient(text)
+        assert not report.clean
+        assert [r.subject for r in db.policy] == ["staff"]
+        session = db.login("alice")
+        assert "<a/>" in session.read_xml() or "<a>" in session.read_xml()
+
+    def test_report_str_lists_problems(self):
+        _, report = lenient(GOOD.replace('effect="accept"', 'effect="maybe"'))
+        assert "problem(s) dropped" in str(report)
+        clean_report = LoadReport(source="x")
+        assert "cleanly" in str(clean_report)
+
+
+class TestCorruptBeyondRecovery:
+    def test_truncated_xml_is_corrupt_in_both_modes(self):
+        truncated = GOOD[: len(GOOD) // 2]
+        with pytest.raises(StorageCorrupt):
+            load_database(truncated)
+        with pytest.raises(StorageCorrupt):
+            load_database(truncated, mode="lenient")
+
+    def test_wrong_root_is_corrupt(self):
+        with pytest.raises(StorageCorrupt):
+            load_database("<not-a-db/>", mode="lenient")
+
+
+class TestActionableErrors:
+    def test_file_path_in_strict_error(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text(GOOD.replace('effect="accept"', 'effect="maybe"'))
+        with pytest.raises(StorageError) as info:
+            load_from_file(str(path))
+        assert str(path) in str(info.value)
+        assert "maybe" in str(info.value)
+
+    def test_file_path_in_corrupt_error(self, tmp_path):
+        path = tmp_path / "torn.xml"
+        path.write_text(GOOD[:40])
+        with pytest.raises(StorageCorrupt) as info:
+            load_from_file(str(path))
+        assert str(path) in str(info.value)
+        assert ".bak" in str(info.value)
+
+    def test_element_context_in_strict_error(self):
+        text = GOOD.replace('priority="1"', "")
+        with pytest.raises(StorageError) as info:
+            load_database(text)
+        assert "rule" in str(info.value)
+        assert "priority" in str(info.value)
+
+    def test_unknown_subject_rule_error_names_priority(self):
+        text = GOOD.replace('subject="staff"', 'subject="ghost"')
+        with pytest.raises(StorageError) as info:
+            load_database(text)
+        assert "priority 1" in str(info.value)
+        assert "ghost" in str(info.value)
