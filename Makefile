@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault bench verify
+.PHONY: test fault bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -17,4 +17,13 @@ fault:
 bench:
 	$(PYTEST) -q benchmarks
 
-verify: test fault
+# Machine-readable benchmark results for regression tracking.
+bench-json:
+	$(PYTEST) -q benchmarks --benchmark-json=BENCH_3.json
+
+# Fast serving-layer check: E20 at three small sizes, asserting the
+# shared/incremental counters and a loose speedup bar (no timing saves).
+bench-smoke:
+	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py -k smoke
+
+verify: test fault bench-smoke

@@ -27,6 +27,7 @@ from .privileges import Privilege, READ_PRIVILEGES, WRITE_PRIVILEGES
 from .session import ExplainEntry, Session
 from .subjects import SubjectError, SubjectHierarchy
 from .view import View, ViewBuilder
+from .viewcache import ViewCache
 from .write import (
     AccessDenied,
     Denial,
@@ -67,6 +68,7 @@ __all__ = [
     "Transaction",
     "View",
     "ViewBuilder",
+    "ViewCache",
     "build_lazy_view",
     "WRITE_PRIVILEGES",
 ]

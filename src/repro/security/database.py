@@ -17,6 +17,7 @@ from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NumberingScheme
 from ..xmltree.parser import parse_xml
 from ..xpath.engine import XPathEngine
+from ..xupdate.changeset import ChangeSet
 from ..xupdate.executor import UpdateResult, XUpdateExecutor
 from ..xupdate.operations import UpdateScript, XUpdateOperation
 from .audit import AuditLog
@@ -69,8 +70,17 @@ class Transaction:
         """The database version this transaction started from."""
         return self._base_version
 
-    def commit(self, document: XMLDocument) -> None:
+    def commit(
+        self, document: XMLDocument, changes: Optional[ChangeSet] = None
+    ) -> None:
         """Install ``document`` as the new theory, atomically.
+
+        Args:
+            document: the new source document (``dbnew``).
+            changes: the update's structural delta, published to the
+                permission and view caches for incremental maintenance;
+                None (or a conservative change-set) makes every cache
+                fall back to full re-derivation.
 
         Raises:
             ConcurrentUpdateError: another commit happened since this
@@ -85,7 +95,7 @@ class Transaction:
                 f"database moved from version {self._base_version} to "
                 f"{self._database.version} since this transaction began"
             )
-        self._database._install(document)
+        self._database._install(document, changes)
         self._state = "committed"
 
     def rollback(self) -> None:
@@ -110,6 +120,11 @@ class SecureXMLDatabase:
         policy: the security policy; a fresh empty one (which, under the
             closed-world assumption, denies everything) if omitted.
         audit: audit log receiving write decisions; created if omitted.
+        shared_views: serve materialized views from a shared,
+            incrementally-maintained cache keyed by permission
+            fingerprint (the default).  Disable to rebuild every view
+            from scratch per session and version (the seed behaviour,
+            kept for ablation benchmarks).
 
     Example::
 
@@ -127,6 +142,7 @@ class SecureXMLDatabase:
         subjects: Optional[SubjectHierarchy] = None,
         policy: Optional[Policy] = None,
         audit: Optional[AuditLog] = None,
+        shared_views: bool = True,
     ) -> None:
         self._document = document
         self._subjects = subjects if subjects is not None else SubjectHierarchy()
@@ -145,6 +161,9 @@ class SecureXMLDatabase:
         from .write import SecureWriteExecutor
 
         self._write_executor = SecureWriteExecutor(self._unsecured, self._audit)
+        from .viewcache import ViewCache
+
+        self._view_cache = ViewCache() if shared_views else None
         self._version = 0
 
     # ------------------------------------------------------------------
@@ -225,7 +244,17 @@ class SecureXMLDatabase:
         return Session(self, user, enforcement)
 
     def build_view(self, user: str) -> View:
-        """Derive the view for any declared subject (axioms 15-17)."""
+        """Derive the view for any declared subject (axioms 15-17).
+
+        With ``shared_views`` (the default) the view is served from the
+        shared cache: users with identical, ``$USER``-free permission
+        tables receive facades over one materialization, and stale
+        cached views are patched from commit change-sets instead of
+        rebuilt.  Served views are shared state -- treat them as
+        immutable, as every in-tree consumer already does.
+        """
+        if self._view_cache is not None:
+            return self._view_cache.view_for(self, user)
         return self._view_builder.build(self._document, self._policy, user)
 
     def build_lazy_view(self, user: str):
@@ -237,8 +266,33 @@ class SecureXMLDatabase:
         )
 
     def permissions_for(self, user: str) -> PermissionTable:
-        """Derive the full ``perm`` table for a subject (axiom 14)."""
-        return self._resolver.resolve(self._document, self._policy, user)
+        """Derive the full ``perm`` table for a subject (axiom 14).
+
+        Served through the resolver's fingerprint cache: repeated calls
+        for users sharing a permission fingerprint cost O(1) until the
+        document or the applicable rules change.
+        """
+        return self._resolver.resolve_cached(
+            self._document, self._policy, user
+        )
+
+    def stats(self) -> dict:
+        """Serving-layer counters: permission-cache and view-cache
+        decisions since construction, plus the commit count.
+
+        Keys are the union of
+        :attr:`repro.security.perm.PermissionResolver.stats` and
+        :attr:`repro.security.viewcache.ViewCache.stats` (prefixed
+        ``view_``), e.g. ``view_hits`` / ``view_incremental_patches`` /
+        ``full_resolves``.
+        """
+        out = {"version": self._version}
+        out.update(self._resolver.stats)
+        if self._view_cache is not None:
+            out.update(
+                {f"view_{k}": v for k, v in self._view_cache.stats.items()}
+            )
+        return out
 
     # ------------------------------------------------------------------
     # administration
@@ -254,28 +308,39 @@ class SecureXMLDatabase:
         """
         with self.transaction() as txn:
             result = self._unsecured.apply(self._document, operation)
-            txn.commit(result.document)
+            txn.commit(result.document, result.changes)
         return result
 
     def transaction(self) -> Transaction:
         """Begin an all-or-nothing theory replacement."""
         return Transaction(self)
 
-    def commit(self, document: XMLDocument) -> None:
+    def commit(
+        self, document: XMLDocument, changes: Optional[ChangeSet] = None
+    ) -> None:
         """Install a new source document and bump the version.
 
         Prefer :meth:`transaction`, which adds rollback-on-error and a
         concurrent-commit guard around this swap.
         """
-        self._install(document)
+        self._install(document, changes)
 
-    def _install(self, document: XMLDocument) -> None:
+    def _install(
+        self, document: XMLDocument, changes: Optional[ChangeSet] = None
+    ) -> None:
         # The single point where the theory is replaced: document and
         # version move together, so cached views (keyed by version) and
         # permission caches (keyed weakly by document identity and its
         # mutation stamp) can never observe a half-installed state.
+        # The change-set (possibly None = "unknown extent") is published
+        # to the permission resolver and the view cache *after* the
+        # swap, so their maintenance sees the installed generation.
+        old_document = self._document
         self._document = document
         self._version += 1
+        self._resolver.note_commit(old_document, document, changes)
+        if self._view_cache is not None:
+            self._view_cache.note_commit(self._version, changes)
 
     # ------------------------------------------------------------------
     # policy hygiene

@@ -128,9 +128,16 @@ class InsecureWriteExecutor:
                         affected.append(nid)
         else:
             raise TypeError(f"unknown operation {operation!r}")
+        from ..xupdate.changeset import ChangeSet
+
+        # This executor exists for the E10 vulnerability comparison and
+        # does not track a structural delta; publish a conservative
+        # change-set so any caller that commits the result makes the
+        # serving caches fall back to full re-derivation.
         return SecureUpdateResult(
             document=new_doc,
             selected=list(selected),
             affected=affected,
             denials=denials,
+            changes=ChangeSet.unknown(),
         )

@@ -64,6 +64,7 @@ class LazyView:
         #: re-derive views between script steps, as with View.
         self.policy = policy
         self._visible_cache: Dict[NodeId, bool] = {DOCUMENT_ID: True}
+        self._len_cache: Optional[Tuple[int, int]] = None
 
     @property
     def doc(self) -> "LazyView":
@@ -89,21 +90,33 @@ class LazyView:
 
     def visible(self, nid: NodeId) -> bool:
         """True iff the node is in the view: itself readable or
-        positional, and its parent visible (the pruning condition)."""
-        cached = self._visible_cache.get(nid)
+        positional, and its parent visible (the pruning condition).
+
+        Iterative: climbs to the nearest cached ancestor (the document
+        node is always cached), then fills the cache back down -- no
+        recursion, so arbitrarily deep documents cannot overflow the
+        stack.
+        """
+        cache = self._visible_cache
+        cached = cache.get(nid)
         if cached is not None:
             return cached
         if nid not in self._source:
-            result = False
-        elif nid.is_document:
-            result = True
-        else:
-            perms = self._permissions
-            own = perms.holds(nid, Privilege.READ) or perms.holds(
-                nid, Privilege.POSITION
-            )
-            result = own and self.visible(nid.parent())
-        self._visible_cache[nid] = result
+            cache[nid] = False
+            return False
+        chain = []  # uncached ancestors-or-self, nearest first
+        current = nid
+        while current not in cache:
+            chain.append(current)
+            current = current.parent()
+        result = cache[current]
+        perms = self._permissions
+        for node in reversed(chain):
+            if result:  # ancestors of an in-source node are in source
+                result = perms.holds(node, Privilege.READ) or perms.holds(
+                    node, Privilege.POSITION
+                )
+            cache[node] = result
         return result
 
     def is_restricted(self, nid: NodeId) -> bool:
@@ -134,7 +147,13 @@ class LazyView:
         return self.visible(nid)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.all_nodes())
+        # Memoized against the source's mutation stamp: repeated len()
+        # probes (the evaluator's last()/size checks) must not re-walk
+        # the whole visible tree.
+        stamp = self._source.mutation_stamp
+        if self._len_cache is None or self._len_cache[0] != stamp:
+            self._len_cache = (stamp, sum(1 for _ in self.all_nodes()))
+        return self._len_cache[1]
 
     def node(self, nid: NodeId) -> Node:
         """The visible node, with RESTRICTED substitution applied."""
@@ -184,10 +203,13 @@ class LazyView:
         return None
 
     def descendants(self, nid: NodeId) -> Iterator[NodeId]:
-        """Visible proper descendants in document order."""
-        for child in self.children(nid):
-            yield child
-            yield from self.descendants(child)
+        """Visible proper descendants in document order (iterative:
+        document depth never limits traversal)."""
+        stack = list(reversed(self.children(nid)))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.children(node)))
 
     def descendants_or_self(self, nid: NodeId) -> Iterator[NodeId]:
         """The node, then its visible descendants."""
@@ -202,12 +224,16 @@ class LazyView:
         yield from nid.ancestors()
 
     def subtree(self, nid: NodeId) -> Iterator[NodeId]:
-        """The visible subtree, attributes included."""
-        yield nid
-        for attr in self.attributes(nid) if not nid.is_document else []:
-            yield attr
-        for child in self.children(nid):
-            yield from self.subtree(child)
+        """The visible subtree, attributes included (iterative, in the
+        order node, its attributes, then each child's subtree)."""
+        stack = [nid]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.children(node)))
+            if not node.is_document:
+                # Attributes go on top: yielded right after their owner.
+                stack.extend(reversed(self.attributes(node)))
 
     def siblings(self, nid: NodeId) -> List[NodeId]:
         """Visible children of this node's parent (self included)."""

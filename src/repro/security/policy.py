@@ -186,6 +186,22 @@ class Policy:
             if r.privilege is privilege and r.subject in applicable
         ]
 
+    def applicable_rules(self, user: str) -> Tuple[SecurityRule, ...]:
+        """All rules applying to ``user`` (via isa closure), every
+        privilege, in increasing priority order.
+
+        This tuple is exactly the rule sequence axiom 14 replays when
+        deriving the user's permission table, so it doubles as the
+        content-based part of the user's permission fingerprint: equal
+        tuples (with no ``$USER`` path) imply equal tables.
+
+        Raises:
+            repro.security.subjects.SubjectError: if ``user`` is not a
+                declared subject.
+        """
+        applicable = self._subjects.ancestors(user)
+        return tuple(r for r in self if r.subject in applicable)
+
     def facts(self) -> Iterator[Tuple[str, str, str, str, int]]:
         """The paper's ``rule/5`` facts (set P), in priority order."""
         for rule in self:

@@ -138,8 +138,15 @@ class Session:
         return render_tree(self.view().doc)
 
     def can(self, privilege: "str | Privilege", nid: NodeId) -> bool:
-        """Does this user hold ``privilege`` on node ``nid``?"""
-        return self.view().permissions.holds(nid, Privilege.parse(privilege))
+        """Does this user hold ``privilege`` on node ``nid``?
+
+        Resolved straight from the permission table (axiom 14): a
+        privilege probe never needs the pruned view document, so this
+        does not force a view materialization.
+        """
+        return self._database.permissions_for(self._user).holds(
+            nid, Privilege.parse(privilege)
+        )
 
     def explain(
         self, privilege: "str | Privilege", path: str
@@ -214,5 +221,5 @@ class Session:
         executor: SecureWriteExecutor = self._database.write_executor
         with self._database.transaction() as txn:
             result = executor.apply(self.view(), operation, strict=strict)
-            txn.commit(result.document)
+            txn.commit(result.document, result.changes)
         return result

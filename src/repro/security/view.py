@@ -18,12 +18,14 @@ map view selections straight back to source nodes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import DOCUMENT_ID, NodeId
 from ..xmltree.node import RESTRICTED, NodeKind
+from ..xmltree.serializer import serialize
 from ..xpath.engine import XPathEngine
 from .perm import PermissionResolver, PermissionTable
 from .policy import Policy
@@ -55,6 +57,10 @@ class View:
     restricted: FrozenSet[NodeId]
     permissions: PermissionTable
     policy: Policy
+    #: Memoized (mutation_stamp, digest) of the last fingerprint call.
+    _fingerprint_cache: Optional[Tuple[int, str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def visible(self, nid: NodeId) -> bool:
         """True if the node is in the view (readable or RESTRICTED)."""
@@ -79,12 +85,21 @@ class View:
         user; the crash-safety suite uses this to state the atomicity
         invariant (a failed script leaves every session's fingerprint
         unchanged).
+
+        The digest is memoized against the view document's mutation
+        stamp, so repeated fingerprinting of an unchanged view (the
+        atomicity suite fingerprints every session before *and* after
+        every script) serializes once.
         """
-        import hashlib
-
-        from ..xmltree.serializer import serialize
-
-        return hashlib.sha256(serialize(self.doc).encode("utf-8")).hexdigest()
+        stamp = self.doc.mutation_stamp
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        digest = hashlib.sha256(
+            serialize(self.doc).encode("utf-8")
+        ).hexdigest()
+        self._fingerprint_cache = (stamp, digest)
+        return digest
 
 
 class ViewBuilder:

@@ -1,0 +1,255 @@
+"""Shared, incrementally-maintained view cache (the serving layer).
+
+The seed treated view materialization as strictly per-session state:
+every session rebuilt its own pruned copy of the document (axioms
+15-17) after every commit, even though (a) most users share a handful
+of role-shaped permission tables, and (b) most commits touch a tiny
+region of the tree.  At serving scale that is the dominant cost --
+O(sessions x |doc|) per commit.
+
+:class:`ViewCache` removes both factors:
+
+**Sharing.** Views are keyed by ``(version, permission fingerprint)``
+(:meth:`~repro.security.perm.PermissionResolver.fingerprint`): any two
+users whose applicable rules are identical and ``$USER``-free provably
+see byte-identical views, so one materialization serves them all.  Each
+session receives a cheap per-user *facade* (same underlying document
+and permission dictionaries, its own ``user`` field) -- views are
+treated as immutable once published, which the rest of the codebase
+already assumes (updates replace documents, never mutate views).
+
+**Incremental patching.** On a commit that published a usable
+:class:`~repro.xupdate.changeset.ChangeSet`, a stale cached view is
+*patched*: the dirty regions are the change-set's touched roots plus
+any nodes whose read/position outcome differs between the old and new
+permission tables, and only those subtrees are re-pruned against the
+new source (the rest of the cached view document is carried).  A
+missing or conservative change-set, or a cache entry too far behind the
+bounded change log, falls back to the full axioms-15-17 build --
+patching is an optimization, never a correctness requirement; the
+differential property suite pins patched == from-scratch.
+
+Hit/patch/build decisions are counted in :attr:`ViewCache.stats` and
+surfaced through ``SecureXMLDatabase.stats()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import DOCUMENT_ID, NodeId
+from ..xmltree.node import RESTRICTED, NodeKind
+from ..xupdate.changeset import ChangeSet
+from .perm import Fingerprint, PermissionTable
+from .privileges import Privilege
+from .view import View, ViewBuilder
+
+__all__ = ["ViewCache"]
+
+
+@dataclass
+class _Entry:
+    """One materialized view pinned to a database version."""
+
+    version: int
+    view: View
+
+
+class ViewCache:
+    """Materialized views shared across sessions and carried across
+    commits.
+
+    Args:
+        max_entries: bound on cached views (LRU-evicted); one entry per
+            distinct permission fingerprint per policy shape.
+        log_size: how many commits of change-set history to retain; a
+            cached view older than the log cannot be patched and is
+            rebuilt.
+    """
+
+    def __init__(self, max_entries: int = 128, log_size: int = 64) -> None:
+        self._entries: "OrderedDict[Fingerprint, _Entry]" = OrderedDict()
+        self._log: "OrderedDict[int, Optional[ChangeSet]]" = OrderedDict()
+        self._log_size = log_size
+        self._max_entries = max_entries
+        #: Decision counters; read via ``SecureXMLDatabase.stats()``.
+        self.stats: Dict[str, int] = {
+            "hits": 0,  # served at the current version, no work
+            "incremental_patches": 0,  # stale entry patched in place
+            "full_builds": 0,  # axioms 15-17 from scratch
+        }
+
+    # ------------------------------------------------------------------
+    # commit feed
+    # ------------------------------------------------------------------
+    def note_commit(self, version: int, changes: Optional[ChangeSet]) -> None:
+        """Record the change-set that produced ``version`` (None when
+        the committer did not track one)."""
+        self._log[version] = changes
+        while len(self._log) > self._log_size:
+            self._log.popitem(last=False)
+
+    def _composed_changes(
+        self, from_version: int, to_version: int
+    ) -> Optional[ChangeSet]:
+        """The composite change-set across ``(from_version, to_version]``,
+        or None when any step is missing or conservative."""
+        steps: List[ChangeSet] = []
+        for v in range(from_version + 1, to_version + 1):
+            cs = self._log.get(v)
+            if cs is None or cs.conservative:
+                return None
+            steps.append(cs)
+        return ChangeSet.merge_all(steps)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def view_for(self, database, user: str) -> View:
+        """The current view for ``user``, shared and maintained.
+
+        Args:
+            database: the owning
+                :class:`~repro.security.database.SecureXMLDatabase`.
+            user: the session user; the returned view's ``user`` and
+                ``permissions.user`` always name this login even when
+                the materialization is shared with other users.
+        """
+        resolver = database.resolver
+        policy = database.policy
+        doc = database.document
+        version = database.version
+        fingerprint = resolver.fingerprint(policy, user)
+        entry = self._entries.get(fingerprint)
+        if entry is not None and entry.version == version:
+            if entry.view.source is doc:
+                self.stats["hits"] += 1
+                self._entries.move_to_end(fingerprint)
+                return self._facade(entry.view, user)
+            # Same version counter but a different document object can
+            # only mean a foreign commit path; treat as stale.
+            entry = None
+        table = resolver.resolve_cached(doc, policy, user)
+        if entry is not None and entry.version < version:
+            changes = self._composed_changes(entry.version, version)
+            if changes is not None:
+                view = self._patch(entry.view, doc, policy, table, changes)
+                self.stats["incremental_patches"] += 1
+                self._store(fingerprint, version, view)
+                return self._facade(view, user)
+        view = ViewBuilder(resolver).build(doc, policy, user, permissions=table)
+        self.stats["full_builds"] += 1
+        self._store(fingerprint, version, view)
+        return self._facade(view, user)
+
+    def _store(self, fingerprint: Fingerprint, version: int, view: View) -> None:
+        self._entries[fingerprint] = _Entry(version, view)
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    @staticmethod
+    def _facade(view: View, user: str) -> View:
+        """A per-user handle on a shared materialization (O(1))."""
+        if view.user == user:
+            return view
+        return dataclasses.replace(
+            view, user=user, permissions=view.permissions.for_user(user)
+        )
+
+    # ------------------------------------------------------------------
+    # incremental patch
+    # ------------------------------------------------------------------
+    def _patch(
+        self,
+        old_view: View,
+        new_source: XMLDocument,
+        policy,
+        table: PermissionTable,
+        changes: ChangeSet,
+    ) -> View:
+        """Re-derive only the dirty regions of a stale cached view.
+
+        Dirty roots are (a) the change-set's touched subtree roots --
+        structure or labels changed there -- and (b) every node whose
+        read/position outcome differs between the old and the new
+        permission table (rule paths may select differently after the
+        commit).  Everything outside those regions satisfies axioms
+        15-17 verbatim from the old view: its source node is unchanged
+        and its selection status depends only on its own privileges and
+        its ancestors' (both unchanged).
+        """
+        dirty: Set[NodeId] = set(changes.touched_roots())
+        dirty |= table.read_position_delta(old_view.permissions)
+        dirty.discard(DOCUMENT_ID)  # the document node is always selected
+        roots = _minimal_roots(dirty)
+
+        new_doc = old_view.doc.copy()
+        restricted = set(old_view.restricted)
+        readable = table.nodes_with(Privilege.READ)
+        positioned = table.nodes_with(Privilege.POSITION)
+
+        for root in roots:
+            # Drop the stale region from the view copy...
+            if root in new_doc:
+                for nid in list(new_doc.subtree(root)):
+                    restricted.discard(nid)
+                new_doc.remove_subtree(root)
+            else:
+                restricted.discard(root)
+            if root not in new_source:
+                continue  # region removed from the source: stays gone
+            parent = root.parent()
+            if parent != DOCUMENT_ID and parent not in new_doc:
+                # Parent not selected => no descendant can be (axioms
+                # 16-17 require the parent in the view).  The parent is
+                # either clean (its absence is still correct) or an
+                # earlier, shallower dirty root that already resynced.
+                continue
+            # ...and regrow it under the new table, top-down.
+            stack = [root]
+            while stack:
+                nid = stack.pop()
+                is_readable = nid in readable
+                is_positioned = nid in positioned
+                if not (is_readable or is_positioned):
+                    continue
+                node = new_source.node(nid)
+                new_doc.adopt(node)
+                if not is_readable:
+                    restricted.add(nid)
+                    new_doc.relabel(nid, RESTRICTED)
+                    if node.kind is NodeKind.ATTRIBUTE:
+                        new_doc.set_value(nid, RESTRICTED)
+                if node.kind is NodeKind.ELEMENT:
+                    stack.extend(new_source.attributes(nid))
+                    stack.extend(new_source.children(nid))
+                elif new_source.children(nid):
+                    stack.extend(new_source.children(nid))
+
+        # Carry label/value edits of clean, still-visible nodes: a
+        # rename of a readable node inside an otherwise clean region
+        # only touches that node (it *is* a touched root, so it was
+        # handled above); nothing else can differ.
+        return View(
+            user=old_view.user,
+            doc=new_doc,
+            source=new_source,
+            restricted=frozenset(restricted),
+            permissions=table,
+            policy=policy,
+        )
+
+
+def _minimal_roots(dirty: Set[NodeId]) -> List[NodeId]:
+    """Shallowest-first dirty roots with nested roots removed (a
+    resynced subtree already covers every descendant root)."""
+    kept: List[NodeId] = []
+    for nid in sorted(dirty, key=lambda n: n.level):
+        if not any(k == nid or k.is_ancestor_of(nid) for k in kept):
+            kept.append(nid)
+    return kept

@@ -38,6 +38,7 @@ from ..testing.faults import kill_point
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NodeId
 from ..xmltree.node import NodeKind
+from ..xupdate.changeset import ChangeSet
 from ..xupdate.executor import UpdateResult, XUpdateExecutor
 from ..xupdate.operations import (
     Append,
@@ -86,12 +87,15 @@ class SecureUpdateResult:
         selected: nodes the PATH matched *on the view*.
         affected: source nodes actually modified/created/removed.
         denials: selected nodes refused, with reasons.
+        changes: the structural delta of the applied mutations, used by
+            the serving layer for incremental view maintenance.
     """
 
     document: XMLDocument
     selected: List[NodeId] = field(default_factory=list)
     affected: List[NodeId] = field(default_factory=list)
     denials: List[Denial] = field(default_factory=list)
+    changes: ChangeSet = field(default_factory=ChangeSet)
 
     @property
     def fully_applied(self) -> bool:
@@ -105,6 +109,7 @@ class SecureUpdateResult:
             selected=self.selected + other.selected,
             affected=self.affected + other.affected,
             denials=self.denials + other.denials,
+            changes=self.changes.merge(other.changes),
         )
 
 
@@ -234,6 +239,7 @@ class SecureWriteExecutor:
         perms = view.permissions
         affected: List[NodeId] = []
         denials: List[Denial] = []
+        changes = ChangeSet()
 
         def decide(nid: NodeId, privilege: Privilege, ok: bool, reason: str) -> bool:
             if not ok:
@@ -269,7 +275,9 @@ class SecureWriteExecutor:
                     "RESTRICTED nodes cannot be renamed",
                 ):
                     continue
+                old_label = new_doc.label(nid)
                 new_doc.relabel(nid, operation.new_name)
+                changes.note_relabelled(nid, old_label, operation.new_name)
                 affected.append(nid)
         elif isinstance(operation, UpdateContent):
             # Axioms 20-21: children *in the view* need update and read.
@@ -287,7 +295,11 @@ class SecureWriteExecutor:
                         "update requires the read privilege on the child",
                     )
                     if ok:
+                        old_label = new_doc.label(child)
                         new_doc.relabel(child, operation.new_value)
+                        changes.note_relabelled(
+                            child, old_label, operation.new_value
+                        )
                         affected.append(child)
         elif isinstance(operation, Append):
             # Axiom 22: insert privilege on the selected node itself.
@@ -298,7 +310,9 @@ class SecureWriteExecutor:
                     perms.holds(nid, Privilege.INSERT),
                     "append requires the insert privilege",
                 ):
-                    affected.append(operation.tree.attach(new_doc, nid))
+                    root = operation.tree.attach(new_doc, nid)
+                    changes.note_added(new_doc, root)
+                    affected.append(root)
         elif isinstance(operation, (InsertBefore, InsertAfter)):
             # Axioms 23-24: insert privilege on the *parent* of the node.
             for nid in selected:
@@ -328,9 +342,11 @@ class SecureWriteExecutor:
                     "sibling insertion requires the insert privilege on the parent",
                 ):
                     if isinstance(operation, InsertBefore):
-                        affected.append(operation.tree.attach_before(new_doc, nid))
+                        root = operation.tree.attach_before(new_doc, nid)
                     else:
-                        affected.append(operation.tree.attach_after(new_doc, nid))
+                        root = operation.tree.attach_after(new_doc, nid)
+                    changes.note_added(new_doc, root)
+                    affected.append(root)
         elif isinstance(operation, Remove):
             # Axiom 25: delete privilege on the selected node; the whole
             # source subtree goes, invisible descendants included.
@@ -349,6 +365,7 @@ class SecureWriteExecutor:
                     "remove requires the delete privilege",
                 ):
                     if nid in new_doc:
+                        changes.note_removed(new_doc, nid)
                         new_doc.remove_subtree(nid)
                         affected.append(nid)
         else:
@@ -359,6 +376,7 @@ class SecureWriteExecutor:
             selected=list(selected),
             affected=affected,
             denials=denials,
+            changes=changes,
         )
 
 

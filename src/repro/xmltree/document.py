@@ -163,10 +163,16 @@ class XMLDocument:
         return None
 
     def descendants(self, nid: NodeId) -> Iterator[NodeId]:
-        """Proper descendants in document order (attributes excluded)."""
-        for child in self.children(nid):
-            yield child
-            yield from self.descendants(child)
+        """Proper descendants in document order (attributes excluded).
+
+        Iterative (explicit stack) so document depth is bounded by
+        memory, not the interpreter's recursion limit.
+        """
+        stack = list(reversed(self.children(nid)))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.children(node)))
 
     def descendants_or_self(self, nid: NodeId) -> Iterator[NodeId]:
         """``descendant_or_self``: the node, then descendants in order."""
@@ -180,9 +186,11 @@ class XMLDocument:
 
     def subtree(self, nid: NodeId) -> Iterator[NodeId]:
         """The node and every descendant *including* attribute nodes."""
-        yield nid
-        for child in self._children.get(nid, ()):
-            yield from self.subtree(child)
+        stack = [nid]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children.get(node, ())))
 
     def siblings(self, nid: NodeId) -> List[NodeId]:
         """All non-attribute children of this node's parent (self included)."""
@@ -459,6 +467,32 @@ class XMLDocument:
             self._kind_index = index
             self._kind_index_stamp = self.mutation_stamp
         return self._kind_index.get(kind, set())
+
+    def adopt(self, node: Node) -> NodeId:
+        """Install a node object *preserving its identifier*.
+
+        The node's parent must already be present.  This is the graft
+        primitive of incremental view maintenance: the serving layer
+        re-prunes an updated source region into a cached view document
+        by adopting the (immutable, shared) source nodes one by one,
+        parents before children, instead of copy-and-pruning the whole
+        tree.  Sibling order follows from the identifier, so adoption
+        order within a sibling run does not matter.
+
+        Raises:
+            DocumentError: for the document node, an already-present
+                identifier, or a missing parent.
+        """
+        if node.nid.is_document:
+            raise DocumentError("the document node cannot be adopted")
+        if node.nid in self._nodes:
+            raise DocumentError(f"node {node.nid!r} already present")
+        if node.nid.parent() not in self._nodes:
+            raise DocumentError(
+                f"cannot adopt {node.nid!r}: parent not in this document"
+            )
+        self._install(node)
+        return node.nid
 
     def copy(self) -> "XMLDocument":
         """An independent copy sharing immutable node objects."""

@@ -56,6 +56,18 @@ class XPathEngine:
         self._lone_variable_name_test = lone_variable_name_test
         self._star_matches_text = star_matches_text
 
+    @property
+    def star_matches_text(self) -> bool:
+        """Whether the paper-compat lone-``*`` reading is enabled (the
+        static path analysis in :mod:`repro.xpath.skeleton` must mirror
+        the evaluator's configuration)."""
+        return self._star_matches_text
+
+    @property
+    def lone_variable_name_test(self) -> bool:
+        """Whether the paper-compat ``[$var]`` reading is enabled."""
+        return self._lone_variable_name_test
+
     def _context(
         self,
         doc: XMLDocument,

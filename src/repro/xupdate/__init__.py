@@ -5,6 +5,7 @@ executor implementing formulae (2)-(9).  The access-controlled
 semantics (axioms 18-25) live in :mod:`repro.security.write`.
 """
 
+from .changeset import ChangeSet
 from .executor import UpdateResult, XUpdateError, XUpdateExecutor
 from .operations import (
     Append,
@@ -20,6 +21,7 @@ from .parser import XUpdateParseError, parse_xupdate
 
 __all__ = [
     "Append",
+    "ChangeSet",
     "InsertAfter",
     "InsertBefore",
     "Remove",

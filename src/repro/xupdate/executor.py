@@ -23,6 +23,7 @@ from ..xmltree.labels import NodeId
 from ..xmltree.node import NodeKind
 from ..xpath.engine import XPathEngine
 from ..xpath.values import XPathValue
+from .changeset import ChangeSet
 from .operations import (
     Append,
     InsertAfter,
@@ -53,12 +54,16 @@ class UpdateResult:
             fragment roots (the paper's ``create_number`` outputs).
         denied: nodes selected but skipped -- always empty for the
             unsecured executor; the secure executor fills it.
+        changes: the structural delta (added/removed/relabelled node
+            ids plus touched labels) the serving layer uses for
+            incremental view maintenance.
     """
 
     document: XMLDocument
     selected: List[NodeId] = field(default_factory=list)
     affected: List[NodeId] = field(default_factory=list)
     denied: List[NodeId] = field(default_factory=list)
+    changes: ChangeSet = field(default_factory=ChangeSet)
 
     def merge(self, other: "UpdateResult") -> "UpdateResult":
         """Fold a later operation's result into a script-level result."""
@@ -67,6 +72,7 @@ class UpdateResult:
             selected=self.selected + other.selected,
             affected=self.affected + other.affected,
             denied=self.denied + other.denied,
+            changes=self.changes.merge(other.changes),
         )
 
 
@@ -173,12 +179,15 @@ class XUpdateExecutor:
     ) -> UpdateResult:
         """Formulae (2)-(3): relabel each addressed node to VNEW."""
         affected = []
+        changes = ChangeSet()
         for nid in targets:
             if nid.is_document:
                 continue  # the document node has no renameable label
+            old = doc.label(nid)
             doc.relabel(nid, new_name)
+            changes.note_relabelled(nid, old, new_name)
             affected.append(nid)
-        return UpdateResult(doc, list(targets), affected)
+        return UpdateResult(doc, list(targets), affected, changes=changes)
 
     def do_update_content(
         self, doc: XMLDocument, targets: Sequence[NodeId], new_value: str
@@ -192,40 +201,52 @@ class XUpdateExecutor:
         content only through ``strict=False`` callers if ever needed.
         """
         affected = []
+        changes = ChangeSet()
         for nid in targets:
             for child in doc.children(nid):
+                old = doc.label(child)
                 doc.relabel(child, new_value)
+                changes.note_relabelled(child, old, new_value)
                 affected.append(child)
-        return UpdateResult(doc, list(targets), affected)
+        return UpdateResult(doc, list(targets), affected, changes=changes)
 
     def do_append(
         self, doc: XMLDocument, targets: Sequence[NodeId], tree
     ) -> UpdateResult:
         """Formulae (6)-(7), o=append: tree becomes the last subtree."""
         affected = []
+        changes = ChangeSet()
         for nid in targets:
-            affected.append(tree.attach(doc, nid))
-        return UpdateResult(doc, list(targets), affected)
+            root = tree.attach(doc, nid)
+            changes.note_added(doc, root)
+            affected.append(root)
+        return UpdateResult(doc, list(targets), affected, changes=changes)
 
     def do_insert_before(
         self, doc: XMLDocument, targets: Sequence[NodeId], tree
     ) -> UpdateResult:
         """Formulae (6)-(7), o=insert-before."""
         affected = []
+        changes = ChangeSet()
         for nid in targets:
             self._check_sibling_target(doc, nid)
-            affected.append(tree.attach_before(doc, nid))
-        return UpdateResult(doc, list(targets), affected)
+            root = tree.attach_before(doc, nid)
+            changes.note_added(doc, root)
+            affected.append(root)
+        return UpdateResult(doc, list(targets), affected, changes=changes)
 
     def do_insert_after(
         self, doc: XMLDocument, targets: Sequence[NodeId], tree
     ) -> UpdateResult:
         """Formulae (6)-(7), o=insert-after."""
         affected = []
+        changes = ChangeSet()
         for nid in targets:
             self._check_sibling_target(doc, nid)
-            affected.append(tree.attach_after(doc, nid))
-        return UpdateResult(doc, list(targets), affected)
+            root = tree.attach_after(doc, nid)
+            changes.note_added(doc, root)
+            affected.append(root)
+        return UpdateResult(doc, list(targets), affected, changes=changes)
 
     @staticmethod
     def _check_sibling_target(doc: XMLDocument, nid: NodeId) -> None:
@@ -241,10 +262,12 @@ class XUpdateExecutor:
         with their ancestors, matching the ``undeleted`` fixpoint.
         """
         affected = []
+        changes = ChangeSet()
         for nid in sorted(targets, key=lambda n: n.level):
             if nid.is_document:
                 raise XUpdateError("cannot remove the document node")
             if nid in doc:
+                changes.note_removed(doc, nid)
                 doc.remove_subtree(nid)
                 affected.append(nid)
-        return UpdateResult(doc, list(targets), affected)
+        return UpdateResult(doc, list(targets), affected, changes=changes)

@@ -1,0 +1,110 @@
+"""Static path skeletons: stability proofs and the chain matcher.
+
+The two contracts the incremental permission maintenance rests on:
+
+- ``may_intersect`` returning False must *prove* the selection stable
+  under a commit touching those labels;
+- ``matches`` on a patchable skeleton must agree with the evaluator on
+  every node of every document.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.xmltree import XMLDocument
+from repro.xmltree.labels import DOCUMENT_ID
+from repro.xpath.engine import XPathEngine
+from repro.xpath.skeleton import analyze_path
+
+from tests.strategies import documents
+
+ENGINE = XPathEngine(lone_variable_name_test=True, star_matches_text=True)
+
+#: (path, expected labels or None=unbounded, expected patchable)
+CASES = [
+    ("//sickness", {"sickness"}, True),
+    ("/patients/patient", {"patients", "patient"}, True),
+    ("/a/descendant-or-self::b", {"a", "b"}, True),
+    ("//a/descendant::b", {"a", "b"}, True),
+    ("/patients/*/descendant-or-self::*", None, True),
+    ("//*", None, True),
+    ("//text()", None, True),
+    ("//node()", None, True),
+    ("//*[name()='d']", None, False),  # predicate: opaque to patching
+    ("//a[b]", None, False),
+    ("/patients/*[$USER]/descendant-or-self::*", None, False),
+]
+
+
+@pytest.mark.parametrize("path,labels,patchable", CASES)
+def test_static_analysis(path, labels, patchable):
+    skeleton = analyze_path(path)
+    assert skeleton is not None
+    assert skeleton.labels == (None if labels is None else frozenset(labels))
+    assert skeleton.patchable is patchable
+
+
+def test_union_keeps_labels_but_not_patchability():
+    skeleton = analyze_path("//a | //b")
+    assert skeleton is not None
+    assert skeleton.labels == frozenset({"a", "b"})
+    assert not skeleton.patchable
+
+
+def test_opaque_expressions_analyze_to_none():
+    assert analyze_path("count(//a)") is None
+    assert analyze_path("not-even-xpath((") is None
+
+
+def test_bounded_skeleton_disjointness():
+    skeleton = analyze_path("//sickness")
+    assert not skeleton.may_intersect({"diagnosis", "note"})
+    assert skeleton.may_intersect({"sickness"})
+    # Unbounded skeletons can never rule an intersection out.
+    assert analyze_path("//*").may_intersect({"anything"})
+
+
+def test_sibling_axes_with_wildcards_stay_unbounded():
+    # //node()/following-sibling::c can gain selections when ANY node
+    # is inserted before a c, so its label set must not be {c}.
+    skeleton = analyze_path("//node()/following-sibling::c")
+    assert skeleton is None or skeleton.labels is None
+
+
+PATCHABLE_PATHS = [
+    "/a",
+    "/a/b",
+    "//a",
+    "//b/c",
+    "//a/*",
+    "//text()",
+    "//a/text()",
+    "//node()",
+    "/a/descendant-or-self::*",
+    "/a/descendant-or-self::b",
+    "//a/descendant::b",
+    "/*",
+    "//*",
+    "/a/self::a",
+    "/patients/descendant-or-self::node()",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(doc=documents(max_depth=4, max_children=3))
+def test_matches_agrees_with_engine_everywhere(doc: XMLDocument):
+    all_nodes = [DOCUMENT_ID] + list(doc.subtree(doc.root))
+    for path in PATCHABLE_PATHS:
+        skeleton = analyze_path(path)
+        assert skeleton is not None and skeleton.patchable, path
+        truth = set(ENGINE.select(doc, path))
+        mine = {n for n in all_nodes if skeleton.matches(doc, n, True)}
+        assert mine == truth, f"{path}: {mine ^ truth}"
+
+
+def test_matches_refuses_non_patchable_skeletons():
+    skeleton = analyze_path("//a[b]")
+    doc = XMLDocument()
+    doc.add_root("a")
+    with pytest.raises(ValueError):
+        skeleton.matches(doc, doc.root)

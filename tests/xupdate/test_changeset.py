@@ -1,0 +1,153 @@
+"""Change-set recording: executors must publish exact structural deltas."""
+
+import pytest
+
+from repro.xmltree import XMLDocument, element, text
+from repro.xupdate import (
+    Append,
+    ChangeSet,
+    InsertAfter,
+    Remove,
+    Rename,
+    UpdateContent,
+    UpdateScript,
+    XUpdateExecutor,
+)
+from repro.xupdate.changeset import subtree_labels
+
+
+@pytest.fixture
+def doc():
+    d = XMLDocument()
+    root = d.add_root("patients")
+    element("patient", element("service", text("cardio")), element("diagnosis")).attach(
+        d, root
+    )
+    return d
+
+
+@pytest.fixture
+def executor():
+    return XUpdateExecutor()
+
+
+class TestRecording:
+    def test_rename_records_old_and_new_labels(self, doc, executor):
+        result = executor.apply(doc, Rename("//service", "svc"))
+        cs = result.changes
+        assert cs.relabelled == set(result.affected)
+        assert {"service", "svc"} <= cs.labels
+        assert not cs.added and not cs.removed and not cs.conservative
+
+    def test_update_content_records_each_child(self, doc, executor):
+        result = executor.apply(doc, UpdateContent("//service", "neuro"))
+        cs = result.changes
+        assert cs.relabelled == set(result.affected)
+        assert {"cardio", "neuro"} <= cs.labels
+
+    def test_append_records_whole_inserted_subtree_labels(self, doc, executor):
+        fragment = element("note", element("author", text("dr")))
+        result = executor.apply(doc, Append("//diagnosis", fragment))
+        cs = result.changes
+        assert cs.added == set(result.affected)
+        assert {"note", "author", "dr"} <= cs.labels
+
+    def test_remove_records_labels_before_deletion(self, doc, executor):
+        result = executor.apply(doc, Remove("//patient"))
+        cs = result.changes
+        assert cs.removed == set(result.affected)
+        # The subtree is gone from the result document, yet its labels
+        # were captured (they gate rule-path invalidation).
+        assert {"patient", "service", "cardio", "diagnosis"} <= cs.labels
+
+    def test_insert_after_records_added_root(self, doc, executor):
+        result = executor.apply(doc, InsertAfter("//diagnosis", element("extra")))
+        assert result.changes.added == set(result.affected)
+        assert "extra" in result.changes.labels
+
+    def test_script_merges_per_operation_changes(self, doc, executor):
+        script = UpdateScript(
+            [
+                Rename("//service", "svc"),
+                Append("//diagnosis", element("note")),
+            ]
+        )
+        result = executor.apply(doc, script)
+        cs = result.changes
+        assert cs.relabelled and cs.added
+        assert {"service", "svc", "note"} <= cs.labels
+
+    def test_no_targets_means_empty_changeset(self, doc, executor):
+        result = executor.apply(doc, Rename("//nonexistent", "x"))
+        assert not result.changes
+        assert result.changes.labels == set()
+
+
+class TestChangeSetAlgebra:
+    def test_unknown_is_conservative_and_truthy(self):
+        cs = ChangeSet.unknown()
+        assert cs.conservative and bool(cs)
+
+    def test_empty_is_falsy(self):
+        assert not ChangeSet()
+
+    def test_merge_unions_everything(self, doc):
+        root = doc.root
+        a = ChangeSet()
+        a.note_added(doc, root)
+        b = ChangeSet()
+        b.note_relabelled(root, "patients", "people")
+        merged = a.merge(b)
+        assert merged.added == {root} and merged.relabelled == {root}
+        assert "people" in merged.labels and "patients" in merged.labels
+        assert not merged.conservative
+        assert a.merge(ChangeSet.unknown()).conservative
+
+    def test_merge_all_folds(self, doc):
+        root = doc.root
+        parts = []
+        for label in ("x", "y"):
+            cs = ChangeSet()
+            cs.note_relabelled(root, "patients", label)
+            parts.append(cs)
+        merged = ChangeSet.merge_all(parts)
+        assert {"x", "y", "patients"} <= merged.labels
+
+    def test_touched_roots_covers_every_category(self, doc):
+        root = doc.root
+        kid = doc.children(root)[0]
+        cs = ChangeSet()
+        cs.note_added(doc, root)
+        cs.note_removed(doc, kid)
+        cs.note_revalued(kid, "patient")
+        assert cs.touched_roots() == {root, kid}
+
+    def test_subtree_labels_include_attributes(self):
+        d = XMLDocument()
+        root = d.add_root("r")
+        eid = element("e", attributes={"id": "42"}).attach(d, root)
+        assert {"r", "e", "id"} <= subtree_labels(d, root)
+        assert "id" in subtree_labels(d, eid)
+
+
+class TestSecureExecutorChanges:
+    def test_secure_write_publishes_changes(self):
+        from repro.core import hospital_database
+
+        db = hospital_database()
+        doctor = db.login("laporte")
+        result = doctor.execute(UpdateContent("/patients/franck/diagnosis", "flu"))
+        assert result.changes.relabelled
+        assert "flu" in result.changes.labels
+        assert not result.changes.conservative
+
+    def test_insecure_executor_is_conservative(self):
+        from repro.core import hospital_database
+        from repro.security import InsecureWriteExecutor
+
+        db = hospital_database()
+        view = db.build_view("laporte")
+        result = InsecureWriteExecutor().apply(
+            view, Rename("//diagnosis", "dx")
+        )
+        assert result.changes.conservative
