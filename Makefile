@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault bench bench-json bench-smoke verify
+.PHONY: test fault chaos bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -14,6 +14,12 @@ test:
 fault:
 	$(PYTEST) -x -q -m fault
 
+# Concurrency chaos lane: 200+ seeded schedules through the serving
+# layer (plus real-thread soaks), asserting serial-equivalence of the
+# committed history and that no unhandled exception escapes.
+chaos:
+	$(PYTEST) -x -q -m chaos
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -21,9 +27,11 @@ bench:
 bench-json:
 	$(PYTEST) -q benchmarks --benchmark-json=BENCH_3.json
 
-# Fast serving-layer check: E20 at three small sizes, asserting the
-# shared/incremental counters and a loose speedup bar (no timing saves).
+# Fast serving-layer checks: E20 at three small sizes (shared and
+# incremental counters, loose speedup bar) and E21's counter-only
+# overload variants.  No timing saves.
 bench-smoke:
-	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py -k smoke
+	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py \
+		benchmarks/test_e21_serving_under_load.py -k smoke
 
-verify: test fault bench-smoke
+verify: test fault chaos bench-smoke

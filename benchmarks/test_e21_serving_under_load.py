@@ -1,0 +1,216 @@
+"""E21 (added): the serving layer under mixed concurrent load.
+
+What the concurrent front-end buys, measured two ways:
+
+**Overload.**  A small admission budget is hammered by many more
+threads than it admits.  In ``block`` mode every request eventually
+runs but queueing time goes straight into client latency; in ``shed``
+mode the excess fails fast with :class:`~repro.errors.OverloadError`
+and the requests that *are* admitted keep a bounded tail -- p99 of
+completed requests under shed must stay below blocked-mode p99.
+
+**Contention.**  Two serving front-ends over one database race their
+commits (their write locks do not know about each other), so every
+write risks a :class:`~repro.errors.ConcurrentUpdateError`.  The
+retry/backoff schedule must resolve >= 95% of contended commits with
+zero client-visible commit-race errors.
+
+Rows: scenario | requests | completed | shed | p50 | p99.  The smoke
+variant runs the same invariants at toy sizes (no timing bar) so the
+lane stays meaningful on loaded CI machines.
+"""
+
+import time
+from threading import Lock
+
+import pytest
+
+from conftest import ILLNESSES, print_series, synthetic_hospital
+
+from repro.errors import DeadlineExceeded, OverloadError
+from repro.serving import DatabaseServer, RetryPolicy
+from repro.testing.faults import run_threads
+from repro.xupdate import UpdateContent
+
+PATIENTS = 200
+THREADS = 8
+ROUNDS = 12
+WRITE_EVERY = 4  # every 4th request per thread is a write
+
+FAST_RETRY = RetryPolicy(max_attempts=64, base=0.0005, cap=0.01)
+
+
+def percentile(latencies, q):
+    """The q-quantile (0..1) of a non-empty latency sample."""
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def run_mixed_load(server, threads=THREADS, rounds=ROUNDS):
+    """Drive a mixed read/write load; returns (latencies of completed
+    requests, counts dict).  Ungoverned exceptions fail the test."""
+    latencies = []
+    counts = {"completed": 0, "shed": 0, "deadline": 0}
+    ledger = Lock()
+
+    def worker(index):
+        for round_ in range(rounds):
+            write = (index + round_) % WRITE_EVERY == 0
+            target = (index * rounds + round_) % PATIENTS
+            started = time.perf_counter()
+            try:
+                if write:
+                    server.execute(
+                        "laporte",
+                        UpdateContent(
+                            f"//patient{target:05d}/diagnosis",
+                            ILLNESSES[round_ % len(ILLNESSES)],
+                        ),
+                    )
+                else:
+                    server.query("laporte", "count(//diagnosis)")
+            except OverloadError:
+                with ledger:
+                    counts["shed"] += 1
+                continue
+            except DeadlineExceeded:
+                with ledger:
+                    counts["deadline"] += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with ledger:
+                latencies.append(elapsed)
+                counts["completed"] += 1
+
+    errors = [e for e in run_threads(worker, threads) if e is not None]
+    assert not errors, [f"{type(e).__name__}: {e}" for e in errors]
+    return latencies, counts
+
+
+def overloaded_server(db, overload):
+    """A deliberately under-provisioned server: budget of 2 against
+    THREADS hammering threads."""
+    return DatabaseServer(
+        db, retry=FAST_RETRY, max_in_flight=2, overload=overload
+    )
+
+
+def test_e21_shed_mode_bounds_the_latency_tail():
+    block_lat, block_counts = run_mixed_load(
+        overloaded_server(synthetic_hospital(PATIENTS), "block")
+    )
+    shed_lat, shed_counts = run_mixed_load(
+        overloaded_server(synthetic_hospital(PATIENTS), "shed")
+    )
+    rows = [
+        ("scenario", "requests", "completed", "shed", "p50 ms", "p99 ms"),
+        (
+            "block",
+            THREADS * ROUNDS,
+            block_counts["completed"],
+            block_counts["shed"],
+            f"{percentile(block_lat, 0.5) * 1000:.2f}",
+            f"{percentile(block_lat, 0.99) * 1000:.2f}",
+        ),
+        (
+            "shed",
+            THREADS * ROUNDS,
+            shed_counts["completed"],
+            shed_counts["shed"],
+            f"{percentile(shed_lat, 0.5) * 1000:.2f}",
+            f"{percentile(shed_lat, 0.99) * 1000:.2f}",
+        ),
+    ]
+    print_series(
+        f"E21 overload ({THREADS} threads, budget 2)", rows
+    )
+    # block mode completes everything but pays for it in queueing
+    assert block_counts["completed"] == THREADS * ROUNDS
+    assert block_counts["shed"] == 0
+    # shed mode rejected real work...
+    assert shed_counts["shed"] > 0
+    assert shed_counts["completed"] + shed_counts["shed"] == THREADS * ROUNDS
+    # ...and in exchange the completed requests kept a bounded tail
+    assert percentile(shed_lat, 0.99) <= percentile(block_lat, 0.99)
+
+
+def contended_commit_run(db, front_ends=2, threads=4, writes=6):
+    """Race ``threads`` writers across ``front_ends`` servers over one
+    database; returns (servers, total writes issued)."""
+    servers = [
+        DatabaseServer(db, retry=FAST_RETRY) for _ in range(front_ends)
+    ]
+
+    def worker(index):
+        server = servers[index % front_ends]
+        for round_ in range(writes):
+            target = (index * writes + round_) % PATIENTS
+            server.execute(
+                "laporte",
+                UpdateContent(
+                    f"//patient{target:05d}/diagnosis",
+                    ILLNESSES[round_ % len(ILLNESSES)],
+                ),
+            )
+
+    errors = [e for e in run_threads(worker, threads) if e is not None]
+    assert not errors, [f"{type(e).__name__}: {e}" for e in errors]
+    return servers, threads * writes
+
+
+def test_e21_retry_resolves_contended_commits():
+    db = synthetic_hospital(PATIENTS)
+    servers, issued = contended_commit_run(db)
+    commits = sum(s.stats()["commits"] for s in servers)
+    races = sum(s.stats()["commit_races"] for s in servers)
+    exhausted = sum(s.stats()["retry_exhausted"] for s in servers)
+    retries = sum(s.stats()["retries"] for s in servers)
+    print_series(
+        "E21 contention (2 front-ends, one database)",
+        [
+            ("writes issued", issued),
+            ("commits", commits),
+            ("commit races absorbed", races),
+            ("backoff sleeps", retries),
+            ("retry exhausted", exhausted),
+        ],
+    )
+    # zero client-visible ConcurrentUpdateError: run_threads captured
+    # no exceptions, so every race was absorbed or governed
+    assert commits + exhausted == issued
+    # >= 95% of contended commits resolved by retry/backoff
+    assert commits >= 0.95 * issued
+    assert db.version == commits
+
+
+def test_e21_mixed_load_timing(benchmark):
+    """Machine-readable timing of one mixed-load run through a
+    provisioned server (budget == thread count: no queueing, no shed)
+    for regression tracking via ``--benchmark-json``."""
+    db = synthetic_hospital(PATIENTS)
+    server = DatabaseServer(
+        db, retry=FAST_RETRY, max_in_flight=THREADS, overload="block"
+    )
+
+    def run():
+        return run_mixed_load(server, threads=THREADS, rounds=4)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert server.stats()["retry_exhausted"] == 0
+
+
+@pytest.mark.parametrize("overload", ["block", "shed"])
+def test_e21_smoke(overload):
+    """Tiny-size variant for loaded machines: counter invariants only,
+    no timing bar."""
+    db = synthetic_hospital(24)
+    server = DatabaseServer(
+        db, retry=FAST_RETRY, max_in_flight=2, overload=overload
+    )
+    latencies, counts = run_mixed_load(server, threads=4, rounds=4)
+    assert counts["completed"] + counts["shed"] == 16
+    if overload == "block":
+        assert counts["shed"] == 0
+    stats = server.stats()
+    assert stats["retry_exhausted"] == 0
+    assert stats["commits"] == server.stats()["version"]

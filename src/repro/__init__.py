@@ -21,11 +21,24 @@ Quickstart::
 """
 
 from .errors import (
+    CircuitOpenError,
     ConcurrentUpdateError,
+    DeadlineExceeded,
+    OverloadError,
     ReproError,
+    RetryExhausted,
+    ServingError,
     StorageCorrupt,
     StorageError,
     UpdateAborted,
+)
+from .serving import (
+    AdmissionController,
+    CircuitBreaker,
+    DatabaseServer,
+    Deadline,
+    RetryPolicy,
+    RWLock,
 )
 from .security import (
     AccessDenied,
@@ -81,9 +94,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessDenied",
+    "AdmissionController",
     "Append",
     "AuditLog",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ConcurrentUpdateError",
+    "DatabaseServer",
+    "Deadline",
+    "DeadlineExceeded",
     "Fragment",
     "InsecureWriteExecutor",
     "InsertAfter",
@@ -91,6 +110,7 @@ __all__ = [
     "LSDXScheme",
     "NodeId",
     "NodeKind",
+    "OverloadError",
     "PermissionResolver",
     "PermissionTable",
     "PersistentDeweyScheme",
@@ -103,10 +123,14 @@ __all__ = [
     "Rename",
     "RenumberingScheme",
     "ReproError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RWLock",
     "SecureUpdateResult",
     "SecureWriteExecutor",
     "SecureXMLDatabase",
     "SecurityRule",
+    "ServingError",
     "Session",
     "StorageCorrupt",
     "StorageError",

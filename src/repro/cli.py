@@ -15,6 +15,7 @@ single-file format of :mod:`repro.storage`::
     python -m repro.cli update db.xml laporte updates.xupdate.xml
     python -m repro.cli lint db.xml
     python -m repro.cli recover damaged.xml --write
+    python -m repro.cli stress db.xml laporte updates.xupdate.xml --writers 4
 
 Every mutating command rewrites the database file crash-safely (temp
 file + fsync + atomic rename, keeping the previous content in a
@@ -203,6 +204,75 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0 if report.clean else 4
 
 
+def cmd_stress(args: argparse.Namespace) -> int:
+    """Hammer the database through the concurrent serving layer.
+
+    Spawns writer threads (each applying the XUpdate script ``--rounds``
+    times through :class:`~repro.serving.DatabaseServer`, so commit
+    races are absorbed by retry/backoff) alongside reader threads, then
+    prints the serving ledger.  Purely in-memory: the database file is
+    never modified.
+    """
+    import time as time_module
+
+    from .errors import (
+        CircuitOpenError,
+        DeadlineExceeded,
+        OverloadError,
+        RetryExhausted,
+    )
+    from .serving import DatabaseServer, RetryPolicy
+    from .testing.faults import run_threads
+
+    db = _load(args.database)
+    server = DatabaseServer(
+        db,
+        retry=RetryPolicy(max_attempts=args.attempts),
+        max_in_flight=args.max_in_flight,
+        overload=args.overload,
+        default_deadline=args.deadline,
+    )
+    if os.path.exists(args.xupdate):
+        with open(args.xupdate, "r", encoding="utf-8") as handle:
+            script = handle.read()
+    else:
+        script = args.xupdate
+    reader_user = args.reader or args.user
+    governed = (OverloadError, DeadlineExceeded, RetryExhausted, CircuitOpenError)
+
+    def worker(index: int) -> None:
+        if index < args.writers:
+            for _ in range(args.rounds):
+                try:
+                    server.execute(args.user, script)
+                except governed:
+                    pass  # shed/expired: governed outcomes, counted below
+        else:
+            for _ in range(args.rounds):
+                try:
+                    server.read_xml(reader_user)
+                except governed:
+                    pass
+
+    total = args.writers + args.readers
+    started = time_module.perf_counter()
+    errors = [e for e in run_threads(worker, total) if e is not None]
+    elapsed = time_module.perf_counter() - started
+    stats = server.stats()
+    requests = stats["reads"] + stats["writes"] + stats["shed"] + stats[
+        "deadline_exceeded"] + stats["retry_exhausted"]
+    print(f"{total} threads, {requests} requests in {elapsed:.3f}s "
+          f"({requests / elapsed:.0f} req/s)")
+    for key in ("reads", "writes", "commits", "retries", "commit_races",
+                "shed", "deadline_exceeded", "retry_exhausted",
+                "breaker_state", "version"):
+        print(f"  {key}: {stats[key]}")
+    for error in errors:
+        print(f"  UNGOVERNED: {type(error).__name__}: {error}",
+              file=sys.stderr)
+    return 5 if errors else 0
+
+
 def cmd_audit_demo(args: argparse.Namespace) -> int:
     """Load, replay one operation, and show the audit decisions.
 
@@ -294,6 +364,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write", action="store_true",
                    help="rewrite the file with the recovered state")
     p.set_defaults(handler=cmd_recover)
+
+    p = sub.add_parser("stress",
+                       help="hammer the database through the concurrent "
+                            "serving layer (in-memory; the file is never "
+                            "modified)")
+    p.add_argument("database")
+    p.add_argument("user", help="user issuing the write load")
+    p.add_argument("xupdate", help="file path or inline XUpdate XML")
+    p.add_argument("--reader", help="user issuing the read load "
+                                    "(default: USER)")
+    p.add_argument("--writers", type=int, default=2)
+    p.add_argument("--readers", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=5,
+                   help="requests per thread")
+    p.add_argument("--attempts", type=int, default=8,
+                   help="retry budget per write")
+    p.add_argument("--max-in-flight", type=int, default=None,
+                   help="admission budget (default: unlimited)")
+    p.add_argument("--overload", choices=["block", "shed"], default="block")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline, seconds")
+    p.set_defaults(handler=cmd_stress)
 
     p = sub.add_parser("audit-demo",
                        help="replay one operation and print the decisions")

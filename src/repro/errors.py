@@ -16,6 +16,11 @@ The taxonomy::
     ├── ConcurrentUpdateError  (optimistic-concurrency commit conflict)
     ├── StorageError           (malformed/unsupported database file)
     │   └── StorageCorrupt     (file damaged beyond strict loading)
+    ├── ServingError           (repro.serving: a governed request failed)
+    │   ├── OverloadError      (admission control shed the request)
+    │   ├── DeadlineExceeded   (per-request deadline expired)
+    │   ├── CircuitOpenError   (circuit breaker refusing writes)
+    │   └── RetryExhausted     (backoff retries used up on commit races)
     ├── InjectedFault          (repro.testing.faults: simulated crash)
     ├── PolicyError            (repro.security.policy)
     ├── SubjectError           (repro.security.subjects)
@@ -25,6 +30,12 @@ The taxonomy::
 Pre-existing exception lineages are preserved for compatibility:
 ``StorageError`` and ``PolicyError`` remain ``ValueError`` subclasses,
 ``AccessDenied`` remains a ``PermissionError``.
+
+The ``ServingError`` branch is raised only by the serving layer
+(:mod:`repro.serving`): the one-shot library API never sheds, times
+out, or retries by itself.  All four carry enough context to decide
+whether to re-submit (``RetryExhausted.last_error``,
+``CircuitOpenError.retry_after``, ...).
 """
 
 from __future__ import annotations
@@ -37,6 +48,11 @@ __all__ = [
     "ConcurrentUpdateError",
     "StorageError",
     "StorageCorrupt",
+    "ServingError",
+    "OverloadError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "RetryExhausted",
 ]
 
 
@@ -87,6 +103,92 @@ class ConcurrentUpdateError(ReproError):
     optimistic-concurrency guard that keeps two interleaved scripts from
     silently clobbering each other.
     """
+
+
+class ServingError(ReproError):
+    """Root of the serving-layer failures (admission, deadlines, retry).
+
+    Raised only by :mod:`repro.serving`; the underlying one-shot
+    library API never signals these by itself.
+    """
+
+
+class OverloadError(ServingError):
+    """Admission control refused the request: the in-flight budget is
+    exhausted and the overload policy is ``"shed"``.
+
+    Shedding is deliberate back-pressure, not a failure of the
+    database: the request was never started, so it is always safe to
+    re-submit later.
+
+    Attributes:
+        limit: the configured in-flight budget.
+        in_flight: requests running when this one was shed.
+    """
+
+    def __init__(self, message: str, *, limit: int = 0, in_flight: int = 0) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.in_flight = in_flight
+
+
+class DeadlineExceeded(ServingError):
+    """A per-request deadline expired before the request completed.
+
+    May fire while queued for admission, while waiting for the
+    reader-writer lock, between backoff retries, or *mid-script* --
+    the deadline checkpoint runs before every script operation, so an
+    expired write aborts through the executor's savepoint path with
+    nothing committed.
+
+    Attributes:
+        budget: the deadline's total budget in seconds, when known.
+    """
+
+    def __init__(self, message: str, *, budget: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+
+
+class CircuitOpenError(ServingError):
+    """The write circuit breaker is open: recent writes failed
+    repeatedly, so new writes are refused without touching the
+    database until the reset timer half-opens the circuit.
+
+    Attributes:
+        failures: consecutive failures that tripped the breaker.
+        retry_after: seconds until the breaker half-opens (0 when it
+            is already probing).
+    """
+
+    def __init__(
+        self, message: str, *, failures: int = 0, retry_after: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+        self.retry_after = retry_after
+
+
+class RetryExhausted(ServingError):
+    """Every backoff retry of a write hit a commit race
+    (:class:`ConcurrentUpdateError`); the request gives up rather than
+    spin forever.
+
+    Attributes:
+        attempts: how many times the write was attempted.
+        last_error: the final :class:`ConcurrentUpdateError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class StorageError(ReproError, ValueError):

@@ -16,7 +16,12 @@ from typing import Callable, Iterator, List, Optional
 from ..xmltree.labels import NodeId
 from .privileges import Privilege
 
-__all__ = ["AuditRecord", "AuditLog"]
+__all__ = ["AuditRecord", "AuditLog", "REJECTION_EVENTS"]
+
+#: Serving-layer rejection events the log accepts (ISSUE 4): a request
+#: shed by admission control, expired against its deadline, or given
+#: up after exhausting its commit-race retries.
+REJECTION_EVENTS = ("shed", "deadline", "retry-exhausted")
 
 
 @dataclass(frozen=True)
@@ -36,7 +41,11 @@ class AuditRecord:
         allowed: the outcome.
         reason: denial/abort reason; empty when allowed.
         event: ``"decision"`` for per-node grant/deny records,
-            ``"abort"`` for a script rollback.
+            ``"abort"`` for a script rollback, or a serving-layer
+            rejection: ``"shed"`` (admission control refused the
+            request), ``"deadline"`` (the request's budget expired),
+            ``"retry-exhausted"`` (every backoff retry lost a commit
+            race).
         rolled_back: for aborts, how many completed operations of the
             script were rolled back.
     """
@@ -58,6 +67,11 @@ class AuditRecord:
                 f"#{self.sequence} ABORT {self.user} {self.operation}"
                 f"({self.path}) rolled back {self.rolled_back} "
                 f"operation(s) -- {self.reason}"
+            )
+        if self.event in REJECTION_EVENTS:
+            return (
+                f"#{self.sequence} REJECT[{self.event}] {self.user} "
+                f"{self.operation}({self.path}) -- {self.reason}"
             )
         verdict = "ALLOW" if self.allowed else "DENY "
         detail = f" -- {self.reason}" if self.reason else ""
@@ -130,9 +144,56 @@ class AuditLog:
         self._records.append(entry)
         return entry
 
+    def record_rejected(
+        self,
+        user: str,
+        operation: str,
+        path: str,
+        reason: str,
+        event: str,
+    ) -> AuditRecord:
+        """Append a serving-layer rejection (shed / timed-out /
+        retry-exhausted request), mirroring :meth:`record_abort` for
+        requests that never reached -- or never finished -- execution.
+
+        Args:
+            user: the requesting user.
+            operation: request kind (operation class name, ``"query"``,
+                ``"view"``, ...).
+            path: the request's PATH parameter when it had one.
+            reason: human-readable rejection reason.
+            event: one of :data:`REJECTION_EVENTS`.
+        """
+        if event not in REJECTION_EVENTS:
+            raise ValueError(
+                f"unknown rejection event {event!r}; "
+                f"known: {', '.join(REJECTION_EVENTS)}"
+            )
+        entry = AuditRecord(
+            sequence=next(self._sequence),
+            user=user,
+            operation=operation,
+            path=path,
+            allowed=False,
+            reason=reason,
+            event=event,
+        )
+        self._records.append(entry)
+        return entry
+
     def aborts(self) -> List[AuditRecord]:
         """Only the script-abort events."""
         return [r for r in self._records if r.event == "abort"]
+
+    def rejections(self, event: Optional[str] = None) -> List[AuditRecord]:
+        """Serving-layer rejection records, optionally filtered to one
+        of :data:`REJECTION_EVENTS`."""
+        return [
+            r
+            for r in self._records
+            if r.event in REJECTION_EVENTS
+            and (event is None or r.event == event)
+        ]
 
     def __len__(self) -> int:
         return len(self._records)

@@ -10,6 +10,8 @@ and access-controlled updates (axioms 18-25).  Users interact through
 
 from __future__ import annotations
 
+import logging
+import threading
 from typing import List, Optional
 
 from ..errors import ConcurrentUpdateError
@@ -28,6 +30,8 @@ from .subjects import SubjectError, SubjectHierarchy
 from .view import View, ViewBuilder
 
 __all__ = ["SecureXMLDatabase", "Transaction"]
+
+logger = logging.getLogger("repro.security.database")
 
 
 class Transaction:
@@ -89,13 +93,20 @@ class Transaction:
         """
         if not self.active:
             raise RuntimeError(f"transaction already {self._state}")
-        if self._database.version != self._base_version:
-            self._state = "rolled back"
-            raise ConcurrentUpdateError(
-                f"database moved from version {self._base_version} to "
-                f"{self._database.version} since this transaction began"
-            )
-        self._database._install(document, changes)
+        # The version check and the install must be one atomic step:
+        # under real threads, two committers passing the check together
+        # would both install and one write would be silently lost.  The
+        # database's commit lock makes check-then-install a critical
+        # section (readers never take it; the swap itself is a single
+        # reference assignment they can observe safely).
+        with self._database._commit_lock:
+            if self._database.version != self._base_version:
+                self._state = "rolled back"
+                raise ConcurrentUpdateError(
+                    f"database moved from version {self._base_version} to "
+                    f"{self._database.version} since this transaction began"
+                )
+            self._database._install(document, changes)
         self._state = "committed"
 
     def rollback(self) -> None:
@@ -165,6 +176,8 @@ class SecureXMLDatabase:
 
         self._view_cache = ViewCache() if shared_views else None
         self._version = 0
+        self._commit_lock = threading.Lock()
+        self._degraded_view_serves = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -252,9 +265,24 @@ class SecureXMLDatabase:
         cached views are patched from commit change-sets instead of
         rebuilt.  Served views are shared state -- treat them as
         immutable, as every in-tree consumer already does.
+
+        The degradation ladder (DESIGN.md §9): a failing incremental
+        patch is retried as a full build *inside* the cache; if the
+        shared cache itself raises, the failure is logged, counted
+        (``degraded_view_serves`` in :meth:`stats`), and the view is
+        rebuilt per-session -- a cache bug never fails a read.
         """
         if self._view_cache is not None:
-            return self._view_cache.view_for(self, user)
+            try:
+                return self._view_cache.view_for(self, user)
+            except SubjectError:
+                raise  # a real domain error, not a cache failure
+            except Exception:
+                self._degraded_view_serves += 1
+                logger.exception(
+                    "shared view cache failed for %r; rebuilding "
+                    "per-session", user
+                )
         return self._view_builder.build(self._document, self._policy, user)
 
     def build_lazy_view(self, user: str):
@@ -284,7 +312,11 @@ class SecureXMLDatabase:
         :attr:`repro.security.perm.PermissionResolver.stats` and
         :attr:`repro.security.viewcache.ViewCache.stats` (prefixed
         ``view_``), e.g. ``view_hits`` / ``view_incremental_patches`` /
-        ``full_resolves``.
+        ``full_resolves``, plus the degradation ledger:
+        ``degraded_rebuilds`` (resolver path-patches and view patches
+        that raised and were re-derived from scratch, summed) and
+        ``degraded_view_serves`` (reads that fell all the way back
+        from the shared cache to a per-session build).
         """
         out = {"version": self._version}
         out.update(self._resolver.stats)
@@ -292,6 +324,11 @@ class SecureXMLDatabase:
             out.update(
                 {f"view_{k}": v for k, v in self._view_cache.stats.items()}
             )
+            out["degraded_rebuilds"] = (
+                out.get("degraded_rebuilds", 0)
+                + self._view_cache.stats.get("degraded_rebuilds", 0)
+            )
+        out["degraded_view_serves"] = self._degraded_view_serves
         return out
 
     # ------------------------------------------------------------------

@@ -43,6 +43,8 @@ All decisions are counted in :attr:`PermissionResolver.stats`
 
 from __future__ import annotations
 
+import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
@@ -63,6 +65,8 @@ from .policy import ACCEPT, Policy, SecurityRule
 from .privileges import Privilege
 
 __all__ = ["PermissionTable", "PermissionResolver"]
+
+logger = logging.getLogger("repro.security.perm")
 
 
 @dataclass
@@ -186,6 +190,10 @@ class PermissionResolver:
         self._max_tables = max_tables
         self._tables: "OrderedDict[Fingerprint, _TableEntry]" = OrderedDict()
         self._skeletons: Dict[str, Optional[PathSkeleton]] = {}
+        # Concurrent readers share these caches and commit maintenance
+        # rewrites them; an RLock because resolve_cached -> resolve ->
+        # _select_rule_path nests.
+        self._lock = threading.RLock()
         #: Decision counters; read via ``SecureXMLDatabase.stats()``.
         self.stats: Dict[str, int] = {
             "path_evals": 0,  # engine.select calls on rule paths
@@ -198,6 +206,7 @@ class PermissionResolver:
             "delta_resolves": 0,  # re-resolves with a maintained path cache
             "full_resolves": 0,  # re-resolves with no carried state
             "conservative_commits": 0,  # commits without a usable change-set
+            "degraded_rebuilds": 0,  # patches that raised; dropped, re-derived
         }
 
     @property
@@ -238,18 +247,21 @@ class PermissionResolver:
         if not self._cache_paths or "$" in path:
             self.stats["path_evals"] += 1
             return self._engine.select(doc, path, variables=variables)
-        entry = self._path_cache.get(doc)
-        if entry is None or entry[0] != doc.mutation_stamp:
-            entry = (doc.mutation_stamp, {})
-            self._path_cache[doc] = entry
-        cached = entry[1].get(path)
-        if cached is None:
-            self.stats["path_evals"] += 1
-            cached = tuple(self._engine.select(doc, path, variables=variables))
-            entry[1][path] = cached
-        else:
-            self.stats["path_cache_hits"] += 1
-        return cached
+        with self._lock:
+            entry = self._path_cache.get(doc)
+            if entry is None or entry[0] != doc.mutation_stamp:
+                entry = (doc.mutation_stamp, {})
+                self._path_cache[doc] = entry
+            cached = entry[1].get(path)
+            if cached is None:
+                self.stats["path_evals"] += 1
+                cached = tuple(
+                    self._engine.select(doc, path, variables=variables)
+                )
+                entry[1][path] = cached
+            else:
+                self.stats["path_cache_hits"] += 1
+            return cached
 
     def _skeleton(self, path: str) -> Optional[PathSkeleton]:
         """The (memoized) static skeleton of a rule path."""
@@ -283,6 +295,10 @@ class PermissionResolver:
                 conservative change-set drops every cache bound to
                 ``old_doc`` (the safe fallback).
         """
+        with self._lock:
+            self._note_commit_locked(old_doc, new_doc, changes)
+
+    def _note_commit_locked(self, old_doc, new_doc, changes) -> None:
         entry = self._path_cache.pop(old_doc, None)
         if changes is None or changes.conservative:
             self.stats["conservative_commits"] += 1
@@ -304,10 +320,22 @@ class PermissionResolver:
                     continue
                 skeleton = self._skeleton(path)
                 if skeleton is not None and skeleton.patchable:
-                    carried[path] = _patch_selection(
-                        nodes, new_doc, changes, skeleton, star_text
-                    )
-                    self.stats["paths_patched"] += 1
+                    # A patch that raises must not leave a torn
+                    # selection in the carried cache: drop the path
+                    # (it re-evaluates lazily on next use) and count
+                    # the degradation.
+                    try:
+                        carried[path] = _patch_selection(
+                            nodes, new_doc, changes, skeleton, star_text
+                        )
+                        self.stats["paths_patched"] += 1
+                    except Exception:
+                        self.stats["paths_dropped"] += 1
+                        self.stats["degraded_rebuilds"] += 1
+                        logger.exception(
+                            "selection patch failed for path %r; dropping "
+                            "cached selection", path
+                        )
                 else:
                     self.stats["paths_dropped"] += 1
             self._path_cache[new_doc] = (new_doc.mutation_stamp, carried)
@@ -398,25 +426,28 @@ class PermissionResolver:
         field always names the requesting user (a shared table is
         wrapped in a per-user facade).
         """
-        fingerprint = self.fingerprint(policy, user)
-        entry = self._tables.get(fingerprint)
-        if (
-            entry is not None
-            and entry.doc is doc
-            and entry.stamp == doc.mutation_stamp
-        ):
-            self.stats["table_cache_hits"] += 1
+        with self._lock:
+            fingerprint = self.fingerprint(policy, user)
+            entry = self._tables.get(fingerprint)
+            if (
+                entry is not None
+                and entry.doc is doc
+                and entry.stamp == doc.mutation_stamp
+            ):
+                self.stats["table_cache_hits"] += 1
+                self._tables.move_to_end(fingerprint)
+                return entry.table.for_user(user)
+            path_entry = self._path_cache.get(doc)
+            maintained = (
+                path_entry is not None and path_entry[0] == doc.mutation_stamp
+            )
+            table = self.resolve(doc, policy, user)
+            self.stats["delta_resolves" if maintained else "full_resolves"] += 1
+            self._tables[fingerprint] = _TableEntry(doc, doc.mutation_stamp, table)
             self._tables.move_to_end(fingerprint)
-            return entry.table.for_user(user)
-        path_entry = self._path_cache.get(doc)
-        maintained = path_entry is not None and path_entry[0] == doc.mutation_stamp
-        table = self.resolve(doc, policy, user)
-        self.stats["delta_resolves" if maintained else "full_resolves"] += 1
-        self._tables[fingerprint] = _TableEntry(doc, doc.mutation_stamp, table)
-        self._tables.move_to_end(fingerprint)
-        while len(self._tables) > self._max_tables:
-            self._tables.popitem(last=False)
-        return table
+            while len(self._tables) > self._max_tables:
+                self._tables.popitem(last=False)
+            return table
 
 
 def _patch_selection(

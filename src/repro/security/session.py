@@ -14,7 +14,7 @@ user does flows through their view:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from dataclasses import dataclass
 
@@ -185,6 +185,7 @@ class Session:
         self,
         operation: Union[XUpdateOperation, UpdateScript, str],
         strict: bool = False,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> SecureUpdateResult:
         """Apply an XUpdate operation, script, or XUpdate XML document.
 
@@ -207,12 +208,20 @@ class Session:
                 :class:`~repro.security.write.AccessDenied` if any
                 selected node is refused (default: partial application
                 with denials reported in the result).
+            checkpoint: optional callable run before every operation
+                of the script -- the serving layer's per-request
+                deadline hook.  Raising
+                :class:`~repro.errors.DeadlineExceeded` from it aborts
+                the script via the savepoint path with nothing
+                committed.
 
         Raises:
             AccessDenied: strict mode, any refused node; nothing is
                 committed.
             UpdateAborted: a script operation failed; nothing is
                 committed and the abort is in the audit log.
+            DeadlineExceeded: the checkpoint expired mid-script;
+                nothing is committed.
             ConcurrentUpdateError: another session committed while this
                 script was executing; nothing is committed.
         """
@@ -220,6 +229,8 @@ class Session:
             operation = parse_xupdate(operation)
         executor: SecureWriteExecutor = self._database.write_executor
         with self._database.transaction() as txn:
-            result = executor.apply(self.view(), operation, strict=strict)
+            result = executor.apply(
+                self.view(), operation, strict=strict, checkpoint=checkpoint
+            )
             txn.commit(result.document, result.changes)
         return result

@@ -36,6 +36,8 @@ surfaced through ``SecureXMLDatabase.stats()``.
 from __future__ import annotations
 
 import dataclasses
+import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
@@ -49,6 +51,8 @@ from .privileges import Privilege
 from .view import View, ViewBuilder
 
 __all__ = ["ViewCache"]
+
+logger = logging.getLogger("repro.security.viewcache")
 
 
 @dataclass
@@ -76,11 +80,18 @@ class ViewCache:
         self._log: "OrderedDict[int, Optional[ChangeSet]]" = OrderedDict()
         self._log_size = log_size
         self._max_entries = max_entries
+        # Serving happens from many reader threads at once and cache
+        # bookkeeping (LRU moves, entry replacement) is not atomic, so
+        # the whole serve/commit surface is one critical section.  An
+        # RLock because a full build re-enters the resolver, which may
+        # call back while this lock is held.
+        self._lock = threading.RLock()
         #: Decision counters; read via ``SecureXMLDatabase.stats()``.
         self.stats: Dict[str, int] = {
             "hits": 0,  # served at the current version, no work
             "incremental_patches": 0,  # stale entry patched in place
             "full_builds": 0,  # axioms 15-17 from scratch
+            "degraded_rebuilds": 0,  # patch raised; entry discarded, rebuilt
         }
 
     # ------------------------------------------------------------------
@@ -89,9 +100,10 @@ class ViewCache:
     def note_commit(self, version: int, changes: Optional[ChangeSet]) -> None:
         """Record the change-set that produced ``version`` (None when
         the committer did not track one)."""
-        self._log[version] = changes
-        while len(self._log) > self._log_size:
-            self._log.popitem(last=False)
+        with self._lock:
+            self._log[version] = changes
+            while len(self._log) > self._log_size:
+                self._log.popitem(last=False)
 
     def _composed_changes(
         self, from_version: int, to_version: int
@@ -119,32 +131,45 @@ class ViewCache:
                 ``permissions.user`` always name this login even when
                 the materialization is shared with other users.
         """
-        resolver = database.resolver
-        policy = database.policy
-        doc = database.document
-        version = database.version
-        fingerprint = resolver.fingerprint(policy, user)
-        entry = self._entries.get(fingerprint)
-        if entry is not None and entry.version == version:
-            if entry.view.source is doc:
-                self.stats["hits"] += 1
-                self._entries.move_to_end(fingerprint)
-                return self._facade(entry.view, user)
-            # Same version counter but a different document object can
-            # only mean a foreign commit path; treat as stale.
-            entry = None
-        table = resolver.resolve_cached(doc, policy, user)
-        if entry is not None and entry.version < version:
-            changes = self._composed_changes(entry.version, version)
-            if changes is not None:
-                view = self._patch(entry.view, doc, policy, table, changes)
-                self.stats["incremental_patches"] += 1
-                self._store(fingerprint, version, view)
-                return self._facade(view, user)
-        view = ViewBuilder(resolver).build(doc, policy, user, permissions=table)
-        self.stats["full_builds"] += 1
-        self._store(fingerprint, version, view)
-        return self._facade(view, user)
+        with self._lock:
+            resolver = database.resolver
+            policy = database.policy
+            doc = database.document
+            version = database.version
+            fingerprint = resolver.fingerprint(policy, user)
+            entry = self._entries.get(fingerprint)
+            if entry is not None and entry.version == version:
+                if entry.view.source is doc:
+                    self.stats["hits"] += 1
+                    self._entries.move_to_end(fingerprint)
+                    return self._facade(entry.view, user)
+                # Same version counter but a different document object can
+                # only mean a foreign commit path; treat as stale.
+                entry = None
+            table = resolver.resolve_cached(doc, policy, user)
+            if entry is not None and entry.version < version:
+                changes = self._composed_changes(entry.version, version)
+                if changes is not None:
+                    # A patch that raises must not leave a half-patched
+                    # entry behind: discard it, count the degradation,
+                    # and re-derive from scratch below.
+                    try:
+                        view = self._patch(entry.view, doc, policy, table, changes)
+                    except Exception:
+                        self._entries.pop(fingerprint, None)
+                        self.stats["degraded_rebuilds"] += 1
+                        logger.exception(
+                            "incremental view patch failed for %r; "
+                            "discarding entry and rebuilding", user
+                        )
+                    else:
+                        self.stats["incremental_patches"] += 1
+                        self._store(fingerprint, version, view)
+                        return self._facade(view, user)
+            view = ViewBuilder(resolver).build(doc, policy, user, permissions=table)
+            self.stats["full_builds"] += 1
+            self._store(fingerprint, version, view)
+            return self._facade(view, user)
 
     def _store(self, fingerprint: Fingerprint, version: int, view: View) -> None:
         self._entries[fingerprint] = _Entry(version, view)

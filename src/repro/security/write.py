@@ -31,9 +31,9 @@ result reports both sets.  ``strict=True`` turns any denial into an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError, UpdateAborted
+from ..errors import DeadlineExceeded, ReproError, UpdateAborted
 from ..testing.faults import kill_point
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import NodeId
@@ -148,6 +148,7 @@ class SecureWriteExecutor:
         view: View,
         operation: "XUpdateOperation | UpdateScript",
         strict: bool = False,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> SecureUpdateResult:
         """Apply an operation on behalf of the view's user.
 
@@ -169,10 +170,19 @@ class SecureWriteExecutor:
                 privilege table).
             operation: one XUpdate operation or a script.
             strict: raise :class:`AccessDenied` on any denial.
+            checkpoint: optional callable invoked before every
+                operation; raising
+                :class:`~repro.errors.DeadlineExceeded` from it aborts
+                the script through the savepoint path (nothing
+                applied, an ``abort`` audit record written) and
+                re-raises with its own type -- the serving layer's
+                per-request deadlines ride this hook.
 
         Raises:
             AccessDenied: strict mode, when any selected node is
                 refused; for scripts, prior operations are rolled back.
+            DeadlineExceeded: the checkpoint expired; prior operations
+                are rolled back.
             UpdateAborted: when a script operation fails for any other
                 reason.
         """
@@ -182,6 +192,8 @@ class SecureWriteExecutor:
             for index, op in enumerate(operation):
                 op_name = type(op).__name__
                 try:
+                    if checkpoint is not None:
+                        checkpoint()
                     kill_point(
                         "before-op", index=index, operation=op_name, secure=True
                     )
@@ -191,6 +203,9 @@ class SecureWriteExecutor:
                     )
                 except AccessDenied as exc:
                     self._audit_abort(view, op, index, f"denied: {exc}")
+                    raise
+                except DeadlineExceeded as exc:
+                    self._audit_abort(view, op, index, f"deadline: {exc}")
                     raise
                 except UpdateAborted:
                     raise
@@ -207,6 +222,8 @@ class SecureWriteExecutor:
                 result = result.merge(step)
                 current_view = _rebase_view(current_view, step.document)
             return result
+        if checkpoint is not None:
+            checkpoint()
         result = self._apply_one(view, operation)
         if strict and result.denials:
             raise AccessDenied(result.denials)

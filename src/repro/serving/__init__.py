@@ -1,0 +1,25 @@
+"""The concurrent serving layer: governed requests over a database.
+
+The paper specifies the access control model; this package makes it
+*servable*: a thread-safe front-end (:class:`DatabaseServer`) that
+wraps one :class:`~repro.security.SecureXMLDatabase` and gives every
+call a serving contract -- reader-writer locking, retry with
+decorrelated-jitter backoff on commit races, per-request deadlines,
+admission control with a block/shed overload policy, a write circuit
+breaker, and graceful degradation of the view caches.  See DESIGN.md
+§9 for the full concurrency and failure/overload model.
+"""
+
+from .admission import AdmissionController, CircuitBreaker
+from .retry import Deadline, RetryPolicy
+from .rwlock import RWLock
+from .server import DatabaseServer
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DatabaseServer",
+    "Deadline",
+    "RetryPolicy",
+    "RWLock",
+]

@@ -1,0 +1,241 @@
+"""Admission control and the write circuit breaker.
+
+Overload protection for the serving layer, in two layers:
+
+**Admission control** bounds the number of in-flight requests.  When
+the budget is full the overload policy decides: ``"block"`` queues the
+caller (up to its deadline), keeping throughput at the cost of
+latency; ``"shed"`` fails fast with
+:class:`~repro.errors.OverloadError`, keeping latency bounded at the
+cost of rejected work.  Shedding is the correct choice once queueing
+delay alone would blow every deadline -- the E21 benchmark measures
+exactly that trade.
+
+**The circuit breaker** guards the write path against failure storms:
+after ``failure_threshold`` consecutive write failures the circuit
+*opens* and new writes are refused immediately
+(:class:`~repro.errors.CircuitOpenError`) without consuming retries,
+locks, or database work.  After ``reset_timeout`` seconds the circuit
+*half-opens*: exactly one probe write is let through, and its outcome
+closes the circuit again or re-opens it for another timer round.
+
+Both classes are thread-safe and take injectable clocks for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+from ..errors import CircuitOpenError, DeadlineExceeded, OverloadError
+from .retry import Deadline
+
+__all__ = ["AdmissionController", "CircuitBreaker"]
+
+#: Overload policies :class:`AdmissionController` accepts.
+OVERLOAD_POLICIES = ("block", "shed")
+
+
+class AdmissionController:
+    """A bounded in-flight budget with a block-or-shed overload policy.
+
+    Args:
+        limit: maximum concurrently admitted requests; None disables
+            admission control (every request is admitted instantly).
+        policy: ``"block"`` (queue until a slot frees or the deadline
+            expires) or ``"shed"`` (raise
+            :class:`~repro.errors.OverloadError` immediately when
+            full).
+
+    Example::
+
+        admission = AdmissionController(limit=64, policy="shed")
+        with admission.admitted(Deadline(0.5)):
+            ...  # at most 64 requests in here at once
+    """
+
+    def __init__(self, limit: Optional[int], policy: str = "block") -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 (or None to disable)")
+        if policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {OVERLOAD_POLICIES}, got {policy!r}"
+            )
+        self.limit = limit
+        self.policy = policy
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        #: Counters: ``admitted`` / ``shed`` / ``queued`` (admissions
+        #: that had to wait) / ``peak_in_flight``.
+        self.stats: Dict[str, int] = {
+            "admitted": 0,
+            "shed": 0,
+            "queued": 0,
+            "peak_in_flight": 0,
+        }
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._cond:
+            return self._in_flight
+
+    def acquire(self, deadline: Optional[Deadline] = None) -> None:
+        """Claim one in-flight slot.
+
+        Raises:
+            OverloadError: the budget is full and the policy is
+                ``"shed"``.
+            DeadlineExceeded: the policy is ``"block"`` and
+                ``deadline`` expired while queued.
+        """
+        with self._cond:
+            if self.limit is None:
+                self._admit()
+                return
+            if self._in_flight < self.limit:
+                self._admit()
+                return
+            if self.policy == "shed":
+                self.stats["shed"] += 1
+                raise OverloadError(
+                    f"in-flight budget of {self.limit} exhausted "
+                    f"({self._in_flight} running); request shed",
+                    limit=self.limit,
+                    in_flight=self._in_flight,
+                )
+            self.stats["queued"] += 1
+            timeout = None if deadline is None else deadline.timeout()
+            ok = self._cond.wait_for(
+                lambda: self._in_flight < self.limit, timeout=timeout
+            )
+            if not ok:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.budget:.6g}s exceeded while "
+                    f"queued for admission (budget {self.limit})",
+                    budget=deadline.budget,
+                )
+            self._admit()
+
+    def _admit(self) -> None:
+        self._in_flight += 1
+        self.stats["admitted"] += 1
+        if self._in_flight > self.stats["peak_in_flight"]:
+            self.stats["peak_in_flight"] = self._in_flight
+
+    def release(self) -> None:
+        """Return one in-flight slot."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise RuntimeError("release without a matching acquire")
+            self._in_flight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admitted(self, deadline: Optional[Deadline] = None) -> Iterator[None]:
+        """Hold one slot for a ``with`` block."""
+        self.acquire(deadline)
+        try:
+            yield
+        finally:
+            self.release()
+
+
+class CircuitBreaker:
+    """A closed / open / half-open breaker over the write path.
+
+    Args:
+        failure_threshold: consecutive failures that open the circuit.
+        reset_timeout: seconds an open circuit waits before letting a
+            half-open probe through.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Counters: ``trips`` (closed/half-open -> open transitions)
+        #: and ``rejections`` (calls refused while open).
+        self.stats: Dict[str, int] = {"trips": 0, "rejections": 0}
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half-open"
+            self._probing = False
+
+    def allow(self) -> None:
+        """Gate one write attempt.
+
+        Raises:
+            CircuitOpenError: the circuit is open (timer still
+                running), or half-open with its single probe already
+                taken.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return
+            if self._state == "half-open" and not self._probing:
+                self._probing = True  # this caller is the probe
+                return
+            self.stats["rejections"] += 1
+            retry_after = max(
+                0.0, self.reset_timeout - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"write circuit open after {self._failures} consecutive "
+                f"failure(s); retry in {retry_after:.3f}s",
+                failures=self._failures,
+                retry_after=retry_after,
+            )
+
+    def record_success(self) -> None:
+        """Note a successful write: closes the circuit and clears the
+        failure run."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """Note a failed write; trips the circuit at the threshold (a
+        failed half-open probe re-opens immediately)."""
+        with self._lock:
+            self._failures += 1
+            was_open = self._state == "open"
+            if self._state == "half-open" or (
+                self._state == "closed"
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+            if self._state == "open" and not was_open:
+                self.stats["trips"] += 1

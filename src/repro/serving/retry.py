@@ -1,0 +1,128 @@
+"""Retry budgets: exponential backoff with decorrelated jitter, and
+per-request deadlines.
+
+Under contention, optimistic concurrency turns into commit races
+(:class:`~repro.errors.ConcurrentUpdateError`); the serving layer
+absorbs them by re-running the write after a randomized pause.  The
+pause schedule is *decorrelated jitter* (Brooker's variant of
+exponential backoff): each delay is drawn uniformly from ``[base,
+previous * multiplier]`` and capped, so colliding writers spread out
+instead of re-colliding in synchronized waves.
+
+:class:`Deadline` is the other half of the budget: a monotonic-clock
+expiry that a request checks at every blocking point -- admission
+queue, lock wait, between retries, and (via the write executor's
+checkpoint hook) before every script operation, so even a mid-script
+expiry aborts through the savepoint path with nothing committed.
+
+Both classes take injectable clocks (and the server an injectable
+``sleep``), so tests drive them with virtual time -- no real waiting,
+fully deterministic schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..errors import DeadlineExceeded
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+class Deadline:
+    """A per-request time budget on a monotonic clock.
+
+    Args:
+        budget: seconds from now until expiry; None means "no
+            deadline" (every query returns infinity and
+            :meth:`check` never raises).
+        clock: monotonic time source, injectable for tests.
+
+    Example::
+
+        deadline = Deadline(0.250)
+        deadline.check("admission")     # raises DeadlineExceeded if late
+        lock.acquire_write(timeout=deadline.remaining())
+    """
+
+    def __init__(
+        self,
+        budget: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget = budget
+        self._clock = clock
+        self._expires = None if budget is None else clock() + budget
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self._expires is not None and self._clock() >= self._expires
+
+    def remaining(self) -> float:
+        """Seconds left (never negative; ``inf`` with no deadline)."""
+        if self._expires is None:
+            return float("inf")
+        return max(0.0, self._expires - self._clock())
+
+    def timeout(self) -> Optional[float]:
+        """The remaining budget in the form lock/queue waits expect:
+        None for "wait forever", else seconds (possibly 0)."""
+        return None if self._expires is None else self.remaining()
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` when expired.
+
+        Args:
+            what: phase name for the error message (``"admission"``,
+                ``"script operation 3"``, ...).
+        """
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget:.6g}s exceeded during {what}",
+                budget=self.budget,
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Decorrelated-jitter backoff for commit races.
+
+    Attributes:
+        max_attempts: total tries per write, first included; 1 means
+            "never retry".
+        base: minimum delay between tries, seconds.
+        cap: maximum delay between tries, seconds.
+        multiplier: upper-bound growth per round -- delay *n+1* is
+            drawn from ``uniform(base, delay_n * multiplier)``.
+    """
+
+    max_attempts: int = 8
+    base: float = 0.002
+    cap: float = 0.250
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not (0 < self.base <= self.cap):
+            raise ValueError("need 0 < base <= cap")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def next_delay(self, previous: float, rng: random.Random) -> float:
+        """The delay after a failed try whose preceding delay was
+        ``previous`` (0.0 for the first failure)."""
+        if previous <= 0.0:
+            return self.base
+        return min(self.cap, rng.uniform(self.base, previous * self.multiplier))
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """The full backoff schedule: ``max_attempts - 1`` delays."""
+        delay = 0.0
+        for _ in range(self.max_attempts - 1):
+            delay = self.next_delay(delay, rng)
+            yield delay

@@ -1,0 +1,134 @@
+"""A reader-writer lock with writer preference and deadline-aware
+acquisition.
+
+The serving discipline (DESIGN.md §9): many sessions *read* views
+concurrently -- view serving only mutates internally-locked caches --
+while writers serialize, so a script's selection, privilege checks and
+commit all happen against one frozen database generation.  Python's
+standard library has no RW lock, so this module provides one:
+
+- readers share the lock; a reader never blocks another reader;
+- writers are exclusive, and *preferred*: once a writer is waiting, new
+  readers queue behind it (no writer starvation under read-heavy load);
+- both acquisition paths take an optional timeout so a per-request
+  :class:`~repro.serving.retry.Deadline` bounds the wait.
+
+The lock is not reentrant in either mode, and upgrading (read -> write)
+is deliberately unsupported -- it deadlocks two upgraders against each
+other by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A shared/exclusive lock with writer preference.
+
+    Example::
+
+        lock = RWLock()
+        with lock.read_locked():
+            ...  # many threads may be here at once
+        with lock.write_locked():
+            ...  # exactly one thread, no readers
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # shared (reader) side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Acquire in shared mode; False when ``timeout`` expires first.
+
+        New readers queue behind any waiting writer (writer
+        preference), but never behind each other.
+        """
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # exclusive (writer) side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Acquire in exclusive mode; False when ``timeout`` expires
+        first (any queued-writer claim is withdrawn on timeout)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+                if not self._writer:
+                    # Timed out: let readers we were blocking proceed.
+                    self._cond.notify_all()
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self, timeout: Optional[float] = None) -> Iterator[bool]:
+        """Hold the lock in shared mode for a ``with`` block.
+
+        Yields True when acquired; on timeout yields False and the
+        block runs *without* the lock (callers that passed a timeout
+        must check the yielded flag).
+        """
+        ok = self.acquire_read(timeout)
+        try:
+            yield ok
+        finally:
+            if ok:
+                self.release_read()
+
+    @contextmanager
+    def write_locked(self, timeout: Optional[float] = None) -> Iterator[bool]:
+        """Hold the lock in exclusive mode for a ``with`` block (same
+        timeout contract as :meth:`read_locked`)."""
+        ok = self.acquire_write(timeout)
+        try:
+            yield ok
+        finally:
+            if ok:
+                self.release_write()

@@ -1,0 +1,433 @@
+"""The governed serving front-end over :class:`SecureXMLDatabase`.
+
+One :class:`DatabaseServer` wraps one database and turns the library's
+one-shot calls into *requests* with a serving contract:
+
+1. **Lock discipline.**  Reads (views, queries) run under the shared
+   side of a :class:`~repro.serving.rwlock.RWLock`, so any number of
+   sessions serve views concurrently; writes take the exclusive side
+   per attempt, so a script's selection, privilege checks and commit
+   all observe one frozen database generation.  The backoff *sleep*
+   between write attempts happens outside the lock -- a retrying
+   writer never starves readers.
+2. **Retry with backoff.**  A commit race
+   (:class:`~repro.errors.ConcurrentUpdateError` from an interleaved
+   commit -- another server, an administrative update) is absorbed by
+   re-running the write under the
+   :class:`~repro.serving.retry.RetryPolicy`'s decorrelated-jitter
+   schedule; the race is invisible to the client unless the policy's
+   attempts run out (:class:`~repro.errors.RetryExhausted`).
+3. **Deadlines.**  Every request carries a
+   :class:`~repro.serving.retry.Deadline` (per-call or the server
+   default) checked at each blocking point; on the write path it rides
+   the executor's checkpoint hook, so an expired script aborts through
+   the savepoint path with nothing committed.
+4. **Admission control + circuit breaker.**  An
+   :class:`~repro.serving.admission.AdmissionController` bounds
+   in-flight requests (``block`` queues, ``shed`` fails fast with
+   :class:`~repro.errors.OverloadError`); a
+   :class:`~repro.serving.admission.CircuitBreaker` refuses writes
+   outright after repeated write failures until a timed probe
+   succeeds.
+5. **Graceful degradation.**  View serving never fails on a cache
+   bug: the shared cache falls back internally (patch -> full build ->
+   per-session rebuild, see ``SecureXMLDatabase.build_view``), and
+   every degradation is logged and counted in :meth:`stats`.
+
+Shed, timed-out and retry-exhausted requests are recorded in the
+database's audit log (events ``"shed"`` / ``"deadline"`` /
+``"retry-exhausted"``), exactly like aborted scripts are.
+
+Example::
+
+    server = DatabaseServer(
+        db,
+        retry=RetryPolicy(max_attempts=8),
+        max_in_flight=64,
+        overload="shed",
+        default_deadline=0.5,
+    )
+    xml = server.read_xml("laporte")
+    result = server.execute("laporte", script, strict=True)
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import (
+    ConcurrentUpdateError,
+    DeadlineExceeded,
+    OverloadError,
+    RetryExhausted,
+    UpdateAborted,
+)
+from ..security.database import SecureXMLDatabase
+from ..security.session import Session
+from ..security.write import AccessDenied, SecureUpdateResult
+from ..xpath.values import NodeSet, XPathValue
+from ..xupdate.operations import UpdateScript, XUpdateOperation
+from .admission import AdmissionController, CircuitBreaker
+from .retry import Deadline, RetryPolicy
+from .rwlock import RWLock
+
+__all__ = ["DatabaseServer"]
+
+logger = logging.getLogger("repro.serving")
+
+
+class DatabaseServer:
+    """A thread-safe, overload-aware front-end over one database.
+
+    Args:
+        database: the :class:`SecureXMLDatabase` being served.
+        retry: backoff schedule for commit races (default
+            :class:`RetryPolicy()`).
+        max_in_flight: admission budget; None disables admission
+            control.
+        overload: ``"block"`` or ``"shed"`` (see
+            :class:`AdmissionController`).
+        breaker: write circuit breaker; None builds a default one on
+            this server's clock.
+        default_deadline: seconds applied to requests that pass no
+            per-call deadline; None means unbounded.
+        clock: monotonic time source (injectable for tests).
+        sleep: how to wait out a backoff delay (injectable for tests).
+        rng: randomness source for jitter (seedable for tests).
+    """
+
+    def __init__(
+        self,
+        database: SecureXMLDatabase,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        max_in_flight: Optional[int] = None,
+        overload: str = "block",
+        breaker: Optional[CircuitBreaker] = None,
+        default_deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._database = database
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._admission = AdmissionController(max_in_flight, overload)
+        self._breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(clock=clock)
+        )
+        self._default_deadline = default_deadline
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = RWLock()
+        self._sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "reads": 0,  # read requests served
+            "writes": 0,  # write requests committed or cleanly refused
+            "commits": 0,  # writes that installed a new generation
+            "retries": 0,  # backoff sleeps taken
+            "commit_races": 0,  # ConcurrentUpdateError absorbed or not
+            "shed": 0,  # requests refused by admission control
+            "deadline_exceeded": 0,  # requests that ran out of budget
+            "retry_exhausted": 0,  # writes that gave up after max_attempts
+        }
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> SecureXMLDatabase:
+        """The wrapped database (not thread-safe to mutate directly
+        while the server is live, except through ``transaction()``)."""
+        return self._database
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The in-flight budget (shared by reads and writes)."""
+        return self._admission
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The write circuit breaker."""
+        return self._breaker
+
+    @property
+    def retry(self) -> RetryPolicy:
+        """The commit-race backoff schedule."""
+        return self._retry
+
+    def session(self, user: str) -> Session:
+        """The served (cached, per-user) session for ``user``.
+
+        Sessions are only safe to use through the server's own
+        read/write discipline; use :meth:`SecureXMLDatabase.login` for
+        an unmanaged session.
+        """
+        with self._sessions_lock:
+            session = self._sessions.get(user)
+            if session is None:
+                session = self._database.login(user)
+                self._sessions[user] = session
+            return session
+
+    # ------------------------------------------------------------------
+    # reads (shared lock)
+    # ------------------------------------------------------------------
+    def view(self, user: str, deadline: Optional[float] = None):
+        """The user's current authorized view, served under the read
+        discipline (admission + deadline + shared lock)."""
+        return self._read(user, lambda s: s.view(), deadline, "view")
+
+    def query(
+        self, user: str, path: str, deadline: Optional[float] = None
+    ) -> XPathValue:
+        """Evaluate an XPath expression on the user's view."""
+        return self._read(user, lambda s: s.query(path), deadline, "query")
+
+    def select(
+        self, user: str, path: str, deadline: Optional[float] = None
+    ) -> NodeSet:
+        """Evaluate a path on the user's view, requiring a node-set."""
+        return self._read(user, lambda s: s.select(path), deadline, "select")
+
+    def read_xml(
+        self,
+        user: str,
+        indent: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> str:
+        """The user's view serialized as XML."""
+        return self._read(
+            user, lambda s: s.read_xml(indent=indent), deadline, "read_xml"
+        )
+
+    def _read(self, user, fn, budget, what):
+        deadline = self._deadline(budget)
+        session = self.session(user)
+        self._admit(deadline, user, what, "")
+        try:
+            if not self._lock.acquire_read(deadline.timeout()):
+                raise self._deadline_error(deadline, user, what, "read lock")
+            try:
+                self._check(deadline, user, what, "view serving")
+                result = fn(session)
+            finally:
+                self._lock.release_read()
+        finally:
+            self._admission.release()
+        self._count("reads")
+        return result
+
+    # ------------------------------------------------------------------
+    # writes (exclusive lock + retry)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        user: str,
+        operation: Union[XUpdateOperation, UpdateScript, str],
+        strict: bool = False,
+        deadline: Optional[float] = None,
+    ) -> SecureUpdateResult:
+        """Apply an update as ``user``, absorbing commit races.
+
+        The operation is executed through the user's session exactly
+        like :meth:`Session.execute`, but governed: admission control
+        and the circuit breaker gate entry, each attempt runs under
+        the exclusive lock, a commit race is retried on the backoff
+        schedule (sleeping *outside* the lock), and the deadline is
+        checkpointed before every script operation so an expired
+        request aborts via the savepoint path with nothing committed.
+
+        Raises:
+            OverloadError: shed by admission control (audited).
+            DeadlineExceeded: the budget expired at any phase
+                (audited; nothing committed).
+            CircuitOpenError: the write circuit is open.
+            RetryExhausted: every attempt hit a commit race (audited).
+            AccessDenied, UpdateAborted: as for
+                :meth:`Session.execute`; these are application
+                outcomes and do not trip the circuit breaker.
+        """
+        deadline = self._deadline(deadline)
+        opname, oppath = _describe(operation)
+        self._breaker.allow()
+        session = self.session(user)
+        self._admit(deadline, user, opname, oppath)
+        try:
+            return self._execute_with_retry(
+                session, operation, strict, deadline, opname, oppath
+            )
+        finally:
+            self._admission.release()
+
+    def _execute_with_retry(
+        self, session, operation, strict, deadline, opname, oppath
+    ):
+        user = session.user
+        delay = 0.0
+        last: Optional[ConcurrentUpdateError] = None
+        for attempt in range(1, self._retry.max_attempts + 1):
+            if not self._lock.acquire_write(deadline.timeout()):
+                self._breaker.record_failure()
+                raise self._deadline_error(deadline, user, opname, "write lock")
+            if deadline.expired:
+                # Raised outside the try: the handler below is for
+                # checkpoint expiries *inside* the script and must not
+                # double-count this one.
+                self._lock.release_write()
+                self._breaker.record_failure()
+                raise self._deadline_error(
+                    deadline, user, opname, "write admission"
+                )
+            try:
+                result = session.execute(
+                    operation,
+                    strict=strict,
+                    checkpoint=lambda: deadline.check(f"{opname} script"),
+                )
+            except ConcurrentUpdateError as exc:
+                last = exc
+                self._count("commit_races")
+                logger.debug(
+                    "commit race for %s (%s attempt %d/%d)",
+                    user, opname, attempt, self._retry.max_attempts,
+                )
+            except DeadlineExceeded:
+                self._breaker.record_failure()
+                self._count("deadline_exceeded")
+                self._audit_rejection(
+                    user, opname, oppath,
+                    f"deadline of {deadline.budget:.6g}s exceeded "
+                    f"mid-script (attempt {attempt})",
+                    "deadline",
+                )
+                raise
+            except (AccessDenied, UpdateAborted):
+                # Application outcomes: access control and script
+                # semantics worked exactly as specified, so they are
+                # neither breaker failures nor breaker successes.
+                self._count("writes")
+                raise
+            except Exception:
+                self._breaker.record_failure()
+                raise
+            else:
+                self._breaker.record_success()
+                self._count("writes")
+                self._count("commits")
+                return result
+            finally:
+                self._lock.release_write()
+            # Commit race: back off outside the lock, then go again.
+            if attempt == self._retry.max_attempts:
+                break
+            remaining = deadline.remaining()
+            if remaining <= 0.0:
+                self._breaker.record_failure()
+                raise self._deadline_error(deadline, user, opname, "backoff")
+            delay = self._retry.next_delay(delay, self._rng)
+            self._count("retries")
+            self._sleep(min(delay, remaining))
+        self._breaker.record_failure()
+        self._count("retry_exhausted")
+        self._audit_rejection(
+            user, opname, oppath,
+            f"gave up after {self._retry.max_attempts} attempts, every "
+            f"commit raced a concurrent update",
+            "retry-exhausted",
+        )
+        raise RetryExhausted(
+            f"{opname} by {user!r} lost {self._retry.max_attempts} "
+            f"commit race(s); giving up",
+            attempts=self._retry.max_attempts,
+            last_error=last,
+        ) from last
+
+    # ------------------------------------------------------------------
+    # shared request plumbing
+    # ------------------------------------------------------------------
+    def _deadline(self, budget: Optional[float]) -> Deadline:
+        if budget is None:
+            budget = self._default_deadline
+        return Deadline(budget, clock=self._clock)
+
+    def _admit(self, deadline, user, opname, oppath) -> None:
+        try:
+            self._admission.acquire(deadline)
+        except OverloadError as exc:
+            self._count("shed")
+            self._audit_rejection(user, opname, oppath, str(exc), "shed")
+            raise
+        except DeadlineExceeded as exc:
+            self._count("deadline_exceeded")
+            self._audit_rejection(user, opname, oppath, str(exc), "deadline")
+            raise
+
+    def _check(self, deadline, user, opname, what) -> None:
+        try:
+            deadline.check(what)
+        except DeadlineExceeded:
+            self._count("deadline_exceeded")
+            self._audit_rejection(
+                user, opname, "", f"deadline expired during {what}", "deadline"
+            )
+            raise
+
+    def _deadline_error(self, deadline, user, opname, what) -> DeadlineExceeded:
+        self._count("deadline_exceeded")
+        reason = (
+            f"deadline of {deadline.budget:.6g}s exceeded waiting for {what}"
+            if deadline.budget is not None
+            else f"timed out waiting for {what}"
+        )
+        self._audit_rejection(user, opname, "", reason, "deadline")
+        return DeadlineExceeded(reason, budget=deadline.budget)
+
+    def _audit_rejection(self, user, opname, oppath, reason, event) -> None:
+        try:
+            self._database.audit.record_rejected(
+                user=user,
+                operation=opname,
+                path=oppath,
+                reason=reason,
+                event=event,
+            )
+        except Exception:  # the audit log must never break serving
+            logger.exception("audit rejection record failed")
+
+    def _count(self, key: str) -> None:
+        with self._counters_lock:
+            self._counters[key] += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: this server's request ledger, the
+        admission controller's (``admission_`` prefix), the circuit
+        breaker's (``breaker_`` prefix + ``breaker_state``), and the
+        wrapped database's :meth:`SecureXMLDatabase.stats`."""
+        with self._counters_lock:
+            out: Dict[str, object] = dict(self._counters)
+        out.update(
+            {f"admission_{k}": v for k, v in self._admission.stats.items()}
+        )
+        out.update({f"breaker_{k}": v for k, v in self._breaker.stats.items()})
+        out["breaker_state"] = self._breaker.state
+        out.update(self._database.stats())
+        return out
+
+
+def _describe(operation) -> tuple:
+    """(operation name, path) for audit records, best-effort."""
+    if isinstance(operation, str):
+        return ("xupdate", "")
+    if isinstance(operation, UpdateScript):
+        ops = list(operation)
+        return ("UpdateScript", ops[0].path if ops else "")
+    return (type(operation).__name__, getattr(operation, "path", ""))

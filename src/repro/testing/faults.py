@@ -29,24 +29,55 @@ Example::
     with inject("before-op", after=1):   # fail when op index 1 starts
         with pytest.raises(UpdateAborted):
             session.execute(script)
+
+Concurrency chaos
+-----------------
+
+The second half of this module is the chaos harness (ISSUE 4): tools
+for driving the serving layer through *randomized but reproducible*
+concurrent schedules.
+
+- :class:`ChaosRunner` interleaves cooperative tasks (generators that
+  ``yield`` at their natural preemption points -- between begin,
+  execute and commit) under a seeded scheduler, optionally arming a
+  random kill-point before a step.  The same seed replays the same
+  schedule decision-for-decision, so any failing soak iteration is a
+  one-line reproduction.
+- :func:`run_threads` stress-runs real OS threads behind a start
+  barrier and *captures* everything they raise -- the caller asserts
+  the exception list is empty (or contains only expected, governed
+  failures), so nothing escapes a soak silently.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import ReproError
 
 __all__ = [
     "KILL_POINTS",
+    "ChaosReport",
+    "ChaosRunner",
     "FaultInjector",
     "InjectedFault",
     "faults",
     "inject",
     "kill_point",
+    "run_threads",
 ]
 
 #: Every kill-point the library consults, in execution order.
@@ -181,3 +212,178 @@ def kill_point(point: str, **context: Any) -> None:
 def inject(point: str, after: int = 0):
     """Test-side sugar: arm the default injector inside a ``with`` block."""
     return faults.injected(point, after=after)
+
+
+# ---------------------------------------------------------------------------
+# concurrency chaos harness
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """What one :meth:`ChaosRunner.run` did, decision for decision.
+
+    Attributes:
+        seed: the scheduler seed; re-running with it replays this
+            exact report.
+        schedule: every scheduling decision as ``(task_index,
+            step_index)`` pairs, in execution order.
+        results: per task, the generator's return value (None when it
+            returned nothing or died on an exception).
+        errors: per task, the exception that ended it early, or None.
+        faults_armed: every randomly armed kill-point as
+            ``(schedule_position, point_name)`` pairs.
+    """
+
+    seed: int
+    schedule: List[Tuple[int, int]] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+    errors: List[Optional[BaseException]] = field(default_factory=list)
+    faults_armed: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no task died on an exception."""
+        return all(error is None for error in self.errors)
+
+
+class ChaosRunner:
+    """A deterministic randomized scheduler for cooperative tasks.
+
+    Tasks are generator functions: each ``yield`` is a preemption
+    point, and whatever the generator ``return``s becomes its entry in
+    :attr:`ChaosReport.results`.  At every step the runner picks the
+    next runnable task with a seeded RNG, so concurrency bugs found at
+    some seed replay exactly -- the schedule is a pure function of
+    ``(seed, tasks)`` as long as each task's behaviour is itself
+    deterministic.
+
+    Optionally the runner arms a random kill-point before a step
+    (``kill_rate``), simulating crashes *during* contended schedules;
+    leftover arming is cleared after each step so one decision never
+    leaks into the next.
+
+    Args:
+        seed: scheduler seed.
+        kill_points: kill-point names eligible for random arming
+            (subset of :data:`KILL_POINTS`).
+        kill_rate: probability of arming one random kill-point before
+            a step (0.0 disables).
+        injector: the :class:`FaultInjector` to arm (the module-level
+            :data:`faults` by default, which is what the library
+            consults).
+
+    Example::
+
+        def writer():
+            txn = db.transaction()
+            yield                       # others may commit here
+            result = executor.apply(db.build_view(user), script)
+            yield
+            txn.commit(result.document, result.changes)
+            return "committed"
+
+        report = ChaosRunner(seed=7).run([writer, writer])
+        assert report.clean
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kill_points: Sequence[str] = (),
+        kill_rate: float = 0.0,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        for point in kill_points:
+            FaultInjector._check(point)
+        if not 0.0 <= kill_rate <= 1.0:
+            raise ValueError("kill_rate must be in [0, 1]")
+        if kill_rate > 0.0 and not kill_points:
+            raise ValueError("kill_rate > 0 needs at least one kill point")
+        self.seed = seed
+        self.kill_points = tuple(kill_points)
+        self.kill_rate = kill_rate
+        self._injector = injector if injector is not None else faults
+
+    def run(self, tasks: Sequence[Callable[[], Iterator[Any]]]) -> ChaosReport:
+        """Interleave ``tasks`` to completion and report the schedule.
+
+        A task that raises is recorded in :attr:`ChaosReport.errors`
+        and removed from the runnable set; the exception never
+        propagates out of the harness (soaks assert on the report
+        instead).
+        """
+        rng = random.Random(self.seed)
+        gens = [task() for task in tasks]
+        report = ChaosReport(
+            seed=self.seed,
+            results=[None] * len(gens),
+            errors=[None] * len(gens),
+        )
+        steps = [0] * len(gens)
+        runnable = list(range(len(gens)))
+        position = 0
+        while runnable:
+            index = rng.choice(runnable)
+            report.schedule.append((index, steps[index]))
+            armed = None
+            if self.kill_rate > 0.0 and rng.random() < self.kill_rate:
+                armed = rng.choice(self.kill_points)
+                self._injector.arm(armed)
+                report.faults_armed.append((position, armed))
+            try:
+                next(gens[index])
+            except StopIteration as stop:
+                report.results[index] = stop.value
+                runnable.remove(index)
+            except BaseException as exc:  # captured, never propagated
+                report.errors[index] = exc
+                runnable.remove(index)
+            finally:
+                if armed is not None:
+                    # One-shot arming may not have been reached; never
+                    # leak it into the next step (or the next test).
+                    self._injector.disarm(armed)
+            steps[index] += 1
+            position += 1
+        return report
+
+
+def run_threads(
+    worker: Callable[[int], Any],
+    count: int,
+    timeout: Optional[float] = 30.0,
+) -> List[Optional[BaseException]]:
+    """Run ``worker(i)`` on ``count`` real threads behind a start
+    barrier; return each thread's exception (None when it finished).
+
+    The barrier maximizes real interleaving (every thread hits the
+    serving layer at once), and captured exceptions let soak tests
+    assert exactly which governed failures -- and no others -- escaped.
+
+    Args:
+        worker: callable invoked with the thread index.
+        timeout: per-thread join timeout; a thread still alive after
+            it is reported as a :class:`TimeoutError` in its slot.
+    """
+    barrier = threading.Barrier(count)
+    errors: List[Optional[BaseException]] = [None] * count
+
+    def runner(index: int) -> None:
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as exc:
+            errors[index] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for index, thread in enumerate(threads):
+        thread.join(timeout)
+        if thread.is_alive():
+            errors[index] = TimeoutError(
+                f"worker {index} still running after {timeout}s"
+            )
+    return errors

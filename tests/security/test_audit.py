@@ -92,3 +92,114 @@ class TestAbortRecords:
         text = str(entry)
         assert "ABORT" in text
         assert "rolled back 3" in text
+
+
+class TestRejectionRecords:
+    def test_record_rejected_fields(self):
+        log = AuditLog()
+        entry = log.record_rejected(
+            user="u",
+            operation="UpdateContent",
+            path="//a",
+            reason="in-flight budget of 4 exhausted",
+            event="shed",
+        )
+        assert entry.event == "shed"
+        assert not entry.allowed
+        assert entry.node is None and entry.privilege is None
+        assert "budget" in entry.reason
+
+    def test_unknown_event_is_refused(self):
+        log = AuditLog()
+        with pytest.raises(ValueError):
+            log.record_rejected(
+                user="u", operation="Op", path="//a", reason="r", event="lost"
+            )
+
+    def test_rejections_filter(self):
+        log = AuditLog()
+        log.record("u", "Op", "//a", DOCUMENT_ID, Privilege.READ, True)
+        log.record_rejected("u", "Op", "//a", "full", "shed")
+        log.record_rejected("u", "Op", "//a", "late", "deadline")
+        log.record_rejected("u", "Op", "//a", "raced", "retry-exhausted")
+        assert len(log.rejections()) == 3
+        assert [r.event for r in log.rejections("deadline")] == ["deadline"]
+        assert len(log.denials()) == 3  # rejections count as denied
+
+    def test_rejection_str_format(self):
+        log = AuditLog()
+        entry = log.record_rejected("u", "query", "", "budget spent", "deadline")
+        text = str(entry)
+        assert "REJECT[deadline]" in text
+        assert "budget spent" in text
+
+    def test_every_rejection_event_is_accepted(self):
+        from repro.security.audit import REJECTION_EVENTS
+
+        log = AuditLog()
+        for event in REJECTION_EVENTS:
+            log.record_rejected("u", "Op", "//a", "r", event)
+        assert len(log.rejections()) == len(REJECTION_EVENTS)
+
+
+class TestServingRejectionsAreAudited:
+    """Shed, timed-out and retry-exhausted requests land in the
+    database's audit log (ISSUE 4 satellite)."""
+
+    def test_shed_request_is_audited(self, db):
+        from repro.errors import OverloadError
+        from repro.serving import DatabaseServer
+
+        server = DatabaseServer(db, max_in_flight=1, overload="shed")
+        server.admission.acquire()  # occupy the whole budget
+        try:
+            with pytest.raises(OverloadError):
+                server.query("laporte", "count(//*)")
+        finally:
+            server.admission.release()
+        records = db.audit.rejections("shed")
+        assert len(records) == 1
+        assert records[0].user == "laporte"
+        assert records[0].operation == "query"
+
+    def test_timed_out_request_is_audited(self, db):
+        from repro.errors import DeadlineExceeded
+        from repro.serving import DatabaseServer
+
+        server = DatabaseServer(db)
+        with pytest.raises(DeadlineExceeded):
+            server.execute(
+                "laporte",
+                UpdateContent("/patients/franck/diagnosis", "flu"),
+                deadline=0.0,
+            )
+        records = db.audit.rejections("deadline")
+        assert records
+        assert records[-1].user == "laporte"
+        assert records[-1].operation == "UpdateContent"
+
+    def test_retry_exhausted_request_is_audited(self, db, monkeypatch):
+        from repro.errors import ConcurrentUpdateError, RetryExhausted
+        from repro.serving import DatabaseServer, RetryPolicy
+
+        server = DatabaseServer(
+            db,
+            retry=RetryPolicy(max_attempts=2, base=0.0001, cap=0.0001),
+            sleep=lambda s: None,
+        )
+        session = server.session("laporte")
+        monkeypatch.setattr(
+            session,
+            "execute",
+            lambda *a, **k: (_ for _ in ()).throw(
+                ConcurrentUpdateError("raced")
+            ),
+        )
+        with pytest.raises(RetryExhausted):
+            server.execute(
+                "laporte", UpdateContent("/patients/franck/diagnosis", "flu")
+            )
+        records = db.audit.rejections("retry-exhausted")
+        assert len(records) == 1
+        assert records[0].user == "laporte"
+        assert "2 attempts" in records[0].reason

@@ -1,0 +1,33 @@
+"""Shared fixtures for the serving-layer suite: virtual time."""
+
+import pytest
+
+
+class ManualClock:
+    """A monotonic clock advanced by hand; doubles as a fake sleep.
+
+    Passing ``clock=clock`` and ``sleep=clock.sleep`` to a
+    :class:`~repro.serving.server.DatabaseServer` makes every deadline
+    and backoff decision a pure function of the test script -- no real
+    waiting, no flakiness.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    """A fresh manual clock per test."""
+    return ManualClock()

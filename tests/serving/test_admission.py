@@ -1,0 +1,161 @@
+"""Admission control and the write circuit breaker."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, DeadlineExceeded, OverloadError
+from repro.serving import AdmissionController, CircuitBreaker, Deadline
+
+
+class TestAdmissionController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="drop")
+
+    def test_unlimited_admits_everything(self):
+        admission = AdmissionController(None)
+        for _ in range(100):
+            admission.acquire()
+        assert admission.in_flight == 100
+        assert admission.stats["admitted"] == 100
+
+    def test_admits_up_to_the_limit(self):
+        admission = AdmissionController(2, policy="shed")
+        admission.acquire()
+        admission.acquire()
+        assert admission.in_flight == 2
+        assert admission.stats["peak_in_flight"] == 2
+
+    def test_shed_policy_fails_fast_when_full(self):
+        admission = AdmissionController(1, policy="shed")
+        admission.acquire()
+        with pytest.raises(OverloadError) as err:
+            admission.acquire()
+        assert err.value.limit == 1
+        assert err.value.in_flight == 1
+        assert admission.stats["shed"] == 1
+        # a released slot admits again
+        admission.release()
+        admission.acquire()
+
+    def test_block_policy_times_out_on_the_deadline(self, clock):
+        admission = AdmissionController(1, policy="block")
+        admission.acquire()
+        with pytest.raises(DeadlineExceeded):
+            admission.acquire(Deadline(0.0, clock=clock))
+        assert admission.stats["queued"] == 1
+        assert admission.stats["shed"] == 0
+
+    def test_block_policy_admits_after_release(self):
+        import threading
+
+        admission = AdmissionController(1, policy="block")
+        admission.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            admission.acquire(Deadline(5.0))
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert not admitted.wait(0.05)  # genuinely queued
+        admission.release()
+        assert admitted.wait(5.0)
+        thread.join(5.0)
+        assert admission.in_flight == 1
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(1).release()
+
+    def test_admitted_context_manager_releases_on_error(self):
+        admission = AdmissionController(1, policy="shed")
+        with pytest.raises(RuntimeError):
+            with admission.admitted():
+                raise RuntimeError("boom")
+        assert admission.in_flight == 0
+
+
+class TestCircuitBreaker:
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0, clock=clock)
+
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_trips_at_the_failure_threshold(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats["trips"] == 1
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.allow()
+        assert err.value.failures == 3
+        assert err.value.retry_after > 0.0
+        assert breaker.stats["rejections"] == 1
+
+    def test_success_resets_the_failure_run(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # the run was broken
+
+    def test_half_opens_after_the_reset_timeout(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert breaker.state == "open"
+        clock.advance(0.1)
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # second caller refused until the probe lands
+
+    def test_successful_probe_closes(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+        breaker.allow()  # no probe bottleneck once closed
+
+    def test_failed_probe_reopens_for_another_round(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=1.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_failure()  # one failure re-opens a half-open circuit
+        assert breaker.state == "open"
+        assert breaker.stats["trips"] == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == "half-open"

@@ -1,0 +1,90 @@
+"""Deadlines and the decorrelated-jitter backoff schedule."""
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.serving import Deadline, RetryPolicy
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self, clock):
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired
+        assert deadline.remaining() == float("inf")
+        assert deadline.timeout() is None
+        deadline.check("anything")  # must not raise
+
+    def test_expires_on_the_clock(self, clock):
+        deadline = Deadline(0.5, clock=clock)
+        assert not deadline.expired
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.1)
+        clock.advance(0.1)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_never_negative(self, clock):
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.timeout() == 0.0
+
+    def test_check_raises_with_phase_and_budget(self, clock):
+        deadline = Deadline(0.25, clock=clock)
+        clock.advance(0.3)
+        with pytest.raises(DeadlineExceeded) as err:
+            deadline.check("script operation 3")
+        assert "script operation 3" in str(err.value)
+        assert "0.25" in str(err.value)
+        assert err.value.budget == 0.25
+
+    def test_zero_budget_is_born_expired(self, clock):
+        deadline = Deadline(0.0, clock=clock)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base=0.5, cap=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.9)
+
+    def test_first_delay_is_the_base(self):
+        policy = RetryPolicy(base=0.002, cap=0.25)
+        assert policy.next_delay(0.0, random.Random(1)) == 0.002
+
+    def test_delays_stay_within_base_and_cap(self):
+        policy = RetryPolicy(base=0.002, cap=0.25, multiplier=3.0)
+        rng = random.Random(42)
+        delay = 0.0
+        for _ in range(200):
+            delay = policy.next_delay(delay, rng)
+            assert policy.base <= delay <= policy.cap
+
+    def test_jitter_decorrelates_colliding_writers(self):
+        # Two writers failing in lockstep must not back off in lockstep.
+        policy = RetryPolicy()
+        a = list(policy.delays(random.Random(1)))
+        b = list(policy.delays(random.Random(2)))
+        assert a != b
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy()
+        assert list(policy.delays(random.Random(7))) == list(
+            policy.delays(random.Random(7))
+        )
+
+    def test_schedule_length_is_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert len(list(policy.delays(random.Random(0)))) == 4
+        assert list(RetryPolicy(max_attempts=1).delays(random.Random(0))) == []

@@ -1,0 +1,115 @@
+"""The reader-writer lock: sharing, exclusion, writer preference."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import RWLock
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return predicate()
+
+
+class TestSharing:
+    def test_readers_share(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        assert lock.acquire_read(timeout=0.0)  # a reader never waits for one
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        assert lock.acquire_write()
+        assert not lock.acquire_read(timeout=0.01)
+        lock.release_write()
+        assert lock.acquire_read(timeout=0.01)
+
+    def test_reader_excludes_writer(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        assert not lock.acquire_write(timeout=0.01)
+        lock.release_read()
+        assert lock.acquire_write(timeout=0.01)
+
+    def test_writers_exclude_each_other(self):
+        lock = RWLock()
+        assert lock.acquire_write()
+        assert not lock.acquire_write(timeout=0.01)
+        lock.release_write()
+
+
+class TestWriterPreference:
+    def test_new_readers_queue_behind_a_waiting_writer(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            assert lock.acquire_write(timeout=5.0)
+            got_write.set()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        assert _wait_until(lambda: lock._writers_waiting == 1)
+        # The writer is queued: a new reader must not jump it.
+        assert not lock.acquire_read(timeout=0.02)
+        lock.release_read()
+        assert got_write.wait(5.0)
+        lock.release_write()
+        thread.join(5.0)
+        assert lock.acquire_read(timeout=1.0)
+
+    def test_writer_timeout_withdraws_the_claim(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        # The writer gives up; its queued claim must not keep blocking
+        # readers afterwards.
+        assert not lock.acquire_write(timeout=0.01)
+        assert lock.acquire_read(timeout=0.5)
+        lock.release_read()
+        lock.release_read()
+
+
+class TestErrorsAndContextManagers:
+    def test_release_without_acquire(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers_report_acquisition(self):
+        lock = RWLock()
+        with lock.read_locked() as ok:
+            assert ok
+        with lock.write_locked() as ok:
+            assert ok
+            with lock.read_locked(timeout=0.01) as nested:
+                assert not nested  # timed out; block ran without the lock
+        # everything was released on exit
+        with lock.write_locked(timeout=0.5) as ok:
+            assert ok
+
+    def test_concurrent_reader_count(self):
+        lock = RWLock()
+        inside = threading.Barrier(4, timeout=5.0)
+
+        def reader():
+            with lock.read_locked() as ok:
+                assert ok
+                inside.wait()  # all 4 readers in the region at once
+
+        threads = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert not any(t.is_alive() for t in threads)

@@ -80,3 +80,46 @@ def test_version_string():
     assert repro.__version__
     parts = repro.__version__.split(".")
     assert len(parts) == 3
+
+
+class TestServingErrorTaxonomy:
+    """The serving-layer errors are first-class citizens of the public
+    surface: importable from ``repro``, parented under ``ReproError``,
+    and named in the taxonomy docstring (ISSUE 4 satellite)."""
+
+    SERVING_ERRORS = (
+        "ServingError",
+        "OverloadError",
+        "DeadlineExceeded",
+        "CircuitOpenError",
+        "RetryExhausted",
+    )
+
+    @pytest.mark.parametrize("name", SERVING_ERRORS)
+    def test_exported_at_top_level(self, name):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+    @pytest.mark.parametrize("name", SERVING_ERRORS)
+    def test_parented_under_repro_error(self, name):
+        from repro.errors import ReproError
+
+        cls = getattr(repro, name)
+        assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize("name", SERVING_ERRORS)
+    def test_named_in_the_taxonomy_docstring(self, name):
+        import repro.errors
+
+        assert name in repro.errors.__doc__
+
+    def test_subtypes_descend_from_serving_error(self):
+        for name in ("OverloadError", "DeadlineExceeded",
+                     "CircuitOpenError", "RetryExhausted"):
+            assert issubclass(getattr(repro, name), repro.ServingError)
+
+    def test_serving_components_exported(self):
+        for name in ("DatabaseServer", "AdmissionController",
+                     "CircuitBreaker", "Deadline", "RetryPolicy", "RWLock"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

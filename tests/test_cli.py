@@ -205,3 +205,32 @@ class TestCrashSafeSaves:
     def test_backup_is_loadable(self, seeded):
         run("add-role", seeded, "nurse")
         assert load_from_file(seeded + ".bak").document.root is not None
+
+
+class TestStress:
+    def test_stress_reports_serving_stats(self, seeded, capsys):
+        code = run(
+            "stress", seeded, "alice", APPEND_BOB,
+            "--writers", "2", "--readers", "2", "--rounds", "3",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "commits: 6" in out  # 2 writers x 3 rounds, none lost
+        assert "reads: 6" in out
+        assert "retry_exhausted: 0" in out
+        assert "req/s" in out
+
+    def test_stress_does_not_modify_the_file(self, seeded):
+        before = open(seeded, "rb").read()
+        assert run("stress", seeded, "alice", APPEND_BOB, "--rounds", "2") == 0
+        assert open(seeded, "rb").read() == before
+
+    def test_stress_shed_mode_counts_rejections(self, seeded, capsys):
+        code = run(
+            "stress", seeded, "alice", APPEND_BOB,
+            "--writers", "4", "--readers", "4", "--rounds", "4",
+            "--max-in-flight", "1", "--overload", "shed",
+        )
+        assert code == 0  # shed requests are governed, not failures
+        out = capsys.readouterr().out
+        assert "shed:" in out
