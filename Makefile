@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault chaos bench bench-json bench-smoke verify
+.PHONY: test fault chaos recovery bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -20,6 +20,14 @@ fault:
 chaos:
 	$(PYTEST) -x -q -m chaos
 
+# Crash-recovery lane: 200+ seeded crash schedules over the write-ahead
+# log (every wal-* kill-point armed at random), asserting that recovery
+# restores exactly the committed prefix -- version, document, policy
+# and every user's view -- plus hypothesis properties over arbitrary
+# torn tails.
+recovery:
+	$(PYTEST) -x -q -m recovery
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -28,10 +36,11 @@ bench-json:
 	$(PYTEST) -q benchmarks --benchmark-json=BENCH_3.json
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
-# incremental counters, loose speedup bar) and E21's counter-only
-# overload variants.  No timing saves.
+# incremental counters, loose speedup bar), E21's counter-only
+# overload variants, and E22's durability invariants.  No timing saves.
 bench-smoke:
 	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py \
-		benchmarks/test_e21_serving_under_load.py -k smoke
+		benchmarks/test_e21_serving_under_load.py \
+		benchmarks/test_e22_wal.py -k smoke
 
-verify: test fault chaos bench-smoke
+verify: test fault chaos recovery bench-smoke

@@ -25,12 +25,16 @@ from .errors import (
     ConcurrentUpdateError,
     DeadlineExceeded,
     OverloadError,
+    RecoveryError,
     ReproError,
     RetryExhausted,
     ServingError,
     StorageCorrupt,
     StorageError,
     UpdateAborted,
+    WalCorruptionError,
+    WalError,
+    WalWriteError,
 )
 from .serving import (
     AdmissionController,
@@ -78,6 +82,7 @@ from .xmltree import (
     text,
 )
 from .xpath import XPathEngine, XPathEvaluationError, XPathSyntaxError
+from .wal import RecoveryResult, WriteAheadLog, recover
 from .xupdate import (
     Append,
     InsertAfter,
@@ -119,6 +124,8 @@ __all__ = [
     "PolicyLintWarning",
     "Privilege",
     "RESTRICTED",
+    "RecoveryError",
+    "RecoveryResult",
     "Remove",
     "Rename",
     "RenumberingScheme",
@@ -142,6 +149,10 @@ __all__ = [
     "UpdateScript",
     "View",
     "ViewBuilder",
+    "WalCorruptionError",
+    "WalError",
+    "WalWriteError",
+    "WriteAheadLog",
     "XMLDocument",
     "XMLSyntaxError",
     "XPathEngine",
@@ -151,6 +162,7 @@ __all__ = [
     "element",
     "parse_xml",
     "parse_xupdate",
+    "recover",
     "render_tree",
     "serialize",
     "text",

@@ -187,7 +187,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
-    """Load a damaged database leniently and report what was dropped."""
+    """Recover the database: WAL replay when a log directory exists,
+    lenient snapshot load otherwise."""
+    wal_dir = args.wal if args.wal else args.database + ".wal"
+    if not args.no_wal and os.path.isdir(wal_dir) and os.listdir(wal_dir):
+        return _recover_from_wal(args, wal_dir)
     if not os.path.exists(args.database):
         raise CliError(f"no database file at {args.database!r}")
     report = LoadReport()
@@ -202,6 +206,84 @@ def cmd_recover(args: argparse.Namespace) -> int:
         _save(db, args.database)
         print(f"rewrote {args.database} with the recovered state")
     return 0 if report.clean else 4
+
+
+def _recover_from_wal(args: argparse.Namespace, wal_dir: str) -> int:
+    """Crash recovery: checkpoint + committed log prefix -> database.
+
+    With ``--write``, the torn tail is physically truncated (so the
+    log re-opens for appending) and the recovered state is saved to
+    the database file.
+    """
+    from .wal import recover as wal_recover
+
+    result = wal_recover(wal_dir, repair=args.write)
+    db = result.database
+    print(result.report)
+    if result.checkpoint is not None:
+        print(
+            f"checkpoint: {os.path.basename(result.checkpoint.path)} "
+            f"(lsn {result.checkpoint.lsn}, "
+            f"version {result.checkpoint.version})"
+        )
+    print(
+        f"replayed {result.replayed} commit record(s) up to "
+        f"lsn {result.last_lsn}; recovered version {result.version}"
+    )
+    print(
+        f"recovered: {len(db.document)} document nodes, "
+        f"{len(db.subjects.roles)} roles, {len(db.subjects.users)} users, "
+        f"{len(db.policy)} rules"
+    )
+    if args.write:
+        _save(db, args.database)
+        print(f"rewrote {args.database} with the recovered state")
+    return 0 if result.report.clean else 4
+
+
+def cmd_wal_inspect(args: argparse.Namespace) -> int:
+    """Scan a write-ahead-log directory and print what it holds."""
+    from .wal import list_checkpoints, scan_directory
+
+    if not os.path.isdir(args.directory):
+        raise CliError(f"no log directory at {args.directory!r}")
+    scan = scan_directory(args.directory)
+    for path in scan.segments:
+        in_segment = [r for r in scan.records if r.segment == path]
+        first = in_segment[0].lsn if in_segment else "-"
+        last = in_segment[-1].lsn if in_segment else "-"
+        print(
+            f"segment {os.path.basename(path)}: {len(in_segment)} "
+            f"record(s) (lsn {first}..{last}), "
+            f"{os.path.getsize(path)} bytes"
+        )
+    for checkpoint in list_checkpoints(args.directory):
+        print(
+            f"checkpoint {os.path.basename(checkpoint.path)}: "
+            f"lsn {checkpoint.lsn}, version {checkpoint.version}"
+        )
+    kinds: dict = {}
+    for record in scan.records:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "none"
+    print(f"{len(scan.records)} usable record(s) "
+          f"(last lsn {scan.last_lsn}): {summary}")
+    if args.records:
+        for record in scan.records:
+            extra = ""
+            if "version" in record.payload:
+                extra = f" version={record.payload['version']}"
+            if "user" in record.payload:
+                extra += f" user={record.payload['user']}"
+            if "op" in record.payload:
+                extra += f" op={record.payload['op']}"
+            print(f"  lsn {record.lsn}: {record.kind}{extra} "
+                  f"({record.length} bytes)")
+    if scan.torn is not None:
+        print(f"TORN: {scan.torn}")
+        return 4
+    print("log is clean")
+    return 0
 
 
 def cmd_stress(args: argparse.Namespace) -> int:
@@ -358,12 +440,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_lint)
 
     p = sub.add_parser("recover",
-                       help="leniently load a damaged database, reporting "
-                            "dropped entries (exit 4 when any were dropped)")
+                       help="recover the database -- WAL replay when a log "
+                            "directory exists, lenient snapshot load "
+                            "otherwise (exit 4 when anything was dropped)")
     p.add_argument("database")
+    p.add_argument("--wal", metavar="DIR",
+                   help="write-ahead-log directory "
+                        "(default: DATABASE + '.wal')")
+    p.add_argument("--no-wal", action="store_true",
+                   help="ignore any log directory; lenient snapshot "
+                        "load only")
     p.add_argument("--write", action="store_true",
-                   help="rewrite the file with the recovered state")
+                   help="rewrite the file with the recovered state (and "
+                        "truncate the log's torn tail)")
     p.set_defaults(handler=cmd_recover)
+
+    p = sub.add_parser("wal", help="write-ahead log maintenance")
+    wal_sub = p.add_subparsers(dest="wal_command", required=True)
+    p = wal_sub.add_parser("inspect",
+                           help="scan segments and checkpoints (exit 4 "
+                                "when the log has a torn tail)")
+    p.add_argument("directory")
+    p.add_argument("--records", action="store_true",
+                   help="list every usable record")
+    p.set_defaults(handler=cmd_wal_inspect)
 
     p = sub.add_parser("stress",
                        help="hammer the database through the concurrent "

@@ -21,6 +21,10 @@ The taxonomy::
     │   ├── DeadlineExceeded   (per-request deadline expired)
     │   ├── CircuitOpenError   (circuit breaker refusing writes)
     │   └── RetryExhausted     (backoff retries used up on commit races)
+    ├── WalError               (repro.wal: durability subsystem failures)
+    │   ├── WalWriteError      (an append/fsync failed; the log may be torn)
+    │   ├── WalCorruptionError (a segment holds a corrupt/torn record)
+    │   └── RecoveryError      (replay could not restore the logged state)
     ├── InjectedFault          (repro.testing.faults: simulated crash)
     ├── PolicyError            (repro.security.policy)
     ├── SubjectError           (repro.security.subjects)
@@ -48,6 +52,10 @@ __all__ = [
     "ConcurrentUpdateError",
     "StorageError",
     "StorageCorrupt",
+    "WalError",
+    "WalWriteError",
+    "WalCorruptionError",
+    "RecoveryError",
     "ServingError",
     "OverloadError",
     "DeadlineExceeded",
@@ -189,6 +197,39 @@ class RetryExhausted(ServingError):
         super().__init__(message)
         self.attempts = attempts
         self.last_error = last_error
+
+
+class WalError(ReproError):
+    """Root of the write-ahead-log durability failures
+    (:mod:`repro.wal`)."""
+
+
+class WalWriteError(WalError):
+    """An append (or its fsync) failed; the tail of the log may be torn.
+
+    After this error the in-memory writer refuses further appends (the
+    on-disk offset is no longer trustworthy); re-open the log -- which
+    truncates any torn tail -- or degrade to snapshot-only durability,
+    as :class:`repro.serving.DatabaseServer` does.
+    """
+
+
+class WalCorruptionError(WalError):
+    """A log segment holds a record that fails its length or CRC check.
+
+    Raised only by *strict* scans and recovery; the default lenient
+    recovery truncates the log at the first corrupt record (the
+    torn-tail rule) and reports it instead of raising.
+    """
+
+
+class RecoveryError(WalError):
+    """Crash recovery could not restore the logged state.
+
+    Raised when no loadable checkpoint snapshot exists, or when
+    replaying a committed record does not reproduce the version the
+    record was stamped with (the recovery invariant).
+    """
 
 
 class StorageError(ReproError, ValueError):

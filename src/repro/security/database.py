@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import logging
 import threading
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 from ..errors import ConcurrentUpdateError
 from ..xmltree.document import XMLDocument
@@ -29,9 +30,34 @@ from .session import Session
 from .subjects import SubjectError, SubjectHierarchy
 from .view import View, ViewBuilder
 
-__all__ = ["SecureXMLDatabase", "Transaction"]
+__all__ = ["CommitOrigin", "SecureXMLDatabase", "Transaction"]
 
 logger = logging.getLogger("repro.security.database")
+
+
+@dataclass(frozen=True)
+class CommitOrigin:
+    """What produced a commit -- the write-ahead log's provenance.
+
+    The paper makes ``dbnew`` a pure function of ``db`` and the update
+    script, so a commit whose origin carries the script can be logged
+    *logically* (the script text) and replayed through the real secure
+    executor path.  Commits with no origin (a direct
+    :meth:`SecureXMLDatabase.commit` of a document) are still durable --
+    the log falls back to a full state record.
+
+    Attributes:
+        kind: ``"update"`` (a session's access-controlled script) or
+            ``"admin"`` (an unsecured administrative script).
+        operation: the committed operation or script.
+        user: (update) the session's login name.
+        strict: (update) whether denied-operation semantics was strict.
+    """
+
+    kind: str
+    operation: Any = None
+    user: Optional[str] = None
+    strict: bool = False
 
 
 class Transaction:
@@ -75,7 +101,10 @@ class Transaction:
         return self._base_version
 
     def commit(
-        self, document: XMLDocument, changes: Optional[ChangeSet] = None
+        self,
+        document: XMLDocument,
+        changes: Optional[ChangeSet] = None,
+        origin: Optional[CommitOrigin] = None,
     ) -> None:
         """Install ``document`` as the new theory, atomically.
 
@@ -85,10 +114,15 @@ class Transaction:
                 permission and view caches for incremental maintenance;
                 None (or a conservative change-set) makes every cache
                 fall back to full re-derivation.
+            origin: provenance for the write-ahead log (the committed
+                script, when there is one); None logs a full state
+                record instead.
 
         Raises:
             ConcurrentUpdateError: another commit happened since this
                 transaction began; nothing is installed.
+            WalWriteError: the attached write-ahead log could not make
+                the commit durable; nothing is installed.
             RuntimeError: the transaction already ended.
         """
         if not self.active:
@@ -106,7 +140,7 @@ class Transaction:
                     f"database moved from version {self._base_version} to "
                     f"{self._database.version} since this transaction began"
                 )
-            self._database._install(document, changes)
+            self._database._install(document, changes, origin)
         self._state = "committed"
 
     def rollback(self) -> None:
@@ -178,6 +212,7 @@ class SecureXMLDatabase:
         self._version = 0
         self._commit_lock = threading.Lock()
         self._degraded_view_serves = 0
+        self._wal = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -335,17 +370,27 @@ class SecureXMLDatabase:
     # administration
     # ------------------------------------------------------------------
     def admin_update(
-        self, operation: "XUpdateOperation | UpdateScript"
+        self, operation: "XUpdateOperation | UpdateScript | str"
     ) -> UpdateResult:
         """Apply an update with *no* access control (the administrator /
         database-owner path, outside the paper's model).
 
         Transactional like :meth:`Session.execute`: a failing script
-        (:class:`~repro.errors.UpdateAborted`) commits nothing.
+        (:class:`~repro.errors.UpdateAborted`) commits nothing.  Like
+        ``execute``, accepts an operation, a script, or XUpdate XML
+        text.
         """
+        if isinstance(operation, str):
+            from ..xupdate.parser import parse_xupdate
+
+            operation = parse_xupdate(operation)
         with self.transaction() as txn:
             result = self._unsecured.apply(self._document, operation)
-            txn.commit(result.document, result.changes)
+            txn.commit(
+                result.document,
+                result.changes,
+                origin=CommitOrigin("admin", operation=operation),
+            )
         return result
 
     def transaction(self) -> Transaction:
@@ -363,7 +408,10 @@ class SecureXMLDatabase:
         self._install(document, changes)
 
     def _install(
-        self, document: XMLDocument, changes: Optional[ChangeSet] = None
+        self,
+        document: XMLDocument,
+        changes: Optional[ChangeSet] = None,
+        origin: Optional[CommitOrigin] = None,
     ) -> None:
         # The single point where the theory is replaced: document and
         # version move together, so cached views (keyed by version) and
@@ -372,12 +420,73 @@ class SecureXMLDatabase:
         # The change-set (possibly None = "unknown extent") is published
         # to the permission resolver and the view cache *after* the
         # swap, so their maintenance sees the installed generation.
+        if self._wal is not None:
+            # Write-ahead: the record must be durable *before* anyone
+            # can observe the new theory.  A failed append raises
+            # (WalWriteError) and nothing is installed -- the commit
+            # simply never happened.
+            self._wal.log_commit(
+                self._version + 1,
+                document,
+                self._subjects,
+                self._policy,
+                changes,
+                origin,
+            )
         old_document = self._document
         self._document = document
         self._version += 1
         self._resolver.note_commit(old_document, document, changes)
         if self._view_cache is not None:
             self._view_cache.note_commit(self._version, changes)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`repro.wal.WriteAheadLog`, or None."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Make every future commit write-ahead durable through ``wal``.
+
+        Commits append their record (script or state) before installing;
+        subject-hierarchy and policy mutations are captured through the
+        hierarchies' mutation listeners.  The caller is responsible for
+        the log starting in sync with the current state (normally by
+        checkpointing right after attach, or by attaching the log that
+        recovery just replayed).
+        """
+        if self._wal is not None:
+            raise ValueError("a write-ahead log is already attached")
+        wal.bind(self)
+        self._wal = wal
+
+    def detach_wal(self):
+        """Stop logging (snapshot-only durability); returns the old log.
+
+        Idempotent; used by the serving layer to degrade when the log
+        keeps failing, and by recovery while replaying (a replay must
+        not re-log itself).
+        """
+        wal, self._wal = self._wal, None
+        if wal is not None:
+            wal.unbind()
+        return wal
+
+    def restore_version(self, version: int) -> None:
+        """Set the version counter; recovery-only.
+
+        After loading a checkpoint snapshot the in-memory database is
+        at version 0 but *represents* the checkpointed version; replay
+        needs the counter to match so that each replayed record's
+        stamped version lines up (the recovery invariant).
+        """
+        if version < 0:
+            raise ValueError("version must be >= 0")
+        with self._commit_lock:
+            self._version = version
 
     # ------------------------------------------------------------------
     # policy hygiene

@@ -18,7 +18,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import ReproError
 from ..xpath.parser import parse_xpath
@@ -100,6 +108,27 @@ class Policy:
         self._subjects = subjects
         self._rules: List[SecurityRule] = []
         self._next_priority = itertools.count(1)
+        self._listeners: List[Callable[..., None]] = []
+
+    # ------------------------------------------------------------------
+    # mutation listeners (the write-ahead log's capture hook)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[..., None]) -> None:
+        """Call ``listener(op, *args)`` after every successful mutation:
+        ``("accept"|"deny", privilege, path, subject, priority)`` and
+        ``("revoke", priority)``.  Re-dispatching the events (with the
+        recorded explicit priorities) against a fresh policy reproduces
+        this one exactly."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[..., None]) -> None:
+        """Remove a listener added with :meth:`subscribe` (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, op: str, *args) -> None:
+        for listener in list(self._listeners):
+            listener(op, *args)
 
     # ------------------------------------------------------------------
     # administration verbs
@@ -144,6 +173,9 @@ class Policy:
             raise PolicyError(f"priority {priority} already used")
         rule = SecurityRule(effect, Privilege.parse(privilege), path, subject, priority)
         self._rules.append(rule)
+        self._notify(
+            effect, rule.privilege.value, rule.path, rule.subject, rule.priority
+        )
         return rule
 
     def _fresh_priority(self) -> int:
@@ -162,6 +194,7 @@ class Policy:
             self._rules.remove(rule)
         except ValueError:
             raise PolicyError(f"rule not in policy: {rule}") from None
+        self._notify("revoke", rule.priority)
 
     # ------------------------------------------------------------------
     # queries

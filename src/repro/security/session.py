@@ -228,9 +228,20 @@ class Session:
         if isinstance(operation, str):
             operation = parse_xupdate(operation)
         executor: SecureWriteExecutor = self._database.write_executor
+        from .database import CommitOrigin
+
         with self._database.transaction() as txn:
             result = executor.apply(
                 self.view(), operation, strict=strict, checkpoint=checkpoint
             )
-            txn.commit(result.document, result.changes)
+            txn.commit(
+                result.document,
+                result.changes,
+                origin=CommitOrigin(
+                    "update",
+                    operation=operation,
+                    user=self._user,
+                    strict=strict,
+                ),
+            )
         return result

@@ -13,7 +13,17 @@ rejected here because they are invariably configuration mistakes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..errors import ReproError
 
@@ -45,6 +55,29 @@ class SubjectHierarchy:
         self._users: Set[str] = set()
         self._parents: Dict[str, Set[str]] = {}
         self._closure: Optional[Dict[str, FrozenSet[str]]] = None
+        self._listeners: List[Callable[..., None]] = []
+
+    # ------------------------------------------------------------------
+    # mutation listeners (the write-ahead log's capture hook)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[..., None]) -> None:
+        """Call ``listener(op, *args)`` after every successful mutation.
+
+        Events are emitted in replay order -- ``("add_role", name)`` /
+        ``("add_user", name)`` before the ``("add_isa", subject,
+        parent)`` a ``member_of=`` shortcut implies -- so re-dispatching
+        them against a fresh hierarchy reproduces this one exactly.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[..., None]) -> None:
+        """Remove a listener added with :meth:`subscribe` (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, op: str, *args: str) -> None:
+        for listener in list(self._listeners):
+            listener(op, *args)
 
     # ------------------------------------------------------------------
     # construction
@@ -52,12 +85,14 @@ class SubjectHierarchy:
     def add_role(self, name: str, member_of: Optional[str] = None) -> None:
         """Declare a role, optionally directly under another subject."""
         self._add_subject(name, role=True)
+        self._notify("add_role", name)
         if member_of is not None:
             self.add_isa(name, member_of)
 
     def add_user(self, name: str, member_of: Optional[str] = None) -> None:
         """Declare a user, optionally directly under a role."""
         self._add_subject(name, role=False)
+        self._notify("add_user", name)
         if member_of is not None:
             self.add_isa(name, member_of)
 
@@ -89,6 +124,7 @@ class SubjectHierarchy:
             )
         self._parents[subject].add(parent)
         self._closure = None
+        self._notify("add_isa", subject, parent)
 
     # ------------------------------------------------------------------
     # queries

@@ -53,7 +53,9 @@ Example::
 
 from __future__ import annotations
 
+import contextlib
 import logging
+import os
 import random
 import threading
 import time
@@ -65,6 +67,7 @@ from ..errors import (
     OverloadError,
     RetryExhausted,
     UpdateAborted,
+    WalWriteError,
 )
 from ..security.database import SecureXMLDatabase
 from ..security.session import Session
@@ -95,6 +98,16 @@ class DatabaseServer:
             this server's clock.
         default_deadline: seconds applied to requests that pass no
             per-call deadline; None means unbounded.
+        wal: a :class:`repro.wal.WriteAheadLog` to attach to the
+            database (every commit becomes write-ahead durable); None
+            serves whatever durability the database already has.
+        wal_failure_threshold: consecutive
+            :class:`~repro.errors.WalWriteError` commits after which
+            the server *detaches* the failing log and keeps serving
+            with snapshot-only durability (counted as ``wal_degraded``
+            in :meth:`stats`) rather than refusing every write.
+        checkpoint_every: automatically :meth:`checkpoint` after this
+            many committed writes; None disables auto-checkpointing.
         clock: monotonic time source (injectable for tests).
         sleep: how to wait out a backoff delay (injectable for tests).
         rng: randomness source for jitter (seedable for tests).
@@ -109,11 +122,26 @@ class DatabaseServer:
         overload: str = "block",
         breaker: Optional[CircuitBreaker] = None,
         default_deadline: Optional[float] = None,
+        wal=None,
+        wal_failure_threshold: int = 3,
+        checkpoint_every: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
     ) -> None:
         self._database = database
+        if wal is not None:
+            database.attach_wal(wal)
+        if wal_failure_threshold < 1:
+            raise ValueError("wal_failure_threshold must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+        self._wal_failure_threshold = wal_failure_threshold
+        self._wal_consecutive_failures = 0
+        self._checkpoint_every = checkpoint_every
+        self._commits_since_checkpoint = 0
+        self._source_path: Optional[str] = None
+        self._backup_count = 1
         self._retry = retry if retry is not None else RetryPolicy()
         self._admission = AdmissionController(max_in_flight, overload)
         self._breaker = (
@@ -138,7 +166,86 @@ class DatabaseServer:
             "shed": 0,  # requests refused by admission control
             "deadline_exceeded": 0,  # requests that ran out of budget
             "retry_exhausted": 0,  # writes that gave up after max_attempts
+            "wal_errors": 0,  # commits refused by a failing write-ahead log
+            "wal_degraded": 0,  # times the failing log was detached
+            "checkpoints": 0,  # checkpoints taken (manual + automatic)
+            "checkpoint_failures": 0,  # auto-checkpoints that failed (logged)
         }
+
+    # ------------------------------------------------------------------
+    # opening from disk
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        durability: str = "always",
+        wal_dir: Optional[str] = None,
+        backup_count: int = 1,
+        scheme=None,
+        **server_options,
+    ) -> "DatabaseServer":
+        """Open a served database from disk, recovering if needed.
+
+        The durable unit on disk is the snapshot file at ``path`` (as
+        written by :func:`repro.storage.save_to_file`) plus the
+        write-ahead-log directory next to it (``path + ".wal"`` unless
+        overridden).  Opening:
+
+        1. If the log directory holds anything, crash recovery runs
+           first (:func:`repro.wal.recover` with ``repair=True``): the
+           torn tail a crash left is truncated and the committed prefix
+           replayed -- the log is authoritative over the possibly-stale
+           snapshot file.
+        2. Otherwise the snapshot file at ``path`` is loaded.
+        3. A fresh :class:`~repro.wal.WriteAheadLog` is attached with
+           the requested ``durability`` (an fsync policy spec:
+           ``"always"``, ``"batch(N,ms)"`` or ``"os"``), and an initial
+           checkpoint is cut if the directory has none -- so the log
+           alone can always rebuild the database.
+
+        :meth:`checkpoint` (and auto-checkpointing via
+        ``checkpoint_every``) then maintains both units: a WAL
+        checkpoint snapshot plus a fresh ``save_to_file`` of ``path``
+        with ``backup_count`` rolling backups.
+
+        Args:
+            path: the snapshot file (must exist unless the log
+                directory already holds a recoverable state).
+            durability: fsync policy for the attached log.
+            wal_dir: the log directory (default ``path + ".wal"``).
+            backup_count: rolling ``.bak`` generations kept by
+                checkpoints' ``save_to_file``.
+            scheme: numbering scheme for loaded documents.
+            **server_options: any :class:`DatabaseServer` constructor
+                option (``retry``, ``max_in_flight``,
+                ``checkpoint_every``, ...).
+
+        Raises:
+            StorageError: neither a loadable snapshot nor a
+                recoverable log exists.
+        """
+        from ..storage import load_from_file
+        from ..wal import WriteAheadLog, list_checkpoints, recover
+
+        wal_dir = wal_dir if wal_dir is not None else path + ".wal"
+        database = None
+        if os.path.isdir(wal_dir) and os.listdir(wal_dir):
+            result = recover(wal_dir, repair=True, scheme=scheme)
+            database = result.database
+            if not result.report.clean:
+                logger.warning("recovery of %s: %s", wal_dir, result.report)
+        if database is None:
+            database = load_from_file(path, scheme)
+        wal = WriteAheadLog(wal_dir, fsync=durability)
+        database.attach_wal(wal)
+        server = cls(database, **server_options)
+        server._source_path = path
+        server._backup_count = backup_count
+        if not list_checkpoints(wal_dir):
+            server._checkpoint_locked()
+        return server
 
     # ------------------------------------------------------------------
     # components
@@ -262,11 +369,13 @@ class DatabaseServer:
         session = self.session(user)
         self._admit(deadline, user, opname, oppath)
         try:
-            return self._execute_with_retry(
+            result = self._execute_with_retry(
                 session, operation, strict, deadline, opname, oppath
             )
         finally:
             self._admission.release()
+        self._maybe_auto_checkpoint()
+        return result
 
     def _execute_with_retry(
         self, session, operation, strict, deadline, opname, oppath
@@ -316,13 +425,31 @@ class DatabaseServer:
                 # neither breaker failures nor breaker successes.
                 self._count("writes")
                 raise
+            except WalWriteError as exc:
+                # The log refused to make the commit durable; nothing
+                # was installed.  Feed the breaker, and after enough
+                # consecutive refusals detach the log (snapshot-only
+                # durability beats refusing every write) and let the
+                # retry loop re-run this attempt without it.
+                self._breaker.record_failure()
+                self._count("wal_errors")
+                self._wal_consecutive_failures += 1
+                if (
+                    self._database.wal is None
+                    or self._wal_consecutive_failures
+                    < self._wal_failure_threshold
+                ):
+                    raise
+                self._degrade_wal(exc)
             except Exception:
                 self._breaker.record_failure()
                 raise
             else:
                 self._breaker.record_success()
+                self._wal_consecutive_failures = 0
                 self._count("writes")
                 self._count("commits")
+                self._commits_since_checkpoint += 1
                 return result
             finally:
                 self._lock.release_write()
@@ -350,6 +477,76 @@ class DatabaseServer:
             attempts=self._retry.max_attempts,
             last_error=last,
         ) from last
+
+    # ------------------------------------------------------------------
+    # durability maintenance
+    # ------------------------------------------------------------------
+    def _degrade_wal(self, error: WalWriteError) -> None:
+        """Detach (and close) the failing log; serving continues with
+        snapshot-only durability.  Called under the write lock."""
+        wal = self._database.detach_wal()
+        if wal is None:
+            return
+        with contextlib.suppress(Exception):
+            wal.close()
+        self._count("wal_degraded")
+        logger.error(
+            "write-ahead log failed %d consecutive commit(s), last: %s; "
+            "detached it -- durability degraded to snapshot-only",
+            self._wal_consecutive_failures, error,
+        )
+
+    def checkpoint(self, deadline: Optional[float] = None) -> None:
+        """Cut a durable checkpoint under the exclusive write lock.
+
+        Takes a WAL checkpoint snapshot (when a log is attached:
+        snapshot + segment rotation + retention pruning) and, when the
+        server was :meth:`open`-ed from a file, re-saves that file with
+        its rolling backups -- both durable units move forward
+        together.
+
+        Raises:
+            DeadlineExceeded: could not get the write lock in time.
+        """
+        deadline = self._deadline(deadline)
+        if not self._lock.acquire_write(deadline.timeout()):
+            raise self._deadline_error(
+                deadline, "<server>", "checkpoint", "write lock"
+            )
+        try:
+            self._checkpoint_locked()
+        finally:
+            self._lock.release_write()
+
+    def _checkpoint_locked(self) -> None:
+        from ..storage import save_to_file
+
+        wal = self._database.wal
+        if wal is not None:
+            wal.checkpoint(self._database)
+        if self._source_path is not None:
+            save_to_file(
+                self._database,
+                self._source_path,
+                backup_count=self._backup_count,
+            )
+        self._commits_since_checkpoint = 0
+        self._count("checkpoints")
+
+    def _maybe_auto_checkpoint(self) -> None:
+        if (
+            self._checkpoint_every is None
+            or self._commits_since_checkpoint < self._checkpoint_every
+        ):
+            return
+        try:
+            self.checkpoint()
+        except Exception:
+            # The write that triggered this already committed; a failed
+            # checkpoint only delays compaction, so it must not fail
+            # the request.  The next commit will retry.
+            self._count("checkpoint_failures")
+            logger.exception("automatic checkpoint failed; continuing")
 
     # ------------------------------------------------------------------
     # shared request plumbing
@@ -419,6 +616,12 @@ class DatabaseServer:
         )
         out.update({f"breaker_{k}": v for k, v in self._breaker.stats.items()})
         out["breaker_state"] = self._breaker.state
+        wal = self._database.wal
+        out["wal_attached"] = wal is not None
+        if wal is not None:
+            out.update({f"wal_{k}": v for k, v in wal.stats.items()})
+            out["wal_lsn"] = wal.lsn
+            out["wal_fsync_policy"] = str(wal.fsync_policy)
         out.update(self._database.stats())
         return out
 

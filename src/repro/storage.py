@@ -29,11 +29,14 @@ reloaded theory.
 from __future__ import annotations
 
 import contextlib
+import hashlib
+import logging
 import os
+import re
 import shutil
 import tempfile
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .errors import StorageCorrupt, StorageError
 from .security.collection import SecureCollection
@@ -55,6 +58,7 @@ __all__ = [
     "LoadProblem",
     "LoadReport",
     "dump_database",
+    "dump_state",
     "load_database",
     "save_to_file",
     "load_from_file",
@@ -66,6 +70,15 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = "1"
+
+logger = logging.getLogger("repro.storage")
+
+#: Integrity header: a processing instruction carrying the SHA-256 of
+#: the rest of the snapshot, written as the file's first line.  Old
+#: files without it still load (the check is skipped).
+_INTEGRITY_RE = re.compile(
+    r'^<\?repro-integrity sha256="([0-9a-f]{64})"\?>\n'
+)
 
 
 @dataclass(frozen=True)
@@ -117,41 +130,27 @@ class LoadReport:
 # ---------------------------------------------------------------------------
 # dumping
 # ---------------------------------------------------------------------------
-def dump_database(db: SecureXMLDatabase) -> str:
-    """Serialize a database (document + subjects + policy) to XML text."""
-    subjects = db.subjects
-    subject_fragments: List[Fragment] = []
-    for name in sorted(subjects.roles) + sorted(subjects.users):
-        isa = [
-            element("isa", parent)
-            for parent in sorted(subjects.direct_parents(name))
-        ]
-        tag = "role" if name in subjects.roles else "user"
-        subject_fragments.append(element(tag, *isa, attributes={"name": name}))
+def dump_state(
+    document: XMLDocument,
+    subjects: SubjectHierarchy,
+    policy: Policy,
+) -> str:
+    """Serialize a (document, subjects, policy) triple to ``<securedb>``
+    XML text, without the integrity header.
 
-    rule_fragments = [
-        element(
-            "rule",
-            attributes={
-                "effect": effect,
-                "privilege": privilege,
-                "subject": subject,
-                "priority": str(priority),
-                "path": path,
-            },
-        )
-        for effect, privilege, path, subject, priority in db.policy.facts()
-    ]
-
+    The components are taken separately so callers mid-commit (the
+    write-ahead log, which must describe a *new* document against the
+    current subjects and policy) need not assemble a throwaway
+    :class:`SecureXMLDatabase` first.
+    """
     doc_children: List[Fragment] = []
-    root = db.document.root
-    if root is not None:
-        doc_children.append(fragment_from_subtree(db.document, root))
+    if document.root is not None:
+        doc_children.append(fragment_from_subtree(document, document.root))
 
     bundle = element(
         "securedb",
-        element("subjects", *subject_fragments),
-        element("policy", *rule_fragments),
+        _subjects_fragment(subjects),
+        _policy_fragment(policy),
         element("document", *doc_children),
         attributes={"version": _FORMAT_VERSION},
     )
@@ -160,29 +159,72 @@ def dump_database(db: SecureXMLDatabase) -> str:
     return serialize(carrier, indent="  ")
 
 
-def backup_path(path: str) -> str:
-    """The rolling-backup sibling a successful save leaves behind."""
-    return path + ".bak"
+def dump_database(db: SecureXMLDatabase) -> str:
+    """Serialize a database (document + subjects + policy) to XML text.
+
+    The first line is an integrity header -- a processing instruction
+    carrying the SHA-256 of the body -- which
+    :func:`load_database` verifies: a strict load of a silently
+    corrupted snapshot fails with :class:`StorageCorrupt` instead of
+    loading garbage, and a lenient load reports the mismatch through
+    the :class:`LoadReport`.  Files without the header (older dumps,
+    hand-written fixtures) load with the check skipped.
+    """
+    body = dump_state(db.document, db.subjects, db.policy)
+    digest = hashlib.sha256(body.rstrip("\n").encode("utf-8")).hexdigest()
+    return f'<?repro-integrity sha256="{digest}"?>\n{body}'
 
 
-def save_to_file(db: SecureXMLDatabase, path: str, backup: bool = True) -> None:
+def _split_integrity(text: str) -> Tuple[Optional[str], str]:
+    """Split off the integrity header: (recorded digest or None, body)."""
+    match = _INTEGRITY_RE.match(text)
+    if match is None:
+        return None, text
+    return match.group(1), text[match.end():]
+
+
+def backup_path(path: str, index: int = 1) -> str:
+    """The ``index``-th rolling-backup sibling a save leaves behind.
+
+    Backup 1 (``path + '.bak'``) is the most recent pre-save content;
+    higher indices (``path + '.bak2'``, ...) are progressively older
+    generations kept when saving with ``backup_count > 1``.
+    """
+    if index < 1:
+        raise ValueError("backup index starts at 1")
+    return path + ".bak" if index == 1 else f"{path}.bak{index}"
+
+
+def save_to_file(
+    db: SecureXMLDatabase,
+    path: str,
+    backup: bool = True,
+    backup_count: int = 1,
+) -> None:
     """Write :func:`dump_database` output to a file, crash-safely.
 
     The payload goes to a temp file in the same directory, is fsynced,
     and is installed with an atomic rename -- at every instant ``path``
     holds either the complete previous database or the complete new one,
     never a torn write.  When ``backup`` is true and ``path`` already
-    exists, its previous content survives as :func:`backup_path`.
+    exists, its previous content survives as :func:`backup_path`;
+    ``backup_count`` keeps that many rolling generations (``.bak``,
+    ``.bak2``, ...), so a checkpoint rewriting the file repeatedly can
+    never clobber the only good backup.
 
     Kill-points consulted (see :mod:`repro.testing.faults`):
     ``mid-write`` after roughly half the payload is written,
     ``before-rename`` once the temp file is durable.
     """
     payload = dump_database(db) + "\n"
-    _write_atomically(payload, path, backup=backup)
+    _write_atomically(payload, path, backup=backup, backup_count=backup_count)
 
 
-def _write_atomically(payload: str, path: str, backup: bool) -> None:
+def _write_atomically(
+    payload: str, path: str, backup: bool, backup_count: int = 1
+) -> None:
+    if backup_count < 1:
+        raise ValueError("backup_count must be >= 1")
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, temp_path = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
@@ -197,7 +239,7 @@ def _write_atomically(payload: str, path: str, backup: bool) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         if backup and os.path.exists(path):
-            _refresh_backup(path)
+            _refresh_backup(path, backup_count)
         kill_point("before-rename", path=path)
         os.replace(temp_path, path)
         _fsync_directory(directory)
@@ -207,8 +249,17 @@ def _write_atomically(payload: str, path: str, backup: bool) -> None:
         raise
 
 
-def _refresh_backup(path: str) -> None:
-    """Point ``path + '.bak'`` at the current on-disk content."""
+def _refresh_backup(path: str, count: int = 1) -> None:
+    """Rotate the ``.bak`` generations and point the newest at ``path``.
+
+    With ``count`` N: ``.bak(N-1)`` moves to ``.bakN`` (dropping the
+    previous ``.bakN``), and so on down, then ``.bak`` is re-pointed at
+    the current on-disk content.
+    """
+    for index in range(count, 1, -1):
+        older = backup_path(path, index - 1)
+        if os.path.exists(older):
+            os.replace(older, backup_path(path, index))
     bak = backup_path(path)
     with contextlib.suppress(FileNotFoundError):
         os.unlink(bak)
@@ -219,15 +270,29 @@ def _refresh_backup(path: str) -> None:
 
 
 def _fsync_directory(directory: str) -> None:
-    """Make the rename itself durable (best effort off POSIX)."""
+    """Make the rename itself durable (best effort off POSIX).
+
+    Some platforms and filesystems refuse to fsync a directory handle
+    (``EINVAL`` on certain network/overlay mounts, no directory handles
+    at all elsewhere); durability of the rename then rests on the OS,
+    so the failure is *logged* -- never raised: a commit must not die
+    on a filesystem that already did all it can.
+    """
     try:
         dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:
+    except OSError as exc:
+        logger.warning(
+            "cannot open directory %s for fsync (%s); the last rename "
+            "is only as durable as the OS makes it", directory, exc
+        )
         return
     try:
         os.fsync(dir_fd)
-    except OSError:
-        pass
+    except OSError as exc:
+        logger.warning(
+            "directory fsync failed for %s (%s); degrading to "
+            "best-effort rename durability", directory, exc
+        )
     finally:
         os.close(dir_fd)
 
@@ -307,6 +372,25 @@ def load_database(
         report = LoadReport(source=source)
     else:
         report.source = source
+
+    recorded, text = _split_integrity(text)
+    if recorded is not None:
+        actual = hashlib.sha256(
+            text.rstrip("\n").encode("utf-8")
+        ).hexdigest()
+        if actual != recorded:
+            if not lenient:
+                raise StorageCorrupt(
+                    f"{source}: integrity check failed (header sha256 "
+                    f"{recorded[:12]}..., content {actual[:12]}...); the "
+                    f"file was modified or damaged after it was written; "
+                    f"restore from the .bak sibling if one exists"
+                )
+            report.add(
+                "file",
+                f"sha256 integrity mismatch (recorded {recorded[:12]}..., "
+                f"actual {actual[:12]}...); loaded what was readable",
+            )
 
     try:
         root = _parse_root(text, "securedb", source)

@@ -22,6 +22,20 @@ Named kill-points:
                    the atomic rename installs it
 =================  =====================================================
 
+Durability kill-points (ISSUE 5) -- the write-ahead log and checkpoint
+paths in :mod:`repro.wal`:
+
+===========================  ===========================================
+``wal-before-append``        before any byte of a WAL record is written
+                             (the commit is lost, the log is clean)
+``wal-mid-record``           after roughly half the record's payload is
+                             flushed (a genuinely torn tail on disk)
+``wal-before-fsync``         the record is fully written but not yet
+                             fsynced (durable-but-unacknowledged commit)
+``checkpoint-mid-snapshot``  after roughly half a checkpoint snapshot is
+                             written to its temp file
+===========================  ===========================================
+
 Example::
 
     from repro.testing.faults import inject, InjectedFault
@@ -81,7 +95,16 @@ __all__ = [
 ]
 
 #: Every kill-point the library consults, in execution order.
-KILL_POINTS = ("before-op", "after-op", "mid-write", "before-rename")
+KILL_POINTS = (
+    "before-op",
+    "after-op",
+    "mid-write",
+    "before-rename",
+    "wal-before-append",
+    "wal-mid-record",
+    "wal-before-fsync",
+    "checkpoint-mid-snapshot",
+)
 
 
 class InjectedFault(ReproError):

@@ -1,0 +1,58 @@
+"""Durability: write-ahead logging, checkpointing, crash recovery.
+
+The paper's update semantics makes the post-update theory ``dbnew`` a
+deterministic function of ``db`` and the committed XUpdate script
+(formulae (2)-(9)), so this subsystem logs commits *logically*: one
+checksummed record carrying the script (or, for commits with no XUpdate
+spelling, the full state), appended and optionally fsynced before the
+new document is installed.  Recovery loads the newest checkpoint
+snapshot, truncates the torn tail a crash left (reported, never
+replayed), and replays the committed prefix through the real secure
+executor path -- so the recovered database matches a from-scratch build
+of the same commits: document, version, policy, and every user's
+authorized view.
+
+Typical lifecycle::
+
+    from repro.wal import WriteAheadLog, recover
+
+    wal = WriteAheadLog("db.wal", fsync="always")
+    db.attach_wal(wal)
+    wal.checkpoint(db)            # cover the pre-attach state
+    ...                           # commits are now write-ahead durable
+
+    # after a crash:
+    result = recover("db.wal", repair=True)
+    db = result.database
+    db.attach_wal(WriteAheadLog("db.wal"))
+
+See DESIGN.md section 10 for the record format, the fsync policies and
+the torn-tail rule.
+"""
+
+from .log import (
+    Checkpoint,
+    FsyncPolicy,
+    ScanResult,
+    TornTail,
+    WalRecord,
+    WriteAheadLog,
+    list_checkpoints,
+    scan_directory,
+    scan_segment,
+)
+from .recover import RecoveryResult, recover
+
+__all__ = [
+    "Checkpoint",
+    "FsyncPolicy",
+    "RecoveryResult",
+    "ScanResult",
+    "TornTail",
+    "WalRecord",
+    "WriteAheadLog",
+    "list_checkpoints",
+    "recover",
+    "scan_directory",
+    "scan_segment",
+]

@@ -1,0 +1,807 @@
+"""The write-ahead log: durable, replayable commit records.
+
+The paper's update semantics makes ``dbnew`` a deterministic function
+of ``db`` and the committed XUpdate script (formulae (2)-(9)), so a
+commit is durable as soon as a *description* of it is -- there is no
+need to write page images.  One :class:`WriteAheadLog` owns a directory
+of segment files; the database's commit point appends one record per
+commit **before** installing the new document, and crash recovery
+(:mod:`repro.wal.recover`) replays the committed prefix through the
+real secure executor path.
+
+On-disk format
+--------------
+
+Each segment starts with the magic line ``REPROWAL1\\n`` and holds a
+sequence of length-prefixed, checksummed records::
+
+    [4 bytes big-endian payload length]
+    [4 bytes big-endian CRC-32 of the payload]
+    [payload: UTF-8 JSON object]
+
+Every payload carries a global, strictly increasing ``lsn`` and a
+``kind``:
+
+=================  ====================================================
+``update``         a session commit: post-commit ``version``, ``user``,
+                   the committed ``script`` (XUpdate XML), ``strict``
+``admin``          an unsecured administrative commit: ``version``,
+                   ``script``
+``state``          fallback for commits with no XUpdate spelling: the
+                   full post-commit snapshot (``data``)
+``subjects``       a subject-hierarchy mutation: ``op`` + ``args``
+``policy``         a policy mutation: ``op`` + ``args``
+``checkpoint``     a snapshot boundary: ``version`` + snapshot filename
+=================  ====================================================
+
+Torn-tail rule: a record whose length prefix overruns the file, whose
+CRC does not match, or whose ``lsn`` breaks the sequence marks the end
+of the usable log; everything from its first byte on is an artifact of
+the crash and is truncated (never replayed).
+
+Fsync policy: ``"always"`` fsyncs every append (a commit acknowledged
+is a commit recovered); ``"batch(N,ms)"`` fsyncs after N pending
+appends or ms milliseconds, whichever comes first (bounded loss window,
+much cheaper); ``"os"`` never fsyncs (the OS page cache decides --
+segment rotations and checkpoints still fsync).
+
+Kill-points consulted (:mod:`repro.testing.faults`):
+``wal-before-append`` before any byte of a record is written,
+``wal-mid-record`` after roughly half the payload (a torn record),
+``wal-before-fsync`` once the record is fully written but not yet
+durable, and ``checkpoint-mid-snapshot`` halfway through a checkpoint
+snapshot write.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import struct
+import tempfile
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import WalCorruptionError, WalWriteError
+from ..testing.faults import kill_point
+from ..xupdate.serializer import XUpdateSerializeError, dump_xupdate
+
+__all__ = [
+    "Checkpoint",
+    "FsyncPolicy",
+    "ScanResult",
+    "TornTail",
+    "WalRecord",
+    "WriteAheadLog",
+    "list_checkpoints",
+    "scan_directory",
+    "scan_segment",
+]
+
+MAGIC = b"REPROWAL1\n"
+_HEADER = struct.Struct(">II")
+_MAX_RECORD = 1 << 28  # 256 MiB: anything larger is a corrupt length
+_SEGMENT_RE = re.compile(r"^segment-(\d{10})\.wal$")
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{10})-(\d{10})\.xml$")
+_BATCH_RE = re.compile(r"^batch\((\d+),(\d+)\)$")
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When appended records are forced to stable storage.
+
+    Attributes:
+        kind: ``"always"``, ``"batch"`` or ``"os"``.
+        batch_records: (batch) fsync after this many pending appends.
+        batch_ms: (batch) ...or this many milliseconds, whichever first.
+    """
+
+    kind: str
+    batch_records: int = 1
+    batch_ms: float = 0.0
+
+    @classmethod
+    def parse(cls, spec: "str | FsyncPolicy") -> "FsyncPolicy":
+        """Parse ``"always"`` / ``"os"`` / ``"batch(N,ms)"``."""
+        if isinstance(spec, FsyncPolicy):
+            return spec
+        if spec in ("always", "os"):
+            return cls(spec)
+        match = _BATCH_RE.match(spec.replace(" ", ""))
+        if match:
+            records, ms = int(match.group(1)), float(match.group(2))
+            if records < 1:
+                raise ValueError("batch record count must be >= 1")
+            return cls("batch", records, ms)
+        raise ValueError(
+            f"unknown fsync policy {spec!r} "
+            f"(expected 'always', 'os' or 'batch(N,ms)')"
+        )
+
+    def __str__(self) -> str:
+        if self.kind == "batch":
+            return f"batch({self.batch_records},{self.batch_ms:g})"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    Attributes:
+        lsn: the record's log sequence number.
+        kind: record kind (see module docstring).
+        payload: the full decoded JSON object (``lsn``/``kind``
+            included).
+        segment: path of the segment file holding the record.
+        offset: byte offset of the record's header in the segment.
+        length: total on-disk size (header + payload).
+    """
+
+    lsn: int
+    kind: str
+    payload: Dict[str, Any]
+    segment: str
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """Where -- and why -- the usable log ends early.
+
+    Attributes:
+        segment: segment file holding the damage.
+        offset: byte offset of the first unusable byte.
+        reason: human-readable diagnosis (short read, CRC mismatch,
+            lsn discontinuity, ...).
+        dropped_bytes: bytes from ``offset`` to the end of that
+            segment.
+        dropped_segments: later segment files (unreachable once the
+            log is cut here).
+    """
+
+    segment: str
+    offset: int
+    reason: str
+    dropped_bytes: int
+    dropped_segments: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        extra = (
+            f" (+{len(self.dropped_segments)} later segment(s))"
+            if self.dropped_segments
+            else ""
+        )
+        return (
+            f"torn tail at {os.path.basename(self.segment)}:{self.offset}: "
+            f"{self.reason}; {self.dropped_bytes} byte(s) dropped{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One checkpoint snapshot on disk.
+
+    Attributes:
+        lsn: every record with a larger lsn post-dates the snapshot.
+        version: the database version the snapshot captures.
+        path: the snapshot file (a ``<securedb>`` dump with integrity
+            header).
+    """
+
+    lsn: int
+    version: int
+    path: str
+
+
+@dataclass
+class ScanResult:
+    """Everything a read-only pass over a log directory found.
+
+    Attributes:
+        records: the usable records, in lsn order.
+        torn: where the usable log ends early, or None when every
+            segment read cleanly to its end.
+        segments: segment file paths, in lsn order.
+    """
+
+    records: List[WalRecord] = field(default_factory=list)
+    torn: Optional[TornTail] = None
+    segments: List[str] = field(default_factory=list)
+
+    @property
+    def last_lsn(self) -> int:
+        """The last usable record's lsn (0 for an empty log)."""
+        return self.records[-1].lsn if self.records else 0
+
+
+# ---------------------------------------------------------------------------
+# read side
+# ---------------------------------------------------------------------------
+def scan_segment(
+    path: str, expect_lsn: Optional[int] = None
+) -> Tuple[List[WalRecord], Optional[TornTail]]:
+    """Decode one segment file; never raises on damage.
+
+    Args:
+        path: the segment file.
+        expect_lsn: lsn the first record must carry (None skips the
+            continuity check for the first record).
+
+    Returns:
+        ``(records, torn)``: the records readable in order, and the
+        torn-tail description if the segment did not end cleanly
+        (damage is *reported*, not raised -- strictness is the
+        caller's policy decision).
+    """
+    records: List[WalRecord] = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+
+    def torn_at(offset: int, reason: str) -> TornTail:
+        return TornTail(path, offset, reason, size - offset)
+
+    if not data.startswith(MAGIC):
+        return records, torn_at(0, "bad segment magic")
+    offset = len(MAGIC)
+    next_lsn = expect_lsn
+    while offset < size:
+        if size - offset < _HEADER.size:
+            return records, torn_at(
+                offset, f"short record header ({size - offset} byte(s))"
+            )
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD:
+            return records, torn_at(
+                offset, f"implausible record length {length}"
+            )
+        start = offset + _HEADER.size
+        if size - start < length:
+            return records, torn_at(
+                offset,
+                f"record payload truncated ({size - start} of {length} "
+                f"byte(s))",
+            )
+        payload_bytes = data[start:start + length]
+        if zlib.crc32(payload_bytes) & 0xFFFFFFFF != crc:
+            return records, torn_at(offset, "CRC mismatch")
+        try:
+            payload = json.loads(payload_bytes.decode("utf-8"))
+            lsn = int(payload["lsn"])
+            kind = str(payload["kind"])
+        except Exception as exc:
+            return records, torn_at(offset, f"undecodable payload ({exc})")
+        if next_lsn is not None and lsn != next_lsn:
+            return records, torn_at(
+                offset, f"lsn discontinuity (found {lsn}, expected {next_lsn})"
+            )
+        records.append(
+            WalRecord(lsn, kind, payload, path, offset, _HEADER.size + length)
+        )
+        next_lsn = lsn + 1
+        offset = start + length
+    return records, None
+
+
+def _segment_files(directory: str) -> List[Tuple[int, str]]:
+    """``(first_lsn, path)`` for every segment file, in lsn order."""
+    out: List[Tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            out.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(out)
+
+
+def scan_directory(directory: str) -> ScanResult:
+    """Read every record the log directory holds, in lsn order.
+
+    Applies the torn-tail rule across segments: the first unreadable
+    record ends the usable log, and any later segment files are
+    reported as dropped in the :class:`TornTail` rather than read.
+    """
+    result = ScanResult()
+    files = _segment_files(directory)
+    result.segments = [path for _lsn, path in files]
+    expect: Optional[int] = None
+    for index, (first_lsn, path) in enumerate(files):
+        if expect is not None and first_lsn != expect:
+            result.torn = TornTail(
+                path,
+                0,
+                f"segment starts at lsn {first_lsn}, expected {expect}",
+                os.path.getsize(path),
+                tuple(p for _l, p in files[index + 1:]),
+            )
+            return result
+        records, torn = scan_segment(path, expect_lsn=expect)
+        result.records.extend(records)
+        expect = records[-1].lsn + 1 if records else (expect or first_lsn)
+        if torn is not None:
+            later = tuple(p for _l, p in files[index + 1:])
+            result.torn = TornTail(
+                torn.segment,
+                torn.offset,
+                torn.reason,
+                torn.dropped_bytes,
+                later,
+            )
+            return result
+    return result
+
+
+def list_checkpoints(directory: str) -> List[Checkpoint]:
+    """Every checkpoint snapshot in the directory, oldest first."""
+    out: List[Checkpoint] = []
+    if not os.path.isdir(directory):
+        return out
+    for name in os.listdir(directory):
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            out.append(
+                Checkpoint(
+                    int(match.group(1)),
+                    int(match.group(2)),
+                    os.path.join(directory, name),
+                )
+            )
+    return sorted(out, key=lambda c: c.lsn)
+
+
+# ---------------------------------------------------------------------------
+# write side
+# ---------------------------------------------------------------------------
+class WriteAheadLog:
+    """An append-only, checksummed log of committed database changes.
+
+    Args:
+        directory: the log directory (created if missing).  Opening an
+            existing directory resumes after its last usable record; a
+            torn tail left by a crash is truncated first (and counted
+            in :attr:`stats` as ``torn_tail_repaired``).
+        fsync: durability policy -- ``"always"`` (default),
+            ``"batch(N,ms)"`` or ``"os"``; see :class:`FsyncPolicy`.
+        segment_bytes: rotate to a fresh segment file once the current
+            one grows past this size.
+        retain_checkpoints: how many checkpoint generations
+            :meth:`checkpoint` keeps; older snapshots and the segments
+            only they need are deleted.
+        clock: monotonic time source for the batch policy (injectable
+            for tests).
+
+    A log is bound to a database with
+    :meth:`SecureXMLDatabase.attach_wal`, after which every commit
+    appends its record *before* the new document is installed, and
+    subject/policy mutations are captured through the hierarchies'
+    mutation listeners.  All methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: "str | FsyncPolicy" = "always",
+        segment_bytes: int = 4 << 20,
+        retain_checkpoints: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if retain_checkpoints < 1:
+            raise ValueError("retain_checkpoints must be >= 1")
+        self._directory = os.path.abspath(directory)
+        self._policy = FsyncPolicy.parse(fsync)
+        self._segment_bytes = segment_bytes
+        self._retain = retain_checkpoints
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._handle = None
+        self._failed: Optional[str] = None
+        self._pending = 0
+        self._last_sync = clock()
+        self._bound_db = None
+        self._stats: Dict[str, int] = {
+            "appends": 0,
+            "fsyncs": 0,
+            "deferred_fsyncs": 0,
+            "rotations": 0,
+            "checkpoints": 0,
+            "state_fallbacks": 0,
+            "torn_tail_repaired": 0,
+        }
+        os.makedirs(self._directory, exist_ok=True)
+        self._open_tail()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _open_tail(self) -> None:
+        """Find the end of the usable log and position for appending."""
+        scan = scan_directory(self._directory)
+        self._lsn = scan.last_lsn
+        if scan.torn is not None:
+            if scan.torn.dropped_segments or scan.torn.offset == 0:
+                raise WalCorruptionError(
+                    f"{self._directory}: {scan.torn}; this is mid-log damage "
+                    f"-- run repro.wal.recover(..., repair=True) before "
+                    f"reopening the log for writing"
+                )
+            # A torn tail in the last segment is the normal signature of
+            # a crash mid-append: cut it off and continue after the
+            # committed prefix.
+            with open(scan.torn.segment, "r+b") as handle:
+                handle.truncate(scan.torn.offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._stats["torn_tail_repaired"] += 1
+        if scan.segments:
+            current = scan.segments[-1]
+            self._handle = open(current, "ab")
+            self._segment_path = current
+        else:
+            self._start_segment(1)
+
+    def _start_segment(self, first_lsn: int) -> None:
+        path = os.path.join(
+            self._directory, f"segment-{first_lsn:010d}.wal"
+        )
+        handle = open(path, "ab")
+        if handle.tell() == 0:
+            handle.write(MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = handle
+        self._segment_path = path
+        _fsync_directory(self._directory)
+
+    def close(self) -> None:
+        """Flush, fsync and close the current segment."""
+        with self._lock:
+            if self._handle is None:
+                return
+            with contextlib.suppress(OSError, ValueError):
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            with contextlib.suppress(OSError):
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        """The log directory."""
+        return self._directory
+
+    @property
+    def lsn(self) -> int:
+        """The last appended record's lsn (0 when the log is empty)."""
+        return self._lsn
+
+    @property
+    def fsync_policy(self) -> FsyncPolicy:
+        """The active durability policy."""
+        return self._policy
+
+    @property
+    def failed(self) -> Optional[str]:
+        """Why the log refuses appends, or None while healthy."""
+        return self._failed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters: appends, fsyncs, deferred_fsyncs, rotations,
+        checkpoints, state_fallbacks, torn_tail_repaired."""
+        with self._lock:
+            return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Append one record; returns its lsn.
+
+        The payload must be JSON-serializable; ``lsn`` is assigned
+        here.  Under fsync policy ``always`` the record is durable when
+        this returns; under ``batch``/``os`` it may still be in flight
+        (see :meth:`sync`).
+
+        Raises:
+            WalWriteError: the log previously failed (torn in-memory
+                state) or the filesystem refused the write/fsync;
+                nothing may be appended afterwards until the log is
+                re-opened.
+            InjectedFault: an armed ``wal-*`` kill-point fired
+                (crash simulation; the log behaves exactly as a real
+                crash at that instant would leave it).
+        """
+        with self._lock:
+            return self._append_locked(payload)
+
+    def _append_locked(self, payload: Dict[str, Any]) -> int:
+        if self._failed is not None:
+            raise WalWriteError(
+                f"write-ahead log at {self._directory} is failed "
+                f"({self._failed}); re-open it to resume after the "
+                f"committed prefix"
+            )
+        lsn = self._lsn + 1
+        kind = payload.get("kind", "?")
+        kill_point("wal-before-append", lsn=lsn, kind=kind)
+        record = dict(payload)
+        record["lsn"] = lsn
+        buf = json.dumps(
+            record, ensure_ascii=False, separators=(",", ":")
+        ).encode("utf-8")
+        header = _HEADER.pack(len(buf), zlib.crc32(buf) & 0xFFFFFFFF)
+        half = len(buf) // 2
+        handle = self._handle
+        if handle is None:
+            raise WalWriteError(f"log at {self._directory} is closed")
+        # From the first header byte to the last payload byte the
+        # on-disk tail is torn; only a completed write clears the mark.
+        self._failed = f"append of lsn {lsn} did not complete"
+        try:
+            handle.write(header)
+            handle.write(buf[:half])
+            handle.flush()
+            kill_point("wal-mid-record", lsn=lsn, kind=kind)
+            handle.write(buf[half:])
+            handle.flush()
+        except (OSError, ValueError) as exc:  # ValueError: closed handle
+            raise WalWriteError(
+                f"append of lsn {lsn} failed mid-record: {exc}"
+            ) from exc
+        self._failed = None
+        self._lsn = lsn
+        self._stats["appends"] += 1
+        self._pending += 1
+        kill_point("wal-before-fsync", lsn=lsn, kind=kind)
+        self._maybe_fsync()
+        if handle.tell() >= self._segment_bytes:
+            self._rotate_locked()
+        return lsn
+
+    def _maybe_fsync(self) -> None:
+        policy = self._policy
+        if policy.kind == "os":
+            return
+        if policy.kind == "batch":
+            due = (
+                self._pending >= policy.batch_records
+                or (self._clock() - self._last_sync) * 1000.0
+                >= policy.batch_ms
+            )
+            if not due:
+                self._stats["deferred_fsyncs"] += 1
+                return
+        self._fsync_now()
+
+    def _fsync_now(self) -> None:
+        try:
+            os.fsync(self._handle.fileno())
+        except (OSError, ValueError) as exc:  # ValueError: closed handle
+            # After a failed fsync the kernel may have dropped the dirty
+            # pages; the only safe stance is to stop trusting the tail.
+            self._failed = f"fsync failed: {exc}"
+            raise WalWriteError(
+                f"fsync of {self._segment_path} failed: {exc}"
+            ) from exc
+        self._pending = 0
+        self._last_sync = self._clock()
+        self._stats["fsyncs"] += 1
+
+    def sync(self) -> None:
+        """Force any pending appends to stable storage.
+
+        Raises:
+            WalWriteError: the fsync failed (the log is failed
+                afterwards).
+        """
+        with self._lock:
+            if self._handle is not None and self._pending:
+                self._handle.flush()
+                self._fsync_now()
+
+    def _rotate_locked(self) -> None:
+        self._handle.flush()
+        with contextlib.suppress(OSError):
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._pending = 0
+        self._start_segment(self._lsn + 1)
+        self._stats["rotations"] += 1
+
+    # ------------------------------------------------------------------
+    # the commit hook
+    # ------------------------------------------------------------------
+    def log_commit(
+        self,
+        version: int,
+        document,
+        subjects,
+        policy,
+        changes,
+        origin,
+    ) -> int:
+        """Append the record for one commit; called by the database's
+        commit point (under its commit lock) *before* the install.
+
+        A replayable origin (a session or admin script) is logged as
+        its XUpdate text, round-trip-verified; anything else -- a
+        direct ``commit()`` of a document, an operation with no XUpdate
+        spelling -- falls back to a full ``state`` snapshot record
+        (counted in :attr:`stats` as ``state_fallbacks``).
+
+        Raises:
+            WalWriteError: the record could not be made durable; the
+                caller must *not* install the commit.
+        """
+        payload = self._commit_payload(
+            version, document, subjects, policy, changes, origin
+        )
+        with self._lock:
+            return self._append_locked(payload)
+
+    def _commit_payload(
+        self, version, document, subjects, policy, changes, origin
+    ) -> Dict[str, Any]:
+        if origin is not None and origin.kind in ("update", "admin"):
+            try:
+                script = dump_xupdate(origin.operation)
+            except XUpdateSerializeError:
+                pass  # fall through to the state snapshot
+            else:
+                payload: Dict[str, Any] = {
+                    "kind": origin.kind,
+                    "version": version,
+                    "script": script,
+                }
+                if origin.kind == "update":
+                    payload["user"] = origin.user
+                    payload["strict"] = bool(origin.strict)
+                if changes is not None and not changes.conservative:
+                    payload["touched"] = len(changes.touched_roots())
+                return payload
+        from ..storage import dump_state
+
+        with self._lock:
+            self._stats["state_fallbacks"] += 1
+        return {
+            "kind": "state",
+            "version": version,
+            "data": dump_state(document, subjects, policy),
+        }
+
+    # ------------------------------------------------------------------
+    # binding to a database
+    # ------------------------------------------------------------------
+    def bind(self, database) -> None:
+        """Subscribe to the database's subject/policy mutation streams.
+
+        Called by :meth:`SecureXMLDatabase.attach_wal`; commits are
+        captured separately through :meth:`log_commit`.
+        """
+        if self._bound_db is not None:
+            raise ValueError("log already bound to a database")
+        self._bound_db = database
+        database.subjects.subscribe(self._on_subjects)
+        database.policy.subscribe(self._on_policy)
+
+    def unbind(self) -> None:
+        """Undo :meth:`bind` (idempotent)."""
+        database, self._bound_db = self._bound_db, None
+        if database is None:
+            return
+        database.subjects.unsubscribe(self._on_subjects)
+        database.policy.unsubscribe(self._on_policy)
+
+    def _on_subjects(self, op: str, *args) -> None:
+        self.append({"kind": "subjects", "op": op, "args": list(args)})
+
+    def _on_policy(self, op: str, *args) -> None:
+        self.append({"kind": "policy", "op": op, "args": list(args)})
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, database) -> str:
+        """Write a snapshot of ``database``, rotate, and prune.
+
+        The snapshot (a :func:`repro.storage.dump_database` file with
+        integrity header, named ``checkpoint-<lsn>-<version>.xml``)
+        bounds recovery work: replay starts from the newest loadable
+        snapshot.  After the snapshot the segment is rotated and
+        retention applied -- the newest ``retain_checkpoints``
+        snapshots survive, along with every segment needed to replay
+        from the *oldest* surviving one.
+
+        Takes the database's commit lock: the snapshot is a frozen
+        (version, document, subjects, policy) cut with no commit half
+        included.  Callers must not already hold that lock.
+
+        Returns:
+            The snapshot file path.
+        """
+        from ..storage import dump_database
+
+        with database._commit_lock:  # freeze the commit point
+            with self._lock:
+                self.sync()  # the log must cover everything pre-snapshot
+                lsn, version = self._lsn, database.version
+                payload = dump_database(database) + "\n"
+                path = os.path.join(
+                    self._directory,
+                    f"checkpoint-{lsn:010d}-{version:010d}.xml",
+                )
+                self._write_snapshot(payload, path)
+                self._rotate_locked()
+                self._append_locked(
+                    {
+                        "kind": "checkpoint",
+                        "version": version,
+                        "snapshot": os.path.basename(path),
+                    }
+                )
+                self.sync()
+                self._stats["checkpoints"] += 1
+                self._prune_locked()
+        return path
+
+    def _write_snapshot(self, payload: str, path: str) -> None:
+        fd, temp_path = tempfile.mkstemp(
+            dir=self._directory,
+            prefix=os.path.basename(path) + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                half = len(payload) // 2
+                handle.write(payload[:half])
+                handle.flush()
+                kill_point("checkpoint-mid-snapshot", path=path)
+                handle.write(payload[half:])
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+            _fsync_directory(self._directory)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_path)
+            raise
+
+    def _prune_locked(self) -> None:
+        checkpoints = list_checkpoints(self._directory)
+        for stale in checkpoints[:-self._retain]:
+            with contextlib.suppress(OSError):
+                os.unlink(stale.path)
+        kept = checkpoints[-self._retain:]
+        if not kept:
+            return
+        keep_from_lsn = kept[0].lsn
+        files = _segment_files(self._directory)
+        for index, (_first, path) in enumerate(files[:-1]):
+            next_first = files[index + 1][0]
+            if next_first <= keep_from_lsn + 1 and path != self._segment_path:
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Directory fsync, degrading to a logged best-effort (see
+    :func:`repro.storage._fsync_directory`, which this defers to)."""
+    from ..storage import _fsync_directory as fsync_dir
+
+    fsync_dir(directory)

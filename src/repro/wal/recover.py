@@ -1,0 +1,307 @@
+"""Crash recovery: checkpoint + committed log prefix -> the database.
+
+:func:`recover` restores the database a crash interrupted: it loads the
+newest loadable checkpoint snapshot, scans the segments, cuts off the
+torn tail (the artifact of the crash -- reported, never replayed), and
+replays the committed records in lsn order **through the real update
+machinery**: a logged session script re-executes via
+:meth:`Session.execute` (the secured path of axioms 18-25), an
+administrative script via :meth:`SecureXMLDatabase.admin_update`, and
+subject/policy events re-dispatch onto the live hierarchy.  Because the
+paper makes ``dbnew`` a deterministic function of ``db`` and the script
+(formulae (2)-(9)), the replayed database is *equal* -- document,
+version, policy, and every user's authorized view -- to one that
+applied the same committed prefix from scratch.
+
+The recovery invariant, checked record by record: replaying a commit
+record must land the database exactly on the version the record was
+stamped with.  A mismatch means the log and the snapshot disagree;
+strict mode raises :class:`~repro.errors.RecoveryError`, the default
+lenient mode stops at the last consistent point and reports through the
+:class:`~repro.storage.LoadReport`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import RecoveryError, WalCorruptionError
+from ..storage import LoadReport, load_database
+from ..xmltree.labels import NumberingScheme
+from ..xupdate.parser import parse_xupdate
+from .log import (
+    Checkpoint,
+    TornTail,
+    WalRecord,
+    list_checkpoints,
+    scan_directory,
+)
+
+__all__ = ["RecoveryResult", "recover"]
+
+
+@dataclass
+class RecoveryResult:
+    """What :func:`recover` rebuilt and how it got there.
+
+    Attributes:
+        database: the recovered database (no write-ahead log attached;
+            attach a re-opened one to resume durable operation).
+        checkpoint: the snapshot replay started from, or None when the
+            log bootstrapped from a full-state record instead.
+        replayed: commit records (``update`` / ``admin`` / ``state``)
+            actually replayed on top of the starting point.
+        last_lsn: lsn of the last record applied (0 when nothing was).
+        torn: the torn tail that ended the usable log, or None when
+            every segment read cleanly.
+        report: everything lenient recovery dropped or repaired
+            (checkpoints that failed to load, the torn tail, a replay
+            stop); ``report.clean`` means the log replayed fully.
+    """
+
+    database: object
+    checkpoint: Optional[Checkpoint] = None
+    replayed: int = 0
+    last_lsn: int = 0
+    torn: Optional[TornTail] = None
+    report: LoadReport = field(default_factory=LoadReport)
+
+    @property
+    def version(self) -> int:
+        """The recovered database's version."""
+        return self.database.version
+
+
+def recover(
+    directory: str,
+    *,
+    strict: bool = False,
+    repair: bool = False,
+    scheme: Optional[NumberingScheme] = None,
+) -> RecoveryResult:
+    """Rebuild the database from a write-ahead-log directory.
+
+    Args:
+        directory: the log directory (segments + checkpoint snapshots).
+        strict: raise instead of degrade -- a torn tail becomes
+            :class:`WalCorruptionError`, an unloadable newest
+            checkpoint or a replay divergence becomes
+            :class:`RecoveryError`.  The default lenient mode recovers
+            the longest consistent committed prefix and reports what it
+            dropped.
+        repair: physically truncate the torn tail (and delete
+            unreachable later segments) so the directory can be
+            re-opened for appending.  Lenient-mode only; the scan
+            itself never needs it.
+        scheme: numbering scheme for loaded documents (storage default
+            if omitted).
+
+    Returns:
+        A :class:`RecoveryResult`; its database has *no* log attached.
+
+    Raises:
+        RecoveryError: nothing recoverable in the directory (no
+            loadable checkpoint and no bootstrap ``state`` record), or
+            any degradation in strict mode.
+        WalCorruptionError: strict mode, torn or corrupt log.
+    """
+    result = RecoveryResult(database=None)
+    result.report.source = directory
+    if not os.path.isdir(directory):
+        raise RecoveryError(f"{directory} is not a directory")
+
+    scan = scan_directory(directory)
+    result.torn = scan.torn
+    if scan.torn is not None:
+        if strict:
+            raise WalCorruptionError(f"{directory}: {scan.torn}")
+        result.report.add("wal", str(scan.torn))
+
+    checkpoint, database = _load_starting_point(
+        directory, scan, scheme, strict, result.report
+    )
+    result.checkpoint = checkpoint
+    start_lsn = checkpoint.lsn if checkpoint is not None else 0
+
+    for record in scan.records:
+        if record.lsn <= start_lsn:
+            continue
+        # The recovery invariant, checked *before* applying: a replayed
+        # commit bumps the version by exactly one (a state record sets
+        # it outright), so a record whose stamp is not the successor of
+        # the current version disagrees with the log it sits in.  The
+        # divergent record is never applied -- lenient mode stops at the
+        # last consistent point, strict mode raises.
+        if record.kind in ("update", "admin") and database is not None:
+            stamped = int(record.payload["version"])
+            if stamped != database.version + 1:
+                message = (
+                    f"lsn {record.lsn} is stamped version {stamped}, but "
+                    f"the database stands at {database.version}"
+                )
+                if strict:
+                    raise RecoveryError(message)
+                result.report.add("wal", message + "; stopping here")
+                break
+        try:
+            database = _replay(database, record, scheme, strict)
+        except Exception as exc:
+            message = (
+                f"replay of lsn {record.lsn} ({record.kind}) failed: {exc}"
+            )
+            if strict:
+                raise RecoveryError(message) from exc
+            result.report.add("wal", message + "; stopping here")
+            break
+        if record.kind in ("update", "admin", "state"):
+            result.replayed += 1
+            stamped = int(record.payload["version"])
+            if database.version != stamped:
+                message = (
+                    f"replay of lsn {record.lsn} left the database at "
+                    f"version {database.version}, but the record is "
+                    f"stamped {stamped}"
+                )
+                if strict:
+                    raise RecoveryError(message)
+                result.report.add("wal", message + "; stopping here")
+                break
+        result.last_lsn = record.lsn
+
+    if database is None:
+        raise RecoveryError(
+            f"{directory} holds no loadable checkpoint and no bootstrap "
+            f"state record; nothing to recover"
+        )
+    if repair and scan.torn is not None:
+        _repair_tail(scan.torn)
+        result.report.add("wal", "torn tail physically truncated (repair)")
+    result.database = database
+    return result
+
+
+# ---------------------------------------------------------------------------
+# starting point
+# ---------------------------------------------------------------------------
+def _load_starting_point(directory, scan, scheme, strict, report):
+    """The newest loadable checkpoint, or None to bootstrap from a
+    ``state`` record."""
+    # Snapshot files are written to a temp name and atomically renamed,
+    # so every visible checkpoint is complete -- even one whose
+    # *checkpoint record* was torn off the log tail is a valid (indeed
+    # the best) starting point.
+    checkpoints = list_checkpoints(directory)
+    for index, checkpoint in enumerate(reversed(checkpoints)):
+        try:
+            with open(checkpoint.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            database = load_database(
+                text, scheme, mode="strict",
+                source=os.path.basename(checkpoint.path),
+            )
+        except Exception as exc:
+            message = (
+                f"checkpoint {os.path.basename(checkpoint.path)} failed to "
+                f"load: {exc}"
+            )
+            if strict and index == 0:
+                raise RecoveryError(message) from exc
+            report.add("checkpoint", message + "; trying an older one")
+            continue
+        database.restore_version(checkpoint.version)
+        return checkpoint, database
+    return None, None
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+def _replay(database, record: WalRecord, scheme, strict: bool):
+    """Apply one record; returns the (possibly replaced) database."""
+    kind, payload = record.kind, record.payload
+    if kind == "state":
+        rebuilt = load_database(
+            payload["data"], scheme, mode="strict",
+            source=f"wal lsn {record.lsn}",
+        )
+        rebuilt.restore_version(int(payload["version"]))
+        return rebuilt
+    if kind == "checkpoint":
+        # Informational: marks where a snapshot was cut.  The snapshot
+        # itself was already chosen (or rejected) as the starting point.
+        return database
+    if database is None:
+        raise RecoveryError(
+            f"lsn {record.lsn} ({kind}) needs a database to replay onto, "
+            f"but no checkpoint loaded and no state record preceded it"
+        )
+    if kind == "update":
+        session = database.login(payload["user"])
+        session.execute(
+            parse_xupdate(payload["script"]),
+            strict=bool(payload.get("strict", False)),
+        )
+        return database
+    if kind == "admin":
+        database.admin_update(parse_xupdate(payload["script"]))
+        return database
+    if kind == "subjects":
+        _apply_subjects(database.subjects, payload["op"], payload["args"])
+        return database
+    if kind == "policy":
+        _apply_policy(database.policy, payload["op"], payload["args"])
+        return database
+    raise RecoveryError(f"lsn {record.lsn}: unknown record kind {kind!r}")
+
+
+def _apply_subjects(subjects, op: str, args) -> None:
+    if op == "add_role":
+        subjects.add_role(args[0])
+    elif op == "add_user":
+        subjects.add_user(args[0])
+    elif op == "add_isa":
+        subjects.add_isa(args[0], args[1])
+    else:
+        raise RecoveryError(f"unknown subjects event {op!r}")
+
+
+def _apply_policy(policy, op: str, args) -> None:
+    if op == "accept":
+        privilege, path, subject, priority = args
+        policy.grant(privilege, path, subject, priority=int(priority))
+    elif op == "deny":
+        privilege, path, subject, priority = args
+        policy.deny(privilege, path, subject, priority=int(priority))
+    elif op == "revoke":
+        priority = int(args[0])
+        for rule in policy:
+            if rule.priority == priority:
+                policy.revoke(rule)
+                return
+        raise RecoveryError(
+            f"revoke event references unknown rule priority {priority}"
+        )
+    else:
+        raise RecoveryError(f"unknown policy event {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# repair
+# ---------------------------------------------------------------------------
+def _repair_tail(torn: TornTail) -> None:
+    """Make the damage physical truth: cut the torn segment and drop
+    the unreachable ones, so the directory re-opens for appending."""
+    if torn.offset == 0:
+        with contextlib.suppress(OSError):
+            os.unlink(torn.segment)
+    else:
+        with open(torn.segment, "r+b") as handle:
+            handle.truncate(torn.offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+    for path in torn.dropped_segments:
+        with contextlib.suppress(OSError):
+            os.unlink(path)

@@ -18,6 +18,7 @@ from .operations import (
     XUpdateOperation,
 )
 from .parser import XUpdateParseError, parse_xupdate
+from .serializer import XUpdateSerializeError, dump_xupdate
 
 __all__ = [
     "Append",
@@ -33,5 +34,7 @@ __all__ = [
     "XUpdateExecutor",
     "XUpdateOperation",
     "XUpdateParseError",
+    "XUpdateSerializeError",
+    "dump_xupdate",
     "parse_xupdate",
 ]

@@ -123,3 +123,42 @@ class TestServingErrorTaxonomy:
                      "CircuitBreaker", "Deadline", "RetryPolicy", "RWLock"):
             assert name in repro.__all__
             assert hasattr(repro, name)
+
+
+class TestDurabilityErrorTaxonomy:
+    """The durability errors and WAL entry points join the public
+    surface the same way (ISSUE 5 satellite)."""
+
+    WAL_ERRORS = (
+        "WalError",
+        "WalWriteError",
+        "WalCorruptionError",
+        "RecoveryError",
+    )
+
+    @pytest.mark.parametrize("name", WAL_ERRORS)
+    def test_exported_at_top_level(self, name):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+    @pytest.mark.parametrize("name", WAL_ERRORS)
+    def test_parented_under_repro_error(self, name):
+        from repro.errors import ReproError
+
+        cls = getattr(repro, name)
+        assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize("name", WAL_ERRORS)
+    def test_named_in_the_taxonomy_docstring(self, name):
+        import repro.errors
+
+        assert name in repro.errors.__doc__
+
+    def test_subtypes_descend_from_wal_error(self):
+        for name in ("WalWriteError", "WalCorruptionError"):
+            assert issubclass(getattr(repro, name), repro.WalError)
+
+    def test_wal_components_exported(self):
+        for name in ("WriteAheadLog", "RecoveryResult", "recover"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

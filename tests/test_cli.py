@@ -207,6 +207,77 @@ class TestCrashSafeSaves:
         assert load_from_file(seeded + ".bak").document.root is not None
 
 
+class TestWalCli:
+    @pytest.fixture
+    def walled(self, seeded):
+        """The seeded database plus a WAL directory holding one commit
+        that was never saved back to the snapshot file."""
+        from repro.wal import WriteAheadLog
+
+        db = load_from_file(seeded)
+        wal = WriteAheadLog(seeded + ".wal")
+        db.attach_wal(wal)
+        wal.checkpoint(db)
+        db.login("alice").execute(APPEND_BOB)
+        db.detach_wal().close()
+        return seeded
+
+    def tear(self, wal_dir):
+        last = sorted(
+            os.path.join(wal_dir, name)
+            for name in os.listdir(wal_dir)
+            if name.startswith("segment-")
+        )[-1]
+        with open(last, "r+b") as handle:
+            handle.truncate(os.path.getsize(last) - 3)
+
+    def test_inspect_clean_log(self, walled, capsys):
+        assert run("wal", "inspect", walled + ".wal") == 0
+        out = capsys.readouterr().out
+        assert "segment segment-0000000001.wal" in out
+        assert "checkpoint checkpoint-" in out
+        assert "update=1" in out
+        assert "log is clean" in out
+
+    def test_inspect_records_listing(self, walled, capsys):
+        assert run("wal", "inspect", walled + ".wal", "--records") == 0
+        out = capsys.readouterr().out
+        assert "update version=1 user=alice" in out
+
+    def test_inspect_torn_log_exits_four(self, walled, capsys):
+        self.tear(walled + ".wal")
+        assert run("wal", "inspect", walled + ".wal") == 4
+        assert "TORN" in capsys.readouterr().out
+
+    def test_inspect_missing_directory(self, tmp_path):
+        assert run("wal", "inspect", str(tmp_path / "nope.wal")) == 2
+
+    def test_recover_replays_the_log(self, walled, capsys):
+        assert run("recover", walled) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 commit record(s)" in out
+        assert "recovered version 1" in out
+
+    def test_recover_write_persists_the_replayed_state(self, walled, capsys):
+        assert run("recover", walled, "--write") == 0
+        capsys.readouterr()
+        # the WAL-only commit is now in the snapshot file
+        assert run("view", walled, "alice") == 0
+        assert "<bob/>" in capsys.readouterr().out
+
+    def test_recover_write_repairs_a_torn_tail(self, walled, capsys):
+        self.tear(walled + ".wal")
+        assert run("recover", walled, "--write") == 4  # torn: reported
+        capsys.readouterr()
+        assert run("wal", "inspect", walled + ".wal") == 0  # now clean
+
+    def test_recover_no_wal_uses_the_snapshot(self, walled, capsys):
+        assert run("recover", walled, "--no-wal") == 0
+        out = capsys.readouterr().out
+        assert "replayed" not in out
+        assert "loaded cleanly" in out
+
+
 class TestStress:
     def test_stress_reports_serving_stats(self, seeded, capsys):
         code = run(

@@ -1,0 +1,172 @@
+"""ISSUE 5 storage satellites: the snapshot integrity header, rolling
+backup generations, and the directory-fsync degradation."""
+
+import logging
+import os
+
+import pytest
+
+from repro.errors import StorageCorrupt
+from repro.security import Policy, SecureXMLDatabase, SubjectHierarchy
+from repro.storage import (
+    LoadReport,
+    _fsync_directory,
+    backup_path,
+    dump_database,
+    load_database,
+    load_from_file,
+    save_to_file,
+)
+from repro.xmltree import XMLDocument, element
+
+
+def tiny_database(marker: str = "seed") -> SecureXMLDatabase:
+    doc = XMLDocument()
+    root = doc.add_root("log")
+    element("entry", marker).attach(doc, root)
+    subjects = SubjectHierarchy()
+    subjects.add_user("alice")
+    policy = Policy(subjects)
+    policy.grant("read", "//*", "alice")
+    return SecureXMLDatabase(doc, subjects, policy)
+
+
+class TestIntegrityHeader:
+    def test_dump_carries_a_sha256_header(self):
+        text = dump_database(tiny_database())
+        first = text.splitlines()[0]
+        assert first.startswith('<?repro-integrity sha256="')
+        assert load_database(text).subjects.users == {"alice"}
+
+    def test_tampering_fails_a_strict_load(self):
+        text = dump_database(tiny_database())
+        tampered = text.replace("entry>seed<", "entry>SEED<")
+        with pytest.raises(StorageCorrupt) as info:
+            load_database(tampered)
+        assert "integrity" in str(info.value)
+        assert ".bak" in str(info.value)  # points at the escape hatch
+
+    def test_tampering_is_reported_not_fatal_in_lenient_mode(self):
+        text = dump_database(tiny_database())
+        tampered = text.replace("entry>seed<", "entry>SEED<")
+        report = LoadReport()
+        db = load_database(tampered, mode="lenient", report=report)
+        assert not report.clean
+        assert any("sha256" in str(p) for p in report.problems)
+        assert db.subjects.users == {"alice"}  # still loaded what it could
+
+    def test_headerless_files_still_load(self):
+        """Older dumps and hand-written fixtures carry no header; the
+        check is skipped, not failed."""
+        text = dump_database(tiny_database())
+        body = text.split("\n", 1)[1]
+        assert not body.startswith("<?repro-integrity")
+        assert load_database(body).subjects.users == {"alice"}
+
+    def test_saved_files_verify_on_load(self, tmp_path):
+        path = str(tmp_path / "db.xml")
+        save_to_file(tiny_database(), path)
+        assert load_from_file(path).subjects.users == {"alice"}
+        content = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(
+            content.replace("seed", "evil")
+        )
+        with pytest.raises(StorageCorrupt):
+            load_from_file(path)
+
+
+class TestRollingBackups:
+    def test_backup_path_spelling(self):
+        assert backup_path("db.xml") == "db.xml.bak"
+        assert backup_path("db.xml", 2) == "db.xml.bak2"
+        assert backup_path("db.xml", 3) == "db.xml.bak3"
+        with pytest.raises(ValueError):
+            backup_path("db.xml", 0)
+
+    def save_generations(self, path, markers, **kwargs):
+        for marker in markers:
+            save_to_file(tiny_database(marker), path, **kwargs)
+
+    def marker_in(self, path):
+        text = open(path, encoding="utf-8").read()
+        return text.split("<entry>")[1].split("</entry>")[0]
+
+    def test_default_keeps_one_backup(self, tmp_path):
+        path = str(tmp_path / "db.xml")
+        self.save_generations(path, ["v1", "v2", "v3"])
+        assert self.marker_in(path) == "v3"
+        assert self.marker_in(backup_path(path)) == "v2"
+        assert not os.path.exists(backup_path(path, 2))
+
+    def test_rolling_generations(self, tmp_path):
+        path = str(tmp_path / "db.xml")
+        self.save_generations(
+            path, ["v1", "v2", "v3", "v4"], backup_count=3
+        )
+        assert self.marker_in(path) == "v4"
+        assert self.marker_in(backup_path(path)) == "v3"
+        assert self.marker_in(backup_path(path, 2)) == "v2"
+        assert self.marker_in(backup_path(path, 3)) == "v1"
+        # one more save drops the oldest generation off the end
+        save_to_file(tiny_database("v5"), path, backup_count=3)
+        assert self.marker_in(backup_path(path, 3)) == "v2"
+        assert not os.path.exists(backup_path(path, 4))
+
+    def test_every_backup_generation_loads(self, tmp_path):
+        path = str(tmp_path / "db.xml")
+        self.save_generations(path, ["v1", "v2", "v3"], backup_count=2)
+        for candidate in (path, backup_path(path), backup_path(path, 2)):
+            assert load_from_file(candidate).subjects.users == {"alice"}
+
+    def test_backup_disabled(self, tmp_path):
+        path = str(tmp_path / "db.xml")
+        self.save_generations(path, ["v1", "v2"], backup=False)
+        assert not os.path.exists(backup_path(path))
+
+    def test_backup_count_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_to_file(
+                tiny_database(), str(tmp_path / "db.xml"), backup_count=0
+            )
+
+
+class TestDirectoryFsyncDegradation:
+    def test_unopenable_directory_logs_a_warning(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.storage"):
+            _fsync_directory("/no/such/directory/anywhere")
+        assert any(
+            "cannot open directory" in r.message for r in caplog.records
+        )
+
+    def test_fsync_refusal_logs_not_raises(self, tmp_path, caplog,
+                                           monkeypatch):
+        """EINVAL from a directory fsync (network/overlay mounts) must
+        degrade to a warning, never kill the commit."""
+        import repro.storage as storage
+
+        def refuse(fd):
+            raise OSError(22, "Invalid argument")
+
+        monkeypatch.setattr(storage.os, "fsync", refuse)
+        with caplog.at_level(logging.WARNING, logger="repro.storage"):
+            _fsync_directory(str(tmp_path))
+        assert any(
+            "directory fsync failed" in r.message for r in caplog.records
+        )
+
+    def test_save_survives_a_directory_fsync_refusal(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.storage as storage
+
+        real_fsync = os.fsync
+
+        def picky(fd):
+            if os.fstat(fd).st_mode & 0o040000:  # directories only
+                raise OSError(22, "Invalid argument")
+            real_fsync(fd)
+
+        monkeypatch.setattr(storage.os, "fsync", picky)
+        path = str(tmp_path / "db.xml")
+        save_to_file(tiny_database("ok"), path)
+        assert load_from_file(path).subjects.users == {"alice"}
