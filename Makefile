@@ -11,8 +11,10 @@ test:
 
 # Crash-safety lane: every named kill-point in the executor and the
 # storage layer is injected and the atomicity invariant asserted.
+# Differential mode is armed so every compiled XPath evaluation in the
+# lane is re-checked against the AST interpreter (xpath/compiler.py).
 fault:
-	$(PYTEST) -x -q -m fault
+	REPRO_XPATH_DIFFERENTIAL=1 $(PYTEST) -x -q -m fault
 
 # Concurrency chaos lane: 200+ seeded schedules through the serving
 # layer (plus real-thread soaks), asserting serial-equivalence of the
@@ -31,9 +33,13 @@ recovery:
 bench:
 	$(PYTEST) -q benchmarks
 
-# Machine-readable benchmark results for regression tracking.
+# Machine-readable benchmark results for regression tracking.  The
+# compiled-policy ablation (E23) gets its own file so the perf
+# trajectory across PRs accumulates per experiment.
 bench-json:
 	$(PYTEST) -q benchmarks --benchmark-json=BENCH_3.json
+	$(PYTEST) -q benchmarks/test_e23_compiled_policy.py \
+		--benchmark-json=BENCH_E23.json
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
 # incremental counters, loose speedup bar), E21's counter-only

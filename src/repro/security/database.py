@@ -26,6 +26,7 @@ from ..xupdate.operations import UpdateScript, XUpdateOperation
 from .audit import AuditLog
 from .perm import PermissionResolver, PermissionTable
 from .policy import Policy
+from .privileges import Privilege
 from .session import Session
 from .subjects import SubjectError, SubjectHierarchy
 from .view import View, ViewBuilder
@@ -205,7 +206,9 @@ class SecureXMLDatabase:
         self._unsecured = XUpdateExecutor(self._engine)
         from .write import SecureWriteExecutor
 
-        self._write_executor = SecureWriteExecutor(self._unsecured, self._audit)
+        self._write_executor = SecureWriteExecutor(
+            self._unsecured, self._audit, resolver=self._resolver
+        )
         from .viewcache import ViewCache
 
         self._view_cache = ViewCache() if shared_views else None
@@ -338,6 +341,25 @@ class SecureXMLDatabase:
         return self._resolver.resolve_cached(
             self._document, self._policy, user
         )
+
+    def check(self, user: str, privilege, nid) -> bool:
+        """Decide one ``perm(user, nid, privilege)`` fact.
+
+        The enforcement-mode ladder (DESIGN.md §11): when every
+        applicable rule for the privilege is automata-eligible the
+        answer comes from NFA membership over the node's label chain --
+        O(path length), zero rule-path evaluation, zero view
+        materialization.  Otherwise the resolved (cached) permission
+        table answers.  Both modes derive from axiom 14, so the answer
+        is identical; only the cost differs.
+        """
+        privilege = Privilege.parse(privilege)
+        decision = self._resolver.holds_static(
+            self._document, self._policy, user, nid, privilege
+        )
+        if decision is not None:
+            return decision
+        return self.permissions_for(user).holds(nid, privilege)
 
     def stats(self) -> dict:
         """Serving-layer counters: permission-cache and view-cache

@@ -140,13 +140,14 @@ class Session:
     def can(self, privilege: "str | Privilege", nid: NodeId) -> bool:
         """Does this user hold ``privilege`` on node ``nid``?
 
-        Resolved straight from the permission table (axiom 14): a
-        privilege probe never needs the pruned view document, so this
-        does not force a view materialization.
+        Answered through the database's enforcement ladder: NFA
+        membership over the node's label chain when every applicable
+        rule for the privilege is automata-eligible (O(path length),
+        no rule-path evaluation, no table, no view), the cached
+        permission table otherwise.  A privilege probe never forces a
+        view materialization either way.
         """
-        return self._database.permissions_for(self._user).holds(
-            nid, Privilege.parse(privilege)
-        )
+        return self._database.check(self._user, privilege, nid)
 
     def explain(
         self, privilege: "str | Privilege", path: str

@@ -1,0 +1,157 @@
+"""Static enforcement: per-node ``perm`` decisions without views.
+
+After Cheney's *Static Enforceability of XPath-Based Access Control
+Policies*: when every rule path applicable to a user (for one
+privilege) lies in the NFA-decidable fragment of
+:mod:`repro.xpath.skeleton` -- absolute location paths over
+child/descendant/descendant-or-self/self steps with name or
+text/comment/node kind tests and no predicates -- axiom 14 can be
+replayed *per node*: run each rule's chain automaton over the node's
+label chain, keep the latest match, and read the effect.  Cost is
+O(path length x rule count) in the node's depth, with **zero** view
+materialization, path evaluation over the document, or permission-table
+derivation.
+
+Eligibility is a per-(user, privilege) property, not per-policy: the
+privilege lanes that stay inside the fragment answer statically while
+the others fall back to the resolver, so one ``$USER`` rule on
+``delete`` does not take ``read`` checks off the fast path.
+
+Deciders are cached by the same content key the resolver's fingerprint
+uses -- the user's applicable-rule tuple -- so all users of a role share
+one decider, and policy mutations naturally key new deciders.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..xmltree.document import XMLDocument
+from ..xmltree.labels import NodeId
+from ..xpath.skeleton import PathSkeleton, analyze_path
+from .policy import ACCEPT, Policy, SecurityRule
+from .privileges import Privilege
+
+__all__ = ["StaticDecider", "automata_eligible", "decider_for"]
+
+
+@lru_cache(maxsize=4096)
+def _skeleton(path: str) -> Optional[PathSkeleton]:
+    return analyze_path(path)
+
+
+def automata_eligible(rule: SecurityRule) -> bool:
+    """Can this rule's path be decided per-node by the chain NFA?
+
+    True exactly when the skeleton analysis yields a *patchable*
+    skeleton: the path is an absolute location path inside the
+    child/descendant/descendant-or-self/self fragment with no
+    predicates.  ``$USER`` paths are never eligible (the paper-compat
+    ``[$var]`` reading is a predicate).
+    """
+    if "$" in rule.path:
+        return False
+    skeleton = _skeleton(rule.path)
+    return skeleton is not None and skeleton.patchable
+
+
+#: One privilege lane: the applicable rules (priority order) paired
+#: with their chain automata, or None when any rule is out of fragment.
+_Lane = Optional[Tuple[Tuple[SecurityRule, PathSkeleton], ...]]
+
+
+class StaticDecider:
+    """Axiom-14 replay compiled to chain automata for one rule tuple.
+
+    Args:
+        rules: the user's applicable rules in increasing priority order
+            (exactly :meth:`~repro.security.policy.Policy.applicable_rules`).
+        star_matches_text: the engine's paper-compat lone-``*`` flag;
+            the NFA must mirror the evaluator's configuration.
+    """
+
+    def __init__(
+        self, rules: Tuple[SecurityRule, ...], star_matches_text: bool
+    ) -> None:
+        self._star = star_matches_text
+        self._lanes: Dict[Privilege, _Lane] = {}
+        for privilege in Privilege:
+            lane = []
+            eligible = True
+            for rule in rules:
+                if rule.privilege is not privilege:
+                    continue
+                if not automata_eligible(rule):
+                    eligible = False
+                    break
+                lane.append((rule, _skeleton(rule.path)))
+            self._lanes[privilege] = tuple(lane) if eligible else None
+        # Per-document decision memo, pinned to a mutation stamp: write
+        # checks re-ask about the same parents/children repeatedly.
+        self._memo: "weakref.WeakKeyDictionary[XMLDocument, Tuple[int, Dict[Tuple[NodeId, Privilege], Tuple[bool, Optional[SecurityRule]]]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._lock = threading.Lock()
+
+    def eligible(self, privilege: Privilege) -> bool:
+        """Whether this privilege lane answers statically."""
+        return self._lanes.get(privilege) is not None
+
+    def eligibility(self) -> Dict[Privilege, bool]:
+        """Privilege -> statically decidable, for policy tagging."""
+        return {p: lane is not None for p, lane in self._lanes.items()}
+
+    def decide(
+        self, doc: XMLDocument, nid: NodeId, privilege: Privilege
+    ) -> Optional[Tuple[bool, Optional[SecurityRule]]]:
+        """Decide ``perm(user, nid, privilege)`` statically.
+
+        Returns ``(granted, winning_rule)`` -- ``(False, None)`` when no
+        rule addresses the node (closed world) -- or ``None`` when the
+        privilege lane is out of fragment and the caller must fall back
+        to the resolver.
+        """
+        lane = self._lanes.get(privilege)
+        if lane is None:
+            return None
+        with self._lock:
+            entry = self._memo.get(doc)
+            if entry is not None and entry[0] == doc.mutation_stamp:
+                cached = entry[1].get((nid, privilege))
+                if cached is not None:
+                    return cached
+            else:
+                entry = (doc.mutation_stamp, {})
+                self._memo[doc] = entry
+        winner: Optional[SecurityRule] = None
+        for rule, skeleton in lane:
+            # Priority order: the latest matching rule decides (axiom 14).
+            if skeleton.matches(doc, nid, self._star):
+                winner = rule
+        outcome = (
+            (False, None) if winner is None else (winner.effect == ACCEPT, winner)
+        )
+        with self._lock:
+            entry[1][(nid, privilege)] = outcome
+        return outcome
+
+
+@lru_cache(maxsize=512)
+def _decider(rules: Tuple[SecurityRule, ...], star_matches_text: bool) -> StaticDecider:
+    return StaticDecider(rules, star_matches_text)
+
+
+def decider_for(
+    policy: Policy, user: str, star_matches_text: bool
+) -> StaticDecider:
+    """The (shared) static decider for one user under one policy.
+
+    Keyed by the user's applicable-rule tuple -- the same content key as
+    the resolver's permission fingerprint -- so users with identical
+    rule sequences share a decider and its memo, and any policy
+    mutation keys a fresh one.
+    """
+    return _decider(policy.applicable_rules(user), star_matches_text)

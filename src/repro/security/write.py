@@ -121,12 +121,19 @@ class SecureWriteExecutor:
             primitives and the XPath engine; a default is built if
             omitted.
         audit: optional audit log receiving one record per decision.
+        resolver: optional
+            :class:`~repro.security.perm.PermissionResolver` whose
+            static NFA fast path (and stats counters) answer privilege
+            checks; without one the shared static deciders are used
+            directly.  Either way the table in ``view.permissions`` is
+            the fallback for out-of-fragment privilege lanes.
     """
 
     def __init__(
         self,
         executor: Optional[XUpdateExecutor] = None,
         audit: Optional[AuditLog] = None,
+        resolver=None,
     ) -> None:
         from ..xpath.engine import XPathEngine
 
@@ -138,10 +145,46 @@ class SecureWriteExecutor:
             )
         )
         self._audit = audit
+        self._resolver = resolver
 
     @property
     def executor(self) -> XUpdateExecutor:
         return self._executor
+
+    def _privilege_checker(
+        self, view: View
+    ) -> Callable[[NodeId, Privilege], bool]:
+        """The ``perm`` oracle for one operation: static NFA membership
+        on the source when the privilege lane is automata-eligible,
+        the view's resolved table otherwise (same axiom-14 answer)."""
+        source = view.source
+        if self._resolver is not None:
+            resolver = self._resolver
+
+            def check(nid: NodeId, privilege: Privilege) -> bool:
+                decision = resolver.holds_static(
+                    source, view.policy, view.user, nid, privilege
+                )
+                if decision is not None:
+                    return decision
+                return view.permissions.holds(nid, privilege)
+
+            return check
+        from .static import decider_for
+
+        decider = decider_for(
+            view.policy,
+            view.user,
+            getattr(self._executor.engine, "star_matches_text", False),
+        )
+
+        def check(nid: NodeId, privilege: Privilege) -> bool:
+            outcome = decider.decide(source, nid, privilege)
+            if outcome is None:
+                return view.permissions.holds(nid, privilege)
+            return outcome[0]
+
+        return check
 
     def apply(
         self,
@@ -248,12 +291,13 @@ class SecureWriteExecutor:
     def _apply_one(
         self, view: View, operation: XUpdateOperation
     ) -> SecureUpdateResult:
-        # Axioms 18-25: nodes to update are selected on the *view*.
-        selected = self._executor.engine.select(
-            view.doc, operation.path, variables={"USER": view.user}
+        # Axioms 18-25: nodes to update are selected on the *view*,
+        # through the engine's compiled-evaluator cache.
+        selected = self._executor.select_path(
+            view.doc, operation.path, {"USER": view.user}
         )
         new_doc = view.source.copy()
-        perms = view.permissions
+        holds = self._privilege_checker(view)
         affected: List[NodeId] = []
         denials: List[Denial] = []
         changes = ChangeSet()
@@ -281,7 +325,7 @@ class SecureWriteExecutor:
                 if not decide(
                     nid,
                     Privilege.UPDATE,
-                    perms.holds(nid, Privilege.UPDATE),
+                    holds(nid, Privilege.UPDATE),
                     "rename requires the update privilege",
                 ):
                     continue
@@ -303,12 +347,12 @@ class SecureWriteExecutor:
                     ok = decide(
                         child,
                         Privilege.UPDATE,
-                        perms.holds(child, Privilege.UPDATE),
+                        holds(child, Privilege.UPDATE),
                         "update requires the update privilege on the child",
                     ) and decide(
                         child,
                         Privilege.READ,
-                        perms.holds(child, Privilege.READ),
+                        holds(child, Privilege.READ),
                         "update requires the read privilege on the child",
                     )
                     if ok:
@@ -324,7 +368,7 @@ class SecureWriteExecutor:
                 if decide(
                     nid,
                     Privilege.INSERT,
-                    perms.holds(nid, Privilege.INSERT),
+                    holds(nid, Privilege.INSERT),
                     "append requires the insert privilege",
                 ):
                     root = operation.tree.attach(new_doc, nid)
@@ -355,7 +399,7 @@ class SecureWriteExecutor:
                 if decide(
                     parent,
                     Privilege.INSERT,
-                    perms.holds(parent, Privilege.INSERT),
+                    holds(parent, Privilege.INSERT),
                     "sibling insertion requires the insert privilege on the parent",
                 ):
                     if isinstance(operation, InsertBefore):
@@ -378,7 +422,7 @@ class SecureWriteExecutor:
                 if decide(
                     nid,
                     Privilege.DELETE,
-                    perms.holds(nid, Privilege.DELETE),
+                    holds(nid, Privilege.DELETE),
                     "remove requires the delete privilege",
                 ):
                     if nid in new_doc:

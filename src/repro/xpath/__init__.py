@@ -22,6 +22,13 @@ from .ast import (
     UnionExpr,
     VariableRef,
 )
+from .compiler import (
+    CompiledXPath,
+    XPathDifferentialError,
+    compile_expr,
+    differential_enabled,
+    set_differential,
+)
 from .engine import XPathEngine
 from .evaluator import Context, XPathEvaluationError, evaluate
 from .functions import CORE_FUNCTIONS, XPathFunction, XPathFunctionError
@@ -42,6 +49,7 @@ __all__ = [
     "AXES",
     "BinaryOp",
     "CORE_FUNCTIONS",
+    "CompiledXPath",
     "Context",
     "Expr",
     "FilterExpr",

@@ -14,17 +14,23 @@ exposes the two operations the rest of the system needs:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from ..xmltree.document import XMLDocument
 from ..xmltree.labels import DOCUMENT_ID, NodeId
 from .ast import Expr
+from .compiler import CompiledXPath, compile_expr
 from .evaluator import Context, XPathEvaluationError, evaluate
 from .functions import CORE_FUNCTIONS, XPathFunction
 from .parser import parse_xpath
 from .values import NodeSet, XPathValue, is_node_set
 
 __all__ = ["XPathEngine"]
+
+#: Per-engine compiled-evaluator cache bound (LRU eviction beyond this).
+_COMPILED_CACHE_SIZE = 1024
 
 
 class XPathEngine:
@@ -55,6 +61,8 @@ class XPathEngine:
         self._functions = functions
         self._lone_variable_name_test = lone_variable_name_test
         self._star_matches_text = star_matches_text
+        self._compiled: "OrderedDict[str, CompiledXPath]" = OrderedDict()
+        self._compiled_lock = threading.Lock()
 
     @property
     def star_matches_text(self) -> bool:
@@ -86,6 +94,39 @@ class XPathEngine:
     def compile(self, path: str) -> Expr:
         """Parse (with caching) a path, surfacing syntax errors early."""
         return parse_xpath(path)
+
+    def compile_evaluator(self, path: str) -> CompiledXPath:
+        """Compile ``path`` into a reusable closure-pipeline evaluator.
+
+        Compiled evaluators carry this engine's function library and
+        paper-compat options, are cached per engine (LRU, bounded) and
+        are safe to share across threads and documents -- the lxml
+        pattern of compiling an XPath string once and reusing the
+        evaluator object.  Under differential mode (``make fault``)
+        every call re-checks the compiled result against the
+        interpreter.
+        """
+        with self._compiled_lock:
+            compiled = self._compiled.get(path)
+            if compiled is not None:
+                self._compiled.move_to_end(path)
+                return compiled
+        compiled = compile_expr(
+            self.compile(path),
+            lone_variable_name_test=self._lone_variable_name_test,
+            star_matches_text=self._star_matches_text,
+            path=path,
+            context_factory=self._context,
+        )
+        with self._compiled_lock:
+            existing = self._compiled.get(path)
+            if existing is not None:
+                self._compiled.move_to_end(path)
+                return existing
+            self._compiled[path] = compiled
+            while len(self._compiled) > _COMPILED_CACHE_SIZE:
+                self._compiled.popitem(last=False)
+        return compiled
 
     def evaluate(
         self,

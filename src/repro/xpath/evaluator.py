@@ -410,11 +410,18 @@ def _compare_relational(op: str, left: XPathValue, right: XPathValue, ctx: Conte
         rights = [to_number(s, ctx.doc) for s in _node_strings(right, ctx)]
         return any(compare(a, b) for a in lefts for b in rights)
     if is_node_set(left):
+        # Spec 3.4: against a boolean the node-set is converted with
+        # boolean() and the two booleans compared as numbers -- no
+        # per-node existential.
+        if isinstance(right, bool):
+            return compare(to_number(to_boolean(left), ctx.doc), to_number(right, ctx.doc))
         bound = to_number(right, ctx.doc)
         return any(
             compare(to_number(s, ctx.doc), bound) for s in _node_strings(left, ctx)
         )
     if is_node_set(right):
+        if isinstance(left, bool):
+            return compare(to_number(left, ctx.doc), to_number(to_boolean(right), ctx.doc))
         bound = to_number(left, ctx.doc)
         return any(
             compare(bound, to_number(s, ctx.doc)) for s in _node_strings(right, ctx)
@@ -435,7 +442,12 @@ def _arithmetic(op: str, left: XPathValue, right: XPathValue, ctx: Context) -> f
         if b == 0:
             if a == 0 or math.isnan(a):
                 return math.nan
-            return math.inf if a > 0 else -math.inf
+            # IEEE-754: the sign of x/±0 is the XOR of the operand
+            # signs, so 1 div -0.0 is -inf (b == 0 is true for -0.0
+            # but its sign still counts).
+            return math.copysign(
+                math.inf, math.copysign(1.0, a) * math.copysign(1.0, b)
+            )
         return a / b
     if op == "mod":
         # XPath mod takes the sign of the dividend (like fmod, not %).

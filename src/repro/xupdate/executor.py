@@ -91,6 +91,22 @@ class XUpdateExecutor:
     def engine(self) -> XPathEngine:
         return self._engine
 
+    def select_path(
+        self,
+        doc: XMLDocument,
+        path: str,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> List[NodeId]:
+        """Resolve a PATH parameter through a compiled evaluator.
+
+        Operation paths repeat across scripts, retries, and secure
+        re-checks; the engine's compiled-evaluator cache makes every
+        evaluation after the first skip parsing *and* AST dispatch.
+        """
+        return self._engine.compile_evaluator(path).select(
+            doc, variables=variables
+        )
+
     def apply(
         self,
         doc: XMLDocument,
@@ -138,7 +154,7 @@ class XUpdateExecutor:
                 result = result.merge(step)
             return result
         new_doc = doc.copy()
-        targets = self._engine.select(new_doc, operation.path, variables=variables)
+        targets = self.select_path(new_doc, operation.path, variables)
         return self._dispatch(new_doc, operation, targets)
 
     def apply_in_place(
@@ -148,7 +164,7 @@ class XUpdateExecutor:
         variables: Optional[Mapping[str, XPathValue]] = None,
     ) -> UpdateResult:
         """Like :meth:`apply` but mutates ``doc`` (no copy)."""
-        targets = self._engine.select(doc, operation.path, variables=variables)
+        targets = self.select_path(doc, operation.path, variables)
         return self._dispatch(doc, operation, targets)
 
     # ------------------------------------------------------------------

@@ -75,6 +75,46 @@ class TestRelational:
         assert engine.evaluate(doc, "2 < //v") is True
         assert engine.evaluate(doc, "//v < //w") is True
 
+    def test_nodeset_vs_boolean_uses_boolean_conversion(self, engine, doc):
+        """Spec 3.4: against a boolean, the node-set converts with
+        boolean() -- no per-node existential.  An empty node-set is
+        false (0), so ``//nope < true()`` is ``0 < 1``."""
+        assert engine.evaluate(doc, "//nope < true()") is True
+        assert engine.evaluate(doc, "//nope >= true()") is False
+        assert engine.evaluate(doc, "true() > //nope") is True
+        assert engine.evaluate(doc, "//nope <= false()") is True
+
+    def test_nonempty_nodeset_vs_boolean_ignores_node_values(self, engine, doc):
+        # //v is non-empty -> boolean true -> 1; the node *values*
+        # (1, 2, 3) never enter the comparison.
+        assert engine.evaluate(doc, "//v > true()") is False
+        assert engine.evaluate(doc, "//v >= true()") is True
+        assert engine.evaluate(doc, "//v <= true()") is True
+        assert engine.evaluate(doc, "false() < //v") is True
+
+    def test_empty_nodeset_vs_number_or_string_is_false(self, engine, doc):
+        # Numbers/strings keep the existential reading: no node, no hit.
+        assert engine.evaluate(doc, "//nope < 1") is False
+        assert engine.evaluate(doc, "//nope >= 0") is False
+        assert engine.evaluate(doc, "1 > //nope") is False
+
+    def test_nodeset_vs_nan_number(self, engine, doc):
+        nan = "(0 div 0)"
+        assert engine.evaluate(doc, f"//v = {nan}") is False
+        assert engine.evaluate(doc, f"//v != {nan}") is True
+        assert engine.evaluate(doc, f"//v < {nan}") is False
+        assert engine.evaluate(doc, f"//v >= {nan}") is False
+        # An empty node-set against NaN: nothing to compare, both false.
+        assert engine.evaluate(doc, f"//nope = {nan}") is False
+        assert engine.evaluate(doc, f"//nope != {nan}") is False
+
+    def test_boolean_vs_nodeset_equality_unchanged(self, engine, doc):
+        # Equality already used boolean(): pin it against regression.
+        assert engine.evaluate(doc, "//v = true()") is True
+        assert engine.evaluate(doc, "//v != true()") is False
+        assert engine.evaluate(doc, "//nope = false()") is True
+        assert engine.evaluate(doc, "//nope != false()") is False
+
 
 class TestArithmetic:
     def test_basic_ops(self, engine, doc):
@@ -94,8 +134,35 @@ class TestArithmetic:
         assert engine.evaluate(doc, "-1 div 0") == -math.inf
         assert math.isnan(engine.evaluate(doc, "0 div 0"))
 
+    def test_division_by_negative_zero(self, engine, doc):
+        """IEEE-754: the divisor's sign survives even when it is zero,
+        so ``1 div -0.0`` is -inf (was +inf before the copysign fix)."""
+        assert engine.evaluate(doc, "1 div (-0.0)") == -math.inf
+        assert engine.evaluate(doc, "-1 div (-0.0)") == math.inf
+        assert engine.evaluate(doc, "1 div (0 - 0.0)") == math.inf
+        assert math.isnan(engine.evaluate(doc, "0 div (-0.0)"))
+        assert math.isnan(engine.evaluate(doc, "(-0.0) div 0"))
+        assert math.isnan(engine.evaluate(doc, "'abc' div (-0.0)"))
+
+    def test_negative_zero_literals(self, engine, doc):
+        zero = engine.evaluate(doc, "-0.0")
+        assert zero == 0.0 and math.copysign(1.0, zero) == -1.0
+        assert engine.evaluate(doc, "-0.0 = 0") is True  # IEEE equality
+
     def test_mod_zero_is_nan(self, engine, doc):
         assert math.isnan(engine.evaluate(doc, "5 mod 0"))
+        assert math.isnan(engine.evaluate(doc, "5 mod (-0.0)"))
+
+    def test_mod_nan_and_infinity_edges(self, engine, doc):
+        nan, inf = "(0 div 0)", "(1 div 0)"
+        assert math.isnan(engine.evaluate(doc, f"{nan} mod 2"))
+        assert math.isnan(engine.evaluate(doc, f"2 mod {nan}"))
+        assert math.isnan(engine.evaluate(doc, f"{inf} mod 2"))
+        assert math.isnan(engine.evaluate(doc, f"(-{inf}) mod 2"))
+        # A finite dividend with an infinite divisor passes through
+        # unchanged (Java % semantics, which XPath 1.0 mod follows).
+        assert engine.evaluate(doc, f"5 mod {inf}") == 5.0
+        assert engine.evaluate(doc, f"-5 mod {inf}") == -5.0
 
     def test_unary_minus(self, engine, doc):
         assert engine.evaluate(doc, "-(1 + 2)") == -3.0

@@ -1,0 +1,264 @@
+"""The XPath compiler: compiled == interpreted, folding, caching.
+
+The compiled closure pipeline must be observationally identical to the
+AST interpreter on every expression it accepts -- same values, same
+errors.  The battery below covers the E15/E18 path shapes the policy
+layer evaluates plus the compiler's own special cases (fusion, constant
+folding, paper-compat predicates); the differential fault-lane tests
+arm the always-on runtime check and prove it actually fires.
+"""
+
+import math
+
+import pytest
+
+from repro.core import medical_document
+from repro.xmltree import parse_xml
+from repro.xpath import (
+    XPathEngine,
+    XPathEvaluationError,
+    evaluate,
+)
+from repro.xpath.compiler import (
+    CompiledXPath,
+    XPathDifferentialError,
+    compile_expr,
+    differential_enabled,
+    set_differential,
+)
+
+
+@pytest.fixture
+def differential():
+    """Arm the compiled-vs-interpreted runtime check for one test."""
+    before = differential_enabled()
+    set_differential(True)
+    yield
+    set_differential(before)
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(
+        "<patients>"
+        "<patient><name>robert</name>"
+        "<diagnosis><item>flu</item><item>cold</item></diagnosis></patient>"
+        "<patient><name>martin</name>"
+        "<diagnosis><item>injury</item></diagnosis></patient>"
+        "<!--audit--></patients>"
+    )
+
+
+@pytest.fixture
+def engine():
+    return XPathEngine()
+
+
+@pytest.fixture
+def paper_engine():
+    return XPathEngine(lone_variable_name_test=True, star_matches_text=True)
+
+
+#: Every shape the E15 benchmark and the example policies exercise.
+PATHS = (
+    "/",
+    "/patients",
+    "/patients/patient/diagnosis",
+    "//patient",
+    "//item",
+    "//*",
+    "//patient/*",
+    "//text()",
+    "//comment()",
+    "//node()",
+    "//diagnosis/text()",
+    "//patient[1]",
+    "//patient[2]/diagnosis",
+    "//item[position() = 2]",
+    "//patient[name = 'robert']",
+    "//patient[diagnosis/item]",
+    "//*[name() = 'item']",
+    "//patient | //item",
+    "//patient/descendant-or-self::*",
+    "//item/ancestor::patient",
+    "//item/parent::diagnosis",
+    "//patient/following-sibling::*",
+    "//patient[2]/preceding-sibling::patient",
+    "/patients/patient[last()]",
+    "count(//item)",
+    "string(//name)",
+    "normalize-space(' x ')",
+    "not(//nope)",
+    "count(//item) + count(//patient) * 2",
+    "-count(//item)",
+    "10 mod 3",
+    "'a' < 'b' or //patient",
+)
+
+
+@pytest.mark.parametrize("path", list(PATHS))
+def test_compiled_matches_interpreted(engine, doc, path):
+    compiled = engine.compile_evaluator(path)
+    expected = engine.evaluate(doc, path)
+    got = compiled.evaluate(doc)
+    if isinstance(expected, float) and math.isnan(expected):
+        assert math.isnan(got)
+    else:
+        assert got == expected
+
+
+def test_compiled_from_context_node(engine, doc):
+    patient = engine.select(doc, "//patient")[0]
+    for path in ("diagnosis/item", "ancestor::*", "self::patient", ".//item"):
+        assert engine.compile_evaluator(path).evaluate(
+            doc, context_node=patient
+        ) == engine.evaluate(doc, path, context_node=patient)
+
+
+def test_compiled_variables(engine, doc):
+    path = "//patient[name = $who]/diagnosis"
+    compiled = engine.compile_evaluator(path)
+    for who in ("robert", "martin", "nobody"):
+        assert compiled.evaluate(doc, variables={"who": who}) == engine.evaluate(
+            doc, path, variables={"who": who}
+        )
+
+
+def test_unbound_variable_raises(engine, doc):
+    compiled = engine.compile_evaluator("//patient[name = $who]")
+    with pytest.raises(XPathEvaluationError, match="unbound variable"):
+        compiled.evaluate(doc)
+
+
+def test_select_rejects_scalar_result(engine, doc):
+    with pytest.raises(XPathEvaluationError, match="expected a node-set"):
+        engine.compile_evaluator("count(//patient)").select(doc)
+
+
+def test_paper_compat_lone_variable_predicate(paper_engine, doc):
+    path = "/patients/*[$USER]/descendant-or-self::*"
+    compiled = paper_engine.compile_evaluator(path)
+    for user in ("patient", "name", "nobody"):
+        assert compiled.select(doc, variables={"USER": user}) == (
+            paper_engine.select(doc, path, variables={"USER": user})
+        )
+
+
+def test_paper_compat_star_matches_text(paper_engine, doc):
+    for path in ("//*", "/patients/*", "//patient/*"):
+        assert paper_engine.compile_evaluator(path).select(
+            doc
+        ) == paper_engine.select(doc, path)
+
+
+class TestConstantFolding:
+    def test_positive_integer_position_slices(self, engine, doc):
+        # [2] and [1+1] both fold to the same positional slice.
+        assert engine.compile_evaluator("//patient[2]").select(
+            doc
+        ) == engine.select(doc, "//patient[2]")
+        assert engine.compile_evaluator("//patient[1 + 1]").select(
+            doc
+        ) == engine.select(doc, "//patient[2]")
+
+    def test_out_of_domain_positions_select_nothing(self, engine, doc):
+        for pred in ("0", "-1", "2.5", "99", "0 div 0"):
+            assert engine.compile_evaluator(f"//patient[{pred}]").select(doc) == []
+
+    def test_constant_boolean_predicates(self, engine, doc):
+        assert engine.compile_evaluator("//patient[true()]").select(
+            doc
+        ) == engine.select(doc, "//patient")
+        assert engine.compile_evaluator("//patient[1 = 1]").select(
+            doc
+        ) == engine.select(doc, "//patient")
+        assert engine.compile_evaluator("//patient[1 = 2]").select(doc) == []
+        assert engine.compile_evaluator("//patient['']").select(doc) == []
+
+    def test_folding_preserves_laziness(self, engine, doc):
+        # With a constant-false predicate ahead, a bad function in a
+        # later predicate never sees a node -- exactly the interpreter's
+        # behaviour (predicates run per candidate, zero candidates).
+        path = "//patient[1 = 2][frobnicate()]"
+        assert engine.evaluate(doc, path) == []
+        assert engine.compile_evaluator(path).evaluate(doc) == []
+        with pytest.raises(XPathEvaluationError, match="unknown function"):
+            engine.compile_evaluator("//patient[frobnicate()]").evaluate(doc)
+
+
+class TestEngineCache:
+    def test_cache_returns_same_object(self, engine):
+        assert engine.compile_evaluator("//a") is engine.compile_evaluator("//a")
+
+    def test_cache_is_per_engine(self, engine, paper_engine):
+        assert engine.compile_evaluator("//a") is not paper_engine.compile_evaluator(
+            "//a"
+        )
+
+    def test_cache_evicts_lru(self, engine):
+        from repro.xpath import engine as engine_mod
+
+        first = engine.compile_evaluator("//a0")
+        for i in range(1, engine_mod._COMPILED_CACHE_SIZE + 1):
+            engine.compile_evaluator(f"//a{i}")
+        assert engine.compile_evaluator("//a0") is not first
+
+
+class TestDifferentialMode:
+    def test_workload_passes_under_differential(self, differential, engine, doc):
+        for path in list(PATHS):
+            engine.compile_evaluator(path).evaluate(doc)
+
+    def test_divergence_raises(self, differential, engine, doc):
+        compiled = engine.compile_evaluator("//patient[1]/name")
+        compiled.evaluate(doc)  # agreeing run: no error
+        # Sabotage the compiled closure; the interpreter now disagrees
+        # and the differential check must catch it.
+        broken = CompiledXPath(
+            compiled.path,
+            compiled.expr,
+            lambda ctx: [],
+            engine._context,
+        )
+        with pytest.raises(XPathDifferentialError, match="diverged"):
+            broken.evaluate(doc)
+
+    def test_differential_compares_zero_signs(self, differential, engine, doc):
+        compiled = engine.compile_evaluator("1 div (-0.0)")
+        assert compiled.evaluate(doc) == -math.inf
+
+    def test_toggle_is_restored(self, engine, doc):
+        # The fixture restored the flag; a broken closure passes silently.
+        assert not differential_enabled()
+        broken = CompiledXPath("//x", engine.compile("//x"), lambda ctx: [], None)
+        assert broken(engine._context(doc, None, None)) == []
+
+
+@pytest.mark.fault
+def test_differential_covers_secure_write_paths(differential):
+    """Every rule evaluation and write selection re-checks compiled
+    against interpreted while the fault lane runs with the env flag."""
+    from repro.core import hospital_database
+    from repro.xupdate.operations import Append
+    from repro.xmltree import element
+
+    db = hospital_database()
+    session = db.login("laporte")  # a doctor: insert on //diagnosis
+    session.read_xml()
+    result = session.execute(
+        Append(path="//diagnosis", tree=element("item"))
+    )
+    assert result.fully_applied
+
+
+def test_fused_descendant_scan_matches_generic(engine):
+    # Fusion only fires for predicate-free child steps after //; compare
+    # against a document whose shape exercises deep nesting.
+    doc = medical_document()
+    for path in ("//*", "//text()", "//node()"):
+        assert engine.compile_evaluator(path).select(doc) == engine.select(doc, path)
+    # Descendant scan from a non-root context set.
+    inner = engine.select(doc, "/*/*")[0]
+    assert engine.compile_evaluator(".//*").evaluate(
+        doc, context_node=inner
+    ) == engine.evaluate(doc, ".//*", context_node=inner)
