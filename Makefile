@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault chaos recovery bench bench-json bench-smoke verify
+.PHONY: test fault chaos recovery replication bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -30,23 +30,43 @@ chaos:
 recovery:
 	$(PYTEST) -x -q -m recovery
 
+# Replication convergence lane: 200+ seeded chaos schedules shipping
+# the write-ahead log to replicas while killing them mid-replay and
+# mid-catch-up, asserting every survivor converges to the primary's
+# exact version and byte-identical serialized state, read-your-writes
+# holds per-request, and a diverged replica never serves a read.
+replication:
+	$(PYTEST) -x -q -m replication
+
 bench:
 	$(PYTEST) -q benchmarks
 
-# Machine-readable benchmark results for regression tracking.  The
-# compiled-policy ablation (E23) gets its own file so the perf
-# trajectory across PRs accumulates per experiment.
+# Machine-readable benchmark results for regression tracking, one file
+# per experiment (always written to the repo root, so reruns overwrite
+# in place instead of scattering) -- E20..E24 accumulate the perf
+# trajectory across PRs.
 bench-json:
-	$(PYTEST) -q benchmarks --benchmark-json=BENCH_3.json
+	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py \
+		--benchmark-json=$(CURDIR)/BENCH_E20.json
+	$(PYTEST) -q benchmarks/test_e21_serving_under_load.py \
+		--benchmark-json=$(CURDIR)/BENCH_E21.json
+	rm -f $(CURDIR)/BENCH_E22.json
+	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E22.json \
+		$(PYTEST) -q -s benchmarks/test_e22_wal.py
 	$(PYTEST) -q benchmarks/test_e23_compiled_policy.py \
-		--benchmark-json=BENCH_E23.json
+		--benchmark-json=$(CURDIR)/BENCH_E23.json
+	rm -f $(CURDIR)/BENCH_E24.json
+	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E24.json \
+		$(PYTEST) -q -s benchmarks/test_e24_replication.py
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
 # incremental counters, loose speedup bar), E21's counter-only
-# overload variants, and E22's durability invariants.  No timing saves.
+# overload variants, E22's durability invariants, and E24's
+# convergence smoke.  No timing saves.
 bench-smoke:
 	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py \
 		benchmarks/test_e21_serving_under_load.py \
-		benchmarks/test_e22_wal.py -k smoke
+		benchmarks/test_e22_wal.py \
+		benchmarks/test_e24_replication.py -k smoke
 
-verify: test fault chaos recovery bench-smoke
+verify: test fault chaos recovery replication bench-smoke

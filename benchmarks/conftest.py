@@ -10,6 +10,8 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 
 import pytest
@@ -47,7 +49,25 @@ def paper_db():
 
 
 def print_series(title: str, rows) -> None:
-    """Emit a small table into the benchmark output (run with -s)."""
+    """Emit a small table into the benchmark output (run with -s).
+
+    When ``REPRO_BENCH_SERIES_JSON`` names a file, the series is also
+    accumulated there as ``{"series": {title: rows}}`` -- the
+    machine-readable ``BENCH_*.json`` output for experiments that
+    measure with their own timers instead of pytest-benchmark
+    fixtures (E22's crash-recovery timings, E24's replication rows).
+    """
     print(f"\n== {title} ==")
     for row in rows:
         print("  " + " | ".join(str(c) for c in row))
+    target = os.environ.get("REPRO_BENCH_SERIES_JSON")
+    if target:
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        data.setdefault("series", {})[title] = [list(row) for row in rows]
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,211 @@
+"""E24 (added): what WAL-shipping replication buys and costs.
+
+Three questions the replication layer raises:
+
+**Read throughput vs replica count.**  Every replica owns its own
+reader-writer lock and its own shared view cache, so reads routed
+across the pool stop contending on the primary's lock.  Rows compare
+a fixed concurrent read load served by the primary alone against the
+same load spread over 1, 2 and 4 replicas.  The invariant behind the
+numbers: every routed read satisfies read-your-writes (served version
+>= the caller's token), whatever the pool size.
+
+**Catch-up time vs lag.**  A replica that falls behind replays the
+missing suffix through the real secured path, so catch-up cost grows
+with the lag -- which is precisely what checkpoints bound: re-seeding
+from a fresh snapshot makes the replay distance zero no matter how
+long the history.
+
+**Failover time.**  When a replica diverges it is quarantined on the
+spot; the rows time the full recovery cycle -- detect, quarantine,
+re-seed, converge -- against the log length at the moment of failure.
+
+The smoke variant (``-k smoke``) runs the same invariants at toy sizes
+with no timing bars, so the lane stays meaningful on loaded CI
+machines.
+"""
+
+import shutil
+import time
+
+from conftest import print_series, synthetic_hospital
+
+from repro.errors import ReplicaDiverged
+from repro.replication import Replica, ReplicationRouter
+from repro.serving import DatabaseServer
+from repro.testing.faults import run_threads
+from repro.wal import WriteAheadLog
+from repro.xmltree import NodeKind
+from repro.xupdate import UpdateContent
+
+PATIENTS = 60
+READERS = 4
+READS_PER_THREAD = 30
+LAG_SIZES = (20, 80, 240)
+
+READ_USERS = ("laporte", "beaufort", "richard")
+
+
+def committed_stream(db, commits):
+    """Apply ``commits`` deterministic diagnosis updates (each is one
+    WAL record)."""
+    for index in range(commits):
+        db.admin_update(
+            UpdateContent(
+                f"//patient{index % PATIENTS:05d}/diagnosis",
+                f"angina-{index}",
+            )
+        )
+
+
+def build_primary(tmp_path, label, patients=PATIENTS):
+    db = synthetic_hospital(patients)
+    wal_dir = str(tmp_path / f"{label}.wal")
+    wal = WriteAheadLog(wal_dir, fsync="os")
+    db.attach_wal(wal)
+    wal.checkpoint(db)
+    return db, wal, wal_dir
+
+
+def timed_read_load(router):
+    """READERS concurrent threads, each issuing routed reads; returns
+    (elapsed seconds, total reads)."""
+
+    def worker(index):
+        user = READ_USERS[index % len(READ_USERS)]
+        for _ in range(READS_PER_THREAD):
+            assert router.query(user, "count(//diagnosis)") is not None
+
+    started = time.perf_counter()
+    errors = run_threads(worker, READERS)
+    elapsed = time.perf_counter() - started
+    assert errors == [None] * READERS
+    return elapsed, READERS * READS_PER_THREAD
+
+
+def test_e24_read_throughput_vs_replica_count(tmp_path):
+    rows = [("pool", "reads", "reads/s", "replica share")]
+    for count in (0, 1, 2, 4):
+        db, wal, wal_dir = build_primary(tmp_path, f"pool{count}")
+        committed_stream(db, 10)
+        server = DatabaseServer(db)
+        replicas = [Replica(wal_dir) for _ in range(count)]
+        router = ReplicationRouter(server, replicas, trace=True)
+        elapsed, reads = timed_read_load(router)
+        stats = router.stats()
+        served = stats["reads_to_replicas"]
+        rows.append(
+            (f"{count} replicas", reads, f"{reads / elapsed:.0f}",
+             f"{served}/{reads}")
+        )
+        # read-your-writes held on every single routed read
+        for decision in router.decisions:
+            assert decision.served_version >= decision.token
+        if count:
+            # the pool carried the load, and spread it: every replica
+            # served some of it
+            assert served == reads
+            assert all(r.stats()["reads"] > 0 for r in replicas)
+        else:
+            assert stats["reads_to_primary"] == reads
+        shutil.rmtree(wal_dir)
+    print_series("E24 read throughput vs replica count", rows)
+
+
+def test_e24_catchup_time_vs_lag(tmp_path):
+    rows = [("lag", "replayed", "catch-up ms")]
+    catchup_times = {}
+    for lag in LAG_SIZES:
+        db, wal, wal_dir = build_primary(tmp_path, f"lag{lag}")
+        replica = Replica(wal_dir)  # in sync at version 0
+        committed_stream(db, lag)  # ...and now `lag` records behind
+        assert replica.lag() == lag
+        started = time.perf_counter()
+        advanced = replica.sync()
+        elapsed = time.perf_counter() - started
+        assert advanced == lag and replica.version == db.version
+        catchup_times[lag] = elapsed
+        rows.append((f"{lag} records", advanced, f"{elapsed * 1000:.2f}"))
+        shutil.rmtree(wal_dir)
+    # a checkpoint collapses the replay distance to zero
+    db, wal, wal_dir = build_primary(tmp_path, "ckpt")
+    committed_stream(db, LAG_SIZES[-1])
+    wal.checkpoint(db)
+    started = time.perf_counter()
+    replica = Replica(wal_dir)  # seeds from the snapshot: no replay
+    elapsed = time.perf_counter() - started
+    assert replica.version == db.version
+    rows.append((f"{LAG_SIZES[-1]} + checkpoint", 0,
+                 f"{elapsed * 1000:.2f}"))
+    print_series("E24 catch-up time vs lag", rows)
+    shutil.rmtree(wal_dir)
+
+
+def diverge(replica):
+    doc = replica.database.document
+    doc.append_child(doc.root, NodeKind.ELEMENT, "rot")
+
+
+def test_e24_failover_time_vs_history_length(tmp_path):
+    rows = [("history", "failover ms")]
+    for commits in (20, 80):
+        db, wal, wal_dir = build_primary(tmp_path, f"fo{commits}")
+        committed_stream(db, commits)
+        wal.checkpoint(db)
+        replica = Replica(wal_dir)
+        diverge(replica)
+        wal.checkpoint(db)  # the digest that exposes the rot
+        started = time.perf_counter()
+        try:
+            replica.sync()
+        except ReplicaDiverged:
+            pass
+        assert replica.quarantined
+        replica.catch_up()  # detect -> quarantine -> re-seed
+        elapsed = time.perf_counter() - started
+        assert not replica.quarantined
+        assert replica.version == db.version
+        rows.append((f"{commits} commits", f"{elapsed * 1000:.2f}"))
+        shutil.rmtree(wal_dir)
+    print_series("E24 failover (detect + re-seed) time", rows)
+
+
+def test_e24_smoke_convergence(tmp_path):
+    """Counter-only smoke: a small pool converges byte-identically and
+    read-your-writes holds on every routed read."""
+    from repro.storage import dump_state
+
+    db, wal, wal_dir = build_primary(tmp_path, "smoke", patients=10)
+    server = DatabaseServer(db)
+    replicas = [Replica(wal_dir) for _ in range(2)]
+    router = ReplicationRouter(server, replicas, trace=True)
+    committed_stream(db, 5)
+    assert router.query("laporte", "count(//diagnosis)") is not None
+    for replica in replicas:
+        replica.sync()
+        assert replica.version == db.version
+        assert dump_state(
+            replica.database.document,
+            replica.database.subjects,
+            replica.database.policy,
+        ) == dump_state(db.document, db.subjects, db.policy)
+    for decision in router.decisions:
+        assert decision.served_version >= decision.token
+
+
+def test_e24_smoke_quarantine_blocks_reads(tmp_path):
+    db, wal, wal_dir = build_primary(tmp_path, "smoke-q", patients=10)
+    replica = Replica(wal_dir)
+    diverge(replica)
+    committed_stream(db, 2)
+    wal.checkpoint(db)
+    try:
+        replica.sync()
+    except ReplicaDiverged:
+        pass
+    assert replica.quarantined
+    router = ReplicationRouter(DatabaseServer(db), [replica], trace=True)
+    assert router.query("laporte", "count(//diagnosis)") is not None
+    assert router.decisions[-1].source == "primary"
+    replica.catch_up()
+    assert replica.version == db.version

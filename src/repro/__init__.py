@@ -25,7 +25,10 @@ from .errors import (
     ConcurrentUpdateError,
     DeadlineExceeded,
     OverloadError,
+    ReadOnlyReplica,
     RecoveryError,
+    ReplicaDiverged,
+    ReplicationError,
     ReproError,
     RetryExhausted,
     ServingError,
@@ -34,8 +37,10 @@ from .errors import (
     UpdateAborted,
     WalCorruptionError,
     WalError,
+    WalStreamGap,
     WalWriteError,
 )
+from .replication import Replica, ReplicationRouter, RouteDecision
 from .serving import (
     AdmissionController,
     CircuitBreaker,
@@ -82,7 +87,7 @@ from .xmltree import (
     text,
 )
 from .xpath import XPathEngine, XPathEvaluationError, XPathSyntaxError
-from .wal import RecoveryResult, WriteAheadLog, recover
+from .wal import RecoveryResult, WalStream, WriteAheadLog, recover
 from .xupdate import (
     Append,
     InsertAfter,
@@ -124,12 +129,18 @@ __all__ = [
     "PolicyLintWarning",
     "Privilege",
     "RESTRICTED",
+    "ReadOnlyReplica",
     "RecoveryError",
     "RecoveryResult",
     "Remove",
     "Rename",
     "RenumberingScheme",
+    "Replica",
+    "ReplicaDiverged",
+    "ReplicationError",
+    "ReplicationRouter",
     "ReproError",
+    "RouteDecision",
     "RetryExhausted",
     "RetryPolicy",
     "RWLock",
@@ -151,6 +162,8 @@ __all__ = [
     "ViewBuilder",
     "WalCorruptionError",
     "WalError",
+    "WalStream",
+    "WalStreamGap",
     "WalWriteError",
     "WriteAheadLog",
     "XMLDocument",

@@ -15,6 +15,7 @@ single-file format of :mod:`repro.storage`::
     python -m repro.cli update db.xml laporte updates.xupdate.xml
     python -m repro.cli lint db.xml
     python -m repro.cli recover damaged.xml --write
+    python -m repro.cli replica db.xml.wal --query beaufort 'count(//*)'
     python -m repro.cli stress db.xml laporte updates.xupdate.xml --writers 4
 
 Every mutating command rewrites the database file crash-safely (temp
@@ -286,6 +287,50 @@ def cmd_wal_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replica(args: argparse.Namespace) -> int:
+    """Stand up a read replica over a primary's log directory.
+
+    Seeds from the newest checkpoint plus the committed log suffix
+    (never writing to the primary's files), reports applied position
+    and lag against the log tail, and optionally serves a read-only
+    query from the replica's authorized view.  With ``--follow``, keeps
+    polling the stream and reporting progress until interrupted.
+    """
+    import time as time_module
+
+    from .replication import Replica
+
+    if not os.path.isdir(args.directory):
+        raise CliError(f"no log directory at {args.directory!r}")
+    replica = Replica(args.directory)
+
+    def report() -> None:
+        print(
+            f"replica {replica.replica_id}: version {replica.version}, "
+            f"applied lsn {replica.applied_lsn}, lag {replica.lag()} "
+            f"record(s), state {replica.state}"
+        )
+
+    report()
+    if args.follow:
+        try:
+            while True:
+                applied = replica.poll()
+                if applied:
+                    report()
+                time_module.sleep(args.interval)
+        except KeyboardInterrupt:
+            print("stopped")
+    if args.query:
+        user, xpath = args.query
+        value, version = replica.serve(user, lambda s: s.query(xpath))
+        print(f"[version {version}] {value}")
+    if args.stats:
+        for key, val in sorted(replica.stats().items()):
+            print(f"  {key}: {val}")
+    return 4 if replica.quarantined else 0
+
+
 def cmd_stress(args: argparse.Namespace) -> int:
     """Hammer the database through the concurrent serving layer.
 
@@ -464,6 +509,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", action="store_true",
                    help="list every usable record")
     p.set_defaults(handler=cmd_wal_inspect)
+
+    p = sub.add_parser("replica",
+                       help="stand up a read replica over a primary's "
+                            "write-ahead-log directory (exit 4 when the "
+                            "replica is quarantined as diverged)")
+    p.add_argument("directory", help="the primary's log directory")
+    p.add_argument("--query", nargs=2, metavar=("USER", "XPATH"),
+                   help="evaluate XPath on USER's view of the replica")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing the log until interrupted")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval while following, seconds")
+    p.add_argument("--stats", action="store_true",
+                   help="print the replica's health counters")
+    p.set_defaults(handler=cmd_replica)
 
     p = sub.add_parser("stress",
                        help="hammer the database through the concurrent "

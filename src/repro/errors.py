@@ -24,7 +24,11 @@ The taxonomy::
     ├── WalError               (repro.wal: durability subsystem failures)
     │   ├── WalWriteError      (an append/fsync failed; the log may be torn)
     │   ├── WalCorruptionError (a segment holds a corrupt/torn record)
-    │   └── RecoveryError      (replay could not restore the logged state)
+    │   ├── RecoveryError      (replay could not restore the logged state)
+    │   └── WalStreamGap       (a follower's position was pruned away)
+    ├── ReplicationError       (repro.replication: primary/replica serving)
+    │   ├── ReplicaDiverged    (replica state-hash != primary checkpoint)
+    │   └── ReadOnlyReplica    (a write reached a replica's database)
     ├── InjectedFault          (repro.testing.faults: simulated crash)
     ├── PolicyError            (repro.security.policy)
     ├── SubjectError           (repro.security.subjects)
@@ -56,6 +60,10 @@ __all__ = [
     "WalWriteError",
     "WalCorruptionError",
     "RecoveryError",
+    "WalStreamGap",
+    "ReplicationError",
+    "ReplicaDiverged",
+    "ReadOnlyReplica",
     "ServingError",
     "OverloadError",
     "DeadlineExceeded",
@@ -229,6 +237,68 @@ class RecoveryError(WalError):
     Raised when no loadable checkpoint snapshot exists, or when
     replaying a committed record does not reproduce the version the
     record was stamped with (the recovery invariant).
+    """
+
+
+class WalStreamGap(WalError):
+    """A log follower's position is no longer on disk.
+
+    Raised by :class:`repro.wal.WalStream` when the segment holding the
+    next record to deliver has been pruned away (checkpoint retention
+    outran the follower) or rewritten past recognition.  The follower
+    cannot make incremental progress; it must re-seed from the newest
+    checkpoint -- :meth:`repro.replication.Replica.catch_up` is exactly
+    that protocol.
+
+    Attributes:
+        next_lsn: the lsn the follower needed next.
+        oldest_available: the oldest lsn still readable from the
+            directory (0 when the directory holds no records at all).
+    """
+
+    def __init__(
+        self, message: str, *, next_lsn: int = 0, oldest_available: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.next_lsn = next_lsn
+        self.oldest_available = oldest_available
+
+
+class ReplicationError(ReproError):
+    """Root of the primary/replica serving failures
+    (:mod:`repro.replication`)."""
+
+
+class ReplicaDiverged(ReplicationError):
+    """A replica's replayed state does not match the primary's.
+
+    Detected when a streamed checkpoint record's snapshot digest (or
+    stamped version) disagrees with the replica's own state hash at the
+    same point in the log.  A diverged replica is *quarantined*: every
+    read it is asked to serve raises this error until
+    :meth:`repro.replication.Replica.catch_up` re-seeds it from a
+    primary checkpoint.
+
+    Attributes:
+        expected: the primary-side digest or version description.
+        actual: what the replica computed instead.
+    """
+
+    def __init__(
+        self, message: str, *, expected: str = "", actual: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class ReadOnlyReplica(ReplicationError):
+    """A write reached a database serving as a read-only replica.
+
+    Replicas mutate only through the replication apply path; any other
+    commit would silently fork the replica from the primary's history.
+    Route writes through the primary (see
+    :class:`repro.replication.ReplicationRouter`).
     """
 
 

@@ -1,0 +1,41 @@
+"""WAL-shipping replication: primary/replica serving over one log.
+
+The write-ahead log (:mod:`repro.wal`) is a complete, replayable
+stream of committed XUpdate scripts, and the paper makes ``dbnew`` a
+deterministic function of ``db`` and the script (formulae (2)-(9)) --
+so *shipping the log* ships the database, enforcement included: a
+replica replaying the stream through the real secured update path
+re-derives the same document, the same policy, and the same authorized
+view for every user.
+
+Three pieces:
+
+- :class:`Replica` follows a primary's log directory with a
+  :class:`~repro.wal.WalStream`, seeds itself through the recovery
+  path (newest checkpoint + committed suffix), applies each streamed
+  record through :func:`repro.wal.apply_record`, and serves read-only
+  sessions from its own shared view cache.  Failure is first-class:
+  a pruned-away stream position falls back to checkpoint catch-up, a
+  stamped-version or checkpoint-digest mismatch quarantines the
+  replica (diverged state is *never* served), and the replication
+  kill-points (``stream-truncated``, ``replica-before-apply``,
+  ``replica-mid-replay``) let the chaos lane kill all of it mid-step.
+- :class:`ReplicationRouter` routes writes to the primary
+  :class:`~repro.serving.DatabaseServer` and reads to any replica
+  fresh enough for the caller -- read-your-writes over the stamped
+  versions every commit already carries, waiting out replica lag
+  under the serving layer's deadline machinery and falling through
+  to the primary when no replica catches up in time.
+- The ``make replication`` lane: 200+ seeded chaos schedules killing
+  replicas mid-replay and mid-catch-up, asserting every survivor
+  converges to the primary's exact version and byte-identical
+  serialized state (tests/replication/).
+
+See DESIGN.md section 12 for the protocol, the consistency guarantees
+and the failure matrix.
+"""
+
+from .replica import Replica
+from .router import ReplicationRouter, RouteDecision
+
+__all__ = ["Replica", "ReplicationRouter", "RouteDecision"]

@@ -1,0 +1,323 @@
+"""Read/write routing with read-your-writes over stamped versions.
+
+Every commit already stamps the database version it installed (the WAL
+records carry it; :class:`~repro.serving.DatabaseServer` exposes it as
+``database.version``), so consistency tokens come for free: the router
+remembers, per user, the newest version that user has *seen* -- bumped
+by their writes and by every read served to them -- and routes a read
+to a replica only when the replica's applied version has reached that
+token.  That is read-your-writes and monotonic reads in one rule; a
+user who never writes may be served arbitrarily stale (but internally
+consistent) views.
+
+When no replica is fresh enough, the router *waits out the lag* under
+the same :class:`~repro.serving.Deadline` machinery the serving layer
+uses everywhere else -- polling the replicas forward within the
+request's budget -- and falls through to the primary when the budget
+is spent.  Quarantined replicas are never candidates: a diverged
+replica never serves a read, period.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReplicaDiverged
+from ..serving.retry import Deadline
+from ..serving.server import DatabaseServer
+from .replica import Replica
+
+__all__ = ["ReplicationRouter", "RouteDecision"]
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one read went, and why it was consistent.
+
+    Attributes:
+        user: the requesting user.
+        token: the user's last-seen version when the read was admitted
+            (the read-your-writes floor).
+        served_version: the database version the result was actually
+            derived from; the consistency guarantee is
+            ``served_version >= token``.
+        source: ``"primary"`` or the serving replica's id.
+        waited: seconds spent waiting for a replica to catch up.
+    """
+
+    user: str
+    token: int
+    served_version: int
+    source: str
+    waited: float = 0.0
+
+
+class ReplicationRouter:
+    """Routes writes to the primary, reads to fresh-enough replicas.
+
+    Args:
+        primary: the write side -- a :class:`DatabaseServer` over the
+            logged database.
+        replicas: the read pool (may be grown later with
+            :meth:`add_replica`).
+        max_wait: default budget (seconds) a read may spend waiting for
+            a lagging replica before falling through to the primary;
+            per-call deadlines override it.  0 never waits.
+        poll_replicas: when True (default), a read finding every
+            replica stale actively polls them forward (pull-based
+            freshening) instead of only sleeping; disable when a
+            dedicated apply thread owns the polling.
+        clock: monotonic time source, injectable for tests.
+        sleep: how to wait between freshness checks, injectable.
+        trace: record a :class:`RouteDecision` per read in
+            :attr:`decisions` -- the per-request evidence the
+            replication lane asserts read-your-writes on.  Unbounded;
+            leave off outside tests.
+    """
+
+    def __init__(
+        self,
+        primary: DatabaseServer,
+        replicas: Sequence[Replica] = (),
+        *,
+        max_wait: float = 0.05,
+        poll_replicas: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        trace: bool = False,
+    ) -> None:
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self._primary = primary
+        self._replicas: List[Replica] = list(replicas)
+        self._max_wait = max_wait
+        self._poll_replicas = poll_replicas
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens: Dict[str, int] = {}
+        self._rr = 0  # round-robin cursor over eligible replicas
+        self._lock = Lock()
+        self._counters: Dict[str, int] = {
+            "writes_routed": 0,  # writes sent to the primary
+            "reads_to_replicas": 0,  # reads served by a replica
+            "reads_to_primary": 0,  # reads that fell through
+            "stale_waits": 0,  # reads that waited for replica lag
+            "stale_fallthroughs": 0,  # waits that expired -> primary
+            "quarantine_skips": 0,  # candidate replicas skipped as diverged
+        }
+        #: Per-read routing evidence when ``trace`` is on.
+        self.decisions: List[RouteDecision] = []
+        self._trace = trace
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> DatabaseServer:
+        """The write side."""
+        return self._primary
+
+    @property
+    def replicas(self) -> Tuple[Replica, ...]:
+        """The current read pool (quarantined members included -- they
+        are skipped at routing time, not evicted)."""
+        return tuple(self._replicas)
+
+    def add_replica(self, replica: Replica) -> None:
+        """Grow the read pool."""
+        self._replicas.append(replica)
+
+    def remove_replica(self, replica: Replica) -> None:
+        """Shrink the read pool (a dead or decommissioned follower)."""
+        self._replicas.remove(replica)
+
+    # ------------------------------------------------------------------
+    # consistency tokens
+    # ------------------------------------------------------------------
+    def token(self, user: str) -> int:
+        """The newest version ``user`` has seen through this router."""
+        with self._lock:
+            return self._tokens.get(user, 0)
+
+    def _advance_token(self, user: str, version: int) -> None:
+        with self._lock:
+            if version > self._tokens.get(user, 0):
+                self._tokens[user] = version
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        user: str,
+        operation,
+        strict: bool = False,
+        deadline: Optional[float] = None,
+    ):
+        """Apply an update as ``user`` -- always on the primary.
+
+        Exactly :meth:`DatabaseServer.execute` (admission, breaker,
+        retry, deadline), plus the consistency bookkeeping: the user's
+        token advances to the committed version, so their next read is
+        only served by a copy that has applied this write.
+        """
+        result = self._primary.execute(
+            user, operation, strict=strict, deadline=deadline
+        )
+        self._count("writes_routed")
+        self._advance_token(user, self._primary.database.version)
+        return result
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def view(self, user: str, deadline: Optional[float] = None):
+        """The user's authorized view, from the freshest eligible copy."""
+        return self._route_read(user, lambda s: s.view(), "view", deadline)
+
+    def query(self, user: str, path: str, deadline: Optional[float] = None):
+        """Evaluate XPath on the user's view (replica when fresh enough)."""
+        return self._route_read(
+            user, lambda s: s.query(path), "query", deadline
+        )
+
+    def select(self, user: str, path: str, deadline: Optional[float] = None):
+        """Evaluate a path to a node-set (replica when fresh enough)."""
+        return self._route_read(
+            user, lambda s: s.select(path), "select", deadline
+        )
+
+    def read_xml(
+        self,
+        user: str,
+        indent: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> str:
+        """The user's view as XML (replica when fresh enough)."""
+        return self._route_read(
+            user, lambda s: s.read_xml(indent=indent), "read_xml", deadline
+        )
+
+    def _route_read(self, user, fn, what, budget):
+        token = self.token(user)
+        started = self._clock()
+        deadline = Deadline(
+            budget if budget is not None else self._max_wait,
+            clock=self._clock,
+        )
+        waited_once = False
+        while True:
+            replica = self._pick(token)
+            if replica is not None:
+                try:
+                    result, version = replica.serve(user, fn)
+                except ReplicaDiverged:
+                    # Quarantined between picking and serving: never a
+                    # client-visible failure, just not this copy.
+                    self._count("quarantine_skips")
+                    continue
+                if waited_once:
+                    self._count("stale_waits")
+                self._count("reads_to_replicas")
+                self._finish(
+                    user, token, version, replica.replica_id, started
+                )
+                return result
+            if deadline.expired:
+                break
+            # Nobody fresh enough yet: pull the lag down within budget.
+            waited_once = True
+            if self._poll_replicas:
+                for candidate in list(self._replicas):
+                    if candidate.quarantined:
+                        continue
+                    try:
+                        candidate.poll()
+                    except ReplicaDiverged:
+                        self._count("quarantine_skips")
+                if self._pick(token) is not None:
+                    continue  # a poll got someone fresh; serve next loop
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                break
+            self._sleep(min(0.001, remaining))
+        if waited_once:
+            self._count("stale_waits")
+            self._count("stale_fallthroughs")
+        result = self._primary_read(user, fn, what)
+        version = self._primary.database.version
+        self._count("reads_to_primary")
+        self._finish(user, token, version, "primary", started)
+        return result
+
+    def _primary_read(self, user, fn, what):
+        # Ride the primary server's full read discipline (admission,
+        # deadline default, shared lock) through its internal hook.
+        return self._primary._read(user, fn, None, what)
+
+    def _pick(self, token: int) -> Optional[Replica]:
+        """A non-quarantined replica at or past ``token``.
+
+        Every candidate already satisfies the consistency floor, so
+        freshness beyond it buys nothing -- the pick rotates through
+        the eligible pool to spread read load across replicas.
+        """
+        candidates = []
+        for replica in self._replicas:
+            if replica.quarantined:
+                self._count("quarantine_skips")
+                continue
+            if replica.version >= token:
+                candidates.append(replica)
+        if not candidates:
+            return None
+        with self._lock:
+            self._rr += 1
+            return candidates[self._rr % len(candidates)]
+
+    def _finish(self, user, token, version, source, started) -> None:
+        self._advance_token(user, version)
+        if self._trace:
+            self.decisions.append(
+                RouteDecision(
+                    user=user,
+                    token=token,
+                    served_version=version,
+                    source=source,
+                    waited=max(0.0, self._clock() - started),
+                )
+            )
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] += 1
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The routing ledger plus per-replica health and lag.
+
+        ``replicas`` holds one :meth:`Replica.stats` dict per member,
+        each extended with ``lag`` (records behind the primary's
+        write-ahead log, 0 when no log is attached).
+        """
+        with self._lock:
+            out: Dict[str, Any] = dict(self._counters)
+        wal = self._primary.database.wal
+        primary_lsn = wal.lsn if wal is not None else None
+        members = []
+        for replica in self._replicas:
+            entry = replica.stats()
+            entry["lag"] = (
+                replica.lag(primary_lsn) if primary_lsn is not None else 0
+            )
+            members.append(entry)
+        out["replica_count"] = len(members)
+        out["max_lag"] = max((m["lag"] for m in members), default=0)
+        out["replicas"] = members
+        out["primary_version"] = self._primary.database.version
+        return out

@@ -216,6 +216,7 @@ class SecureXMLDatabase:
         self._commit_lock = threading.Lock()
         self._degraded_view_serves = 0
         self._wal = None
+        self._read_only = False
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -268,6 +269,23 @@ class SecureXMLDatabase:
     def version(self) -> int:
         """Monotonic commit counter; sessions use it to refresh views."""
         return self._version
+
+    @property
+    def read_only(self) -> bool:
+        """True while the database refuses commits (a serving replica).
+
+        Set by :meth:`set_read_only`; the replication layer marks a
+        replica's database read-only so any write that sneaks past the
+        router (a cached session, a direct ``admin_update``) fails with
+        :class:`~repro.errors.ReadOnlyReplica` instead of silently
+        forking the replica from the primary's history.  The replica's
+        own apply path lifts the guard around each replayed record.
+        """
+        return self._read_only
+
+    def set_read_only(self, flag: bool) -> None:
+        """Raise (or lift) the commit guard; see :attr:`read_only`."""
+        self._read_only = bool(flag)
 
     # ------------------------------------------------------------------
     # sessions and views
@@ -375,7 +393,7 @@ class SecureXMLDatabase:
         ``degraded_view_serves`` (reads that fell all the way back
         from the shared cache to a per-session build).
         """
-        out = {"version": self._version}
+        out = {"version": self._version, "read_only": self._read_only}
         out.update(self._resolver.stats)
         if self._view_cache is not None:
             out.update(
@@ -442,6 +460,13 @@ class SecureXMLDatabase:
         # The change-set (possibly None = "unknown extent") is published
         # to the permission resolver and the view cache *after* the
         # swap, so their maintenance sees the installed generation.
+        if self._read_only:
+            from ..errors import ReadOnlyReplica
+
+            raise ReadOnlyReplica(
+                "this database serves as a read-only replica; route the "
+                "write to the primary"
+            )
         if self._wal is not None:
             # Write-ahead: the record must be durable *before* anyone
             # can observe the new theory.  A failed append raises

@@ -622,6 +622,7 @@ class DatabaseServer:
             out.update({f"wal_{k}": v for k, v in wal.stats.items()})
             out["wal_lsn"] = wal.lsn
             out["wal_fsync_policy"] = str(wal.fsync_policy)
+            out["wal_failed"] = wal.failed
         out.update(self._database.stats())
         return out
 

@@ -59,6 +59,8 @@ __all__ = [
     "LoadReport",
     "dump_database",
     "dump_state",
+    "snapshot_digest",
+    "state_digest",
     "load_database",
     "save_to_file",
     "load_from_file",
@@ -159,6 +161,24 @@ def dump_state(
     return serialize(carrier, indent="  ")
 
 
+def state_digest(
+    document: XMLDocument,
+    subjects: SubjectHierarchy,
+    policy: Policy,
+) -> str:
+    """The SHA-256 hex digest of a (document, subjects, policy) state.
+
+    Exactly the digest :func:`dump_database` records in its integrity
+    header, computed without keeping the serialized body around.  Two
+    databases with equal digests serialize byte-identically -- the
+    replication layer uses this to compare a replica's replayed state
+    against the primary's checkpoint snapshots without shipping either
+    state anywhere.
+    """
+    body = dump_state(document, subjects, policy)
+    return hashlib.sha256(body.rstrip("\n").encode("utf-8")).hexdigest()
+
+
 def dump_database(db: SecureXMLDatabase) -> str:
     """Serialize a database (document + subjects + policy) to XML text.
 
@@ -173,6 +193,22 @@ def dump_database(db: SecureXMLDatabase) -> str:
     body = dump_state(db.document, db.subjects, db.policy)
     digest = hashlib.sha256(body.rstrip("\n").encode("utf-8")).hexdigest()
     return f'<?repro-integrity sha256="{digest}"?>\n{body}'
+
+
+def snapshot_digest(path: str) -> Optional[str]:
+    """The digest recorded in a snapshot file's integrity header.
+
+    Reads only the header line; returns None when the file has no
+    integrity header (or cannot be read at all) -- callers treat that
+    as "cannot verify", never as a mismatch.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+    except OSError:
+        return None
+    match = _INTEGRITY_RE.match(first)
+    return match.group(1) if match else None
 
 
 def _split_integrity(text: str) -> Tuple[Optional[str], str]:

@@ -36,6 +36,19 @@ paths in :mod:`repro.wal`:
                              written to its temp file
 ===========================  ===========================================
 
+Replication kill-points (ISSUE 7) -- the WAL-shipping feed and the
+replica apply loop in :mod:`repro.replication`:
+
+===========================  ===========================================
+``stream-truncated``         at the top of a :meth:`WalStream.poll` --
+                             the feed is cut out from under a follower
+``replica-before-apply``     a streamed record is decoded but not yet
+                             applied to the replica's database
+``replica-mid-replay``       the record applied, the replica's applied
+                             lsn already advanced, but the poll loop is
+                             killed before finishing its batch
+===========================  ===========================================
+
 Example::
 
     from repro.testing.faults import inject, InjectedFault
@@ -104,6 +117,9 @@ KILL_POINTS = (
     "wal-mid-record",
     "wal-before-fsync",
     "checkpoint-mid-snapshot",
+    "stream-truncated",
+    "replica-before-apply",
+    "replica-mid-replay",
 )
 
 

@@ -36,12 +36,18 @@ from .log import (
     ScanResult,
     TornTail,
     WalRecord,
+    WalStream,
     WriteAheadLog,
     list_checkpoints,
     scan_directory,
     scan_segment,
 )
-from .recover import RecoveryResult, recover
+from .recover import (
+    RecoveryResult,
+    apply_record,
+    load_newest_checkpoint,
+    recover,
+)
 
 __all__ = [
     "Checkpoint",
@@ -50,8 +56,11 @@ __all__ = [
     "ScanResult",
     "TornTail",
     "WalRecord",
+    "WalStream",
     "WriteAheadLog",
+    "apply_record",
     "list_checkpoints",
+    "load_newest_checkpoint",
     "recover",
     "scan_directory",
     "scan_segment",

@@ -67,7 +67,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import WalCorruptionError, WalWriteError
+from ..errors import WalCorruptionError, WalStreamGap, WalWriteError
 from ..testing.faults import kill_point
 from ..xupdate.serializer import XUpdateSerializeError, dump_xupdate
 
@@ -77,6 +77,7 @@ __all__ = [
     "ScanResult",
     "TornTail",
     "WalRecord",
+    "WalStream",
     "WriteAheadLog",
     "list_checkpoints",
     "scan_directory",
@@ -88,7 +89,7 @@ _HEADER = struct.Struct(">II")
 _MAX_RECORD = 1 << 28  # 256 MiB: anything larger is a corrupt length
 _SEGMENT_RE = re.compile(r"^segment-(\d{10})\.wal$")
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{10})-(\d{10})\.xml$")
-_BATCH_RE = re.compile(r"^batch\((\d+),(\d+)\)$")
+_BATCH_RE = re.compile(r"^batch\((\d+),(\d+(?:\.\d+)?)\)$")
 
 
 @dataclass(frozen=True)
@@ -356,6 +357,204 @@ def list_checkpoints(directory: str) -> List[Checkpoint]:
 
 
 # ---------------------------------------------------------------------------
+# following (replication feed)
+# ---------------------------------------------------------------------------
+class WalStream:
+    """A resumable cursor over a live log directory, for followers.
+
+    Where :func:`scan_directory` reads a *dead* log once, a stream
+    tails a directory another process (or thread) is still appending
+    to: :meth:`poll` returns every record past the cursor that is
+    fully durable on disk right now, and the cursor advances so the
+    next poll picks up where this one stopped.  The same torn-tail
+    rule applies, reinterpreted for a live writer: an undecodable tail
+    is *in flight* (a half-flushed append, or one the writer's crash
+    will truncate), so the stream stops in front of it and retries on
+    the next poll rather than reporting damage.
+
+    Segment rotation is followed transparently.  Checkpoint retention
+    is the one thing a follower cannot survive incrementally: when the
+    segment holding the cursor's next lsn has been pruned away (the
+    follower lagged behind the retention window) or the history behind
+    the cursor was rewritten, :meth:`poll` raises
+    :class:`~repro.errors.WalStreamGap` and the follower must re-seed
+    from the newest checkpoint (:meth:`repro.replication.Replica.catch_up`).
+
+    Kill-point consulted: ``stream-truncated`` at the top of every
+    poll -- the chaos lane uses it to simulate the feed being cut out
+    from under a replica.
+
+    Args:
+        directory: the log directory to follow.
+        from_lsn: deliver records *after* this lsn (0 follows from the
+            beginning of the retained log).
+    """
+
+    def __init__(self, directory: str, from_lsn: int = 0) -> None:
+        if from_lsn < 0:
+            raise ValueError("from_lsn must be >= 0")
+        self._directory = os.path.abspath(directory)
+        self._next_lsn = from_lsn + 1
+        self._segment: Optional[str] = None
+        self._offset = 0
+        self._in_flight: Optional[TornTail] = None
+
+    @property
+    def directory(self) -> str:
+        """The log directory being followed."""
+        return self._directory
+
+    @property
+    def next_lsn(self) -> int:
+        """The lsn the next delivered record will carry."""
+        return self._next_lsn
+
+    @property
+    def in_flight(self) -> Optional[TornTail]:
+        """The undecodable tail the last poll stopped in front of, or
+        None when it ended at a clean end-of-log."""
+        return self._in_flight
+
+    def poll(self, max_records: Optional[int] = None) -> List[WalRecord]:
+        """Every durable record past the cursor, in lsn order.
+
+        Returns an empty list when the follower is caught up (or the
+        only bytes past the cursor are an in-flight append).  The
+        cursor advances past everything returned.
+
+        Args:
+            max_records: stop after this many records (None reads to
+                the current end of log); the rest stay for later polls.
+
+        Raises:
+            WalStreamGap: the cursor's position is no longer on disk
+                (pruned by checkpoint retention, or rewritten); the
+                follower must re-seed from a checkpoint.
+            InjectedFault: the ``stream-truncated`` kill-point fired.
+        """
+        kill_point("stream-truncated", next_lsn=self._next_lsn)
+        out: List[WalRecord] = []
+        self._in_flight = None
+        while max_records is None or len(out) < max_records:
+            files = _segment_files(self._directory)
+            if not files:
+                if self._next_lsn > 1:
+                    raise WalStreamGap(
+                        f"{self._directory}: log vanished under the stream "
+                        f"(needed lsn {self._next_lsn})",
+                        next_lsn=self._next_lsn,
+                    )
+                break  # nothing written yet
+            candidates = [
+                (first, path) for first, path in files
+                if first <= self._next_lsn
+            ]
+            if not candidates:
+                raise WalStreamGap(
+                    f"{self._directory}: lsn {self._next_lsn} pruned away "
+                    f"(oldest retained segment starts at {files[0][0]})",
+                    next_lsn=self._next_lsn,
+                    oldest_available=files[0][0],
+                )
+            first_lsn, path = candidates[-1]
+            if path != self._segment:
+                self._segment, self._offset = path, len(MAGIC)
+            progressed = self._drain_segment(first_lsn, out, max_records)
+            if self._in_flight is not None:
+                break  # stopped in front of an in-flight append
+            successor = next(
+                (p for f, p in files if f == self._next_lsn and p != path),
+                None,
+            )
+            if successor is None:
+                break  # caught up at the live tail
+            if not progressed and successor == self._segment:
+                break  # defensive: never spin on one segment
+            self._segment, self._offset = successor, len(MAGIC)
+        return out
+
+    def _drain_segment(
+        self, first_lsn: int, out: List[WalRecord], max_records: Optional[int]
+    ) -> bool:
+        """Decode records at the cursor until end-of-segment, damage,
+        or ``max_records``; returns True when the cursor moved."""
+        path = self._segment
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            # Pruned between the listing and the open: surface as a gap.
+            raise WalStreamGap(
+                f"{path}: segment vanished under the stream",
+                next_lsn=self._next_lsn,
+            )
+        size = len(data)
+        if size < len(MAGIC) or not data.startswith(MAGIC):
+            # A just-created segment whose magic is still in flight.
+            self._in_flight = TornTail(path, 0, "segment header in flight", size)
+            return False
+        if size < self._offset:
+            # The segment shrank behind the cursor: the writer crashed
+            # and truncated history we already consumed.  Incremental
+            # progress is impossible; re-seed from a checkpoint.
+            raise WalStreamGap(
+                f"{path}: segment truncated behind the stream cursor "
+                f"(size {size} < cursor offset {self._offset})",
+                next_lsn=self._next_lsn,
+            )
+        moved = False
+        expect = first_lsn if self._offset == len(MAGIC) else self._next_lsn
+        offset = self._offset
+        while offset < size:
+            if max_records is not None and len(out) >= max_records:
+                break
+            if size - offset < _HEADER.size:
+                self._in_flight = TornTail(
+                    path, offset, "record header in flight", size - offset
+                )
+                break
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            if length > _MAX_RECORD or size - start < length:
+                self._in_flight = TornTail(
+                    path, offset, "record payload in flight", size - offset
+                )
+                break
+            payload_bytes = data[start:start + length]
+            if zlib.crc32(payload_bytes) & 0xFFFFFFFF != crc:
+                self._in_flight = TornTail(
+                    path, offset, "record checksum in flight", size - offset
+                )
+                break
+            try:
+                payload = json.loads(payload_bytes.decode("utf-8"))
+                lsn = int(payload["lsn"])
+                kind = str(payload["kind"])
+            except Exception:
+                self._in_flight = TornTail(
+                    path, offset, "record payload undecodable", size - offset
+                )
+                break
+            if lsn != expect:
+                raise WalStreamGap(
+                    f"{path}: lsn discontinuity under the stream (found "
+                    f"{lsn} at offset {offset}, expected {expect})",
+                    next_lsn=self._next_lsn,
+                )
+            record_length = _HEADER.size + length
+            if lsn >= self._next_lsn:
+                out.append(
+                    WalRecord(lsn, kind, payload, path, offset, record_length)
+                )
+                self._next_lsn = lsn + 1
+            offset = start + length
+            self._offset = offset
+            expect = lsn + 1
+            moved = True
+        return moved
+
+
+# ---------------------------------------------------------------------------
 # write side
 # ---------------------------------------------------------------------------
 class WriteAheadLog:
@@ -506,6 +705,24 @@ class WriteAheadLog:
         checkpoints, state_fallbacks, torn_tail_repaired."""
         with self._lock:
             return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # following
+    # ------------------------------------------------------------------
+    def stream(self, from_lsn: int = 0) -> "WalStream":
+        """A :class:`WalStream` following this log's directory.
+
+        The stream reads the segment files directly (no shared state
+        with the writer beyond the filesystem), so it behaves the same
+        whether the follower runs in this process or another one;
+        replicas normally construct :class:`WalStream` against the
+        directory path instead.
+
+        Args:
+            from_lsn: deliver records after this lsn (0 = everything
+                retained).
+        """
+        return WalStream(self._directory, from_lsn)
 
     # ------------------------------------------------------------------
     # appending

@@ -40,7 +40,12 @@ from .log import (
     scan_directory,
 )
 
-__all__ = ["RecoveryResult", "recover"]
+__all__ = [
+    "RecoveryResult",
+    "apply_record",
+    "load_newest_checkpoint",
+    "recover",
+]
 
 
 @dataclass
@@ -120,8 +125,8 @@ def recover(
             raise WalCorruptionError(f"{directory}: {scan.torn}")
         result.report.add("wal", str(scan.torn))
 
-    checkpoint, database = _load_starting_point(
-        directory, scan, scheme, strict, result.report
+    checkpoint, database = load_newest_checkpoint(
+        directory, scheme=scheme, strict=strict, report=result.report
     )
     result.checkpoint = checkpoint
     start_lsn = checkpoint.lsn if checkpoint is not None else 0
@@ -147,7 +152,7 @@ def recover(
                 result.report.add("wal", message + "; stopping here")
                 break
         try:
-            database = _replay(database, record, scheme, strict)
+            database = apply_record(database, record, scheme)
         except Exception as exc:
             message = (
                 f"replay of lsn {record.lsn} ({record.kind}) failed: {exc}"
@@ -186,9 +191,35 @@ def recover(
 # ---------------------------------------------------------------------------
 # starting point
 # ---------------------------------------------------------------------------
-def _load_starting_point(directory, scan, scheme, strict, report):
-    """The newest loadable checkpoint, or None to bootstrap from a
-    ``state`` record."""
+def load_newest_checkpoint(
+    directory: str,
+    *,
+    scheme: Optional[NumberingScheme] = None,
+    strict: bool = False,
+    report: Optional[LoadReport] = None,
+):
+    """The newest loadable checkpoint as ``(Checkpoint, database)``.
+
+    Walks the directory's checkpoint snapshots newest-first and returns
+    the first that loads (with its version counter restored), falling
+    back through older generations when a newer snapshot is corrupt.
+    Returns ``(None, None)`` when no snapshot loads at all -- recovery
+    then bootstraps from a full-state log record if one exists.
+
+    This is both :func:`recover`'s starting point and the replication
+    catch-up protocol's re-seed step
+    (:meth:`repro.replication.Replica.catch_up`).
+
+    Args:
+        directory: the log directory holding the snapshots.
+        scheme: numbering scheme for the loaded document.
+        strict: raise :class:`RecoveryError` if the *newest* snapshot
+            fails to load, instead of degrading to an older one.
+        report: a :class:`~repro.storage.LoadReport` collecting what
+            the fallback skipped (optional).
+    """
+    if report is None:
+        report = LoadReport()
     # Snapshot files are written to a temp name and atomically renamed,
     # so every visible checkpoint is complete -- even one whose
     # *checkpoint record* was torn off the log tail is a valid (indeed
@@ -219,8 +250,25 @@ def _load_starting_point(directory, scan, scheme, strict, report):
 # ---------------------------------------------------------------------------
 # replay
 # ---------------------------------------------------------------------------
-def _replay(database, record: WalRecord, scheme, strict: bool):
-    """Apply one record; returns the (possibly replaced) database."""
+def apply_record(database, record: WalRecord, scheme=None):
+    """Apply one log record; returns the (possibly replaced) database.
+
+    The single replay step both recovery and replication are built on:
+    a logged session script re-executes through the real secured path
+    (:meth:`Session.execute`), an administrative script through
+    :meth:`SecureXMLDatabase.admin_update`, subject/policy events
+    re-dispatch onto the live hierarchies, and a full-state record
+    replaces the database outright.  ``checkpoint`` records are
+    informational and return the database unchanged.
+
+    Stamped-version checking is the *caller's* contract (recovery stops
+    or raises; a replica quarantines itself) -- this function only
+    applies.
+
+    Raises:
+        RecoveryError: the record kind is unknown, or a record that
+            needs a database arrived before any state to replay onto.
+    """
     kind, payload = record.kind, record.payload
     if kind == "state":
         rebuilt = load_database(

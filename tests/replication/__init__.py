@@ -1,0 +1,1 @@
+"""WAL-shipping replication suites: stream, replica, router, chaos."""

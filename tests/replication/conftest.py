@@ -1,0 +1,60 @@
+"""Shared fixtures for the replication suites."""
+
+import pytest
+
+from repro.security import Policy, SecureXMLDatabase, SubjectHierarchy
+from repro.storage import dump_state
+from repro.wal import WriteAheadLog
+from repro.xmltree import XMLDocument, element, text
+
+USERS = ("w1", "w2")
+
+XUPDATE_NS = 'xmlns:xupdate="http://www.xmldb.org/xupdate"'
+
+
+def editors_database(users=USERS) -> SecureXMLDatabase:
+    """A tiny database where every user may read and write everything
+    (these suites stress replication, not the policy)."""
+    doc = XMLDocument()
+    root = doc.add_root("log")
+    element("entry", text("seed")).attach(doc, root)
+    subjects = SubjectHierarchy()
+    subjects.add_role("editor")
+    for user in users:
+        subjects.add_user(user, member_of="editor")
+    policy = Policy(subjects)
+    for privilege in ("read", "update", "insert", "delete"):
+        policy.grant(privilege, "//*", "editor")
+    return SecureXMLDatabase(doc, subjects, policy)
+
+
+def append_script(label: str) -> str:
+    """An XUpdate script appending one ``<label>`` entry under the root."""
+    return (
+        f"<xupdate:modifications {XUPDATE_NS}>"
+        f'<xupdate:append select="/log">'
+        f'<xupdate:element name="{label}">x</xupdate:element>'
+        f"</xupdate:append></xupdate:modifications>"
+    )
+
+
+def state_bytes(db) -> str:
+    """The full serialized state convergence is asserted on: document,
+    subjects and policy, exactly as a checkpoint snapshot spells them
+    (byte-identical here really means byte-identical on disk)."""
+    return dump_state(db.document, db.subjects, db.policy)
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    return str(tmp_path / "db.wal")
+
+
+@pytest.fixture
+def primary(wal_dir):
+    """An editors database with an attached, checkpointed log."""
+    db = editors_database()
+    wal = WriteAheadLog(wal_dir)
+    db.attach_wal(wal)
+    wal.checkpoint(db)
+    return db

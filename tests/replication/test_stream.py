@@ -1,0 +1,162 @@
+"""WalStream: resumable tailing of a live write-ahead log.
+
+The follower contract: records come back in lsn order with no gaps; an
+undecodable tail is *in flight* (poll again later), never an error; a
+position the primary has pruned away -- or history rewritten under the
+cursor -- is a :class:`WalStreamGap`, the signal to re-seed from a
+checkpoint."""
+
+import os
+
+import pytest
+
+from repro.errors import WalStreamGap
+from repro.wal import WalStream, WriteAheadLog, scan_directory
+
+from .conftest import append_script, editors_database
+
+
+def lsns(records):
+    return [r.lsn for r in records]
+
+
+class TestFollowing:
+    def test_follow_from_zero_sees_every_record(self, primary, wal_dir):
+        primary.login("w1").execute(append_script("a"))
+        primary.login("w2").execute(append_script("b"))
+        stream = WalStream(wal_dir)
+        records = stream.poll()
+        assert lsns(records) == [1, 2, 3]  # checkpoint + two commits
+        assert records[0].kind == "checkpoint"
+        assert [r.kind for r in records[1:]] == ["update", "update"]
+
+    def test_incremental_polls_pick_up_only_new_records(
+        self, primary, wal_dir
+    ):
+        stream = WalStream(wal_dir)
+        assert lsns(stream.poll()) == [1]
+        assert stream.poll() == []  # idle: nothing new
+        primary.login("w1").execute(append_script("a"))
+        assert lsns(stream.poll()) == [2]
+        primary.login("w1").execute(append_script("b"))
+        primary.login("w2").execute(append_script("c"))
+        assert lsns(stream.poll()) == [3, 4]
+        assert stream.poll() == []
+
+    def test_resume_from_lsn_skips_the_prefix(self, primary, wal_dir):
+        for label in ("a", "b", "c"):
+            primary.login("w1").execute(append_script(label))
+        assert lsns(WalStream(wal_dir, from_lsn=2).poll()) == [3, 4]
+        assert lsns(WalStream(wal_dir, from_lsn=4).poll()) == []
+
+    def test_max_records_caps_one_poll(self, primary, wal_dir):
+        for label in ("a", "b", "c"):
+            primary.login("w1").execute(append_script(label))
+        stream = WalStream(wal_dir)
+        assert lsns(stream.poll(max_records=2)) == [1, 2]
+        assert lsns(stream.poll(max_records=2)) == [3, 4]
+        assert stream.poll(max_records=2) == []
+
+    def test_follows_across_segment_rotation(self, tmp_path):
+        wal_dir = str(tmp_path / "rot.wal")
+        db = editors_database()
+        wal = WriteAheadLog(wal_dir, segment_bytes=256)  # rotate often
+        db.attach_wal(wal)
+        wal.checkpoint(db)
+        stream = WalStream(wal_dir)
+        for i in range(8):
+            db.login("w1").execute(append_script(f"r{i}"))
+        assert len(scan_directory(wal_dir).segments) > 1
+        assert lsns(stream.poll()) == list(range(1, 10))
+
+    def test_stream_method_on_the_log(self, primary, wal_dir):
+        primary.login("w1").execute(append_script("a"))
+        stream = primary.wal.stream(from_lsn=1)
+        assert lsns(stream.poll()) == [2]
+
+
+class TestTornTail:
+    def test_undecodable_tail_is_in_flight_not_an_error(
+        self, primary, wal_dir
+    ):
+        primary.login("w1").execute(append_script("a"))
+        stream = WalStream(wal_dir)
+        assert lsns(stream.poll()) == [1, 2]
+        primary.wal.close()
+        segment = scan_directory(wal_dir).segments[-1]
+        size = os.path.getsize(segment)
+        with open(segment, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef torn half-record")
+        # The damage sits past the committed prefix: poll simply sees
+        # nothing new yet (the writer may still be mid-append).
+        assert stream.poll() == []
+        assert stream.poll() == []
+        # The primary restarts: re-opening the log truncates the torn
+        # tail and appends continue; the stream picks up seamlessly.
+        with open(segment, "r+b") as handle:
+            handle.truncate(size)
+        reopened = WriteAheadLog(wal_dir)
+        reopened.append({"kind": "admin", "version": 99, "op": "noop"})
+        assert lsns(stream.poll()) == [3]
+
+    def test_torn_prefix_then_commit_is_served_after_repair(
+        self, primary, wal_dir
+    ):
+        stream = WalStream(wal_dir)
+        stream.poll()
+        primary.wal.close()
+        segment = scan_directory(wal_dir).segments[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00\x01garbage")
+        assert stream.poll() == []
+        # WriteAheadLog's own open path repairs the torn tail.
+        reopened = WriteAheadLog(wal_dir)
+        assert reopened.stats["torn_tail_repaired"] == 1
+        reopened.append({"kind": "admin", "version": 1, "op": "noop"})
+        assert lsns(stream.poll()) == [2]
+
+
+class TestGaps:
+    def test_pruned_position_raises_gap(self, tmp_path):
+        wal_dir = str(tmp_path / "prune.wal")
+        db = editors_database()
+        wal = WriteAheadLog(wal_dir, retain_checkpoints=1, segment_bytes=128)
+        db.attach_wal(wal)
+        wal.checkpoint(db)
+        for i in range(6):
+            db.login("w1").execute(append_script(f"p{i}"))
+        wal.checkpoint(db)  # retention drops the oldest segments
+        for i in range(3):
+            db.login("w1").execute(append_script(f"q{i}"))
+        wal.checkpoint(db)
+        stale = WalStream(wal_dir)  # position 0 was pruned away
+        with pytest.raises(WalStreamGap) as excinfo:
+            stale.poll()
+        assert excinfo.value.oldest_available > 1
+
+    def test_truncation_behind_the_cursor_raises_gap(
+        self, primary, wal_dir
+    ):
+        primary.login("w1").execute(append_script("a"))
+        primary.login("w1").execute(append_script("b"))
+        stream = WalStream(wal_dir)
+        assert lsns(stream.poll()) == [1, 2, 3]
+        primary.wal.close()
+        # History rewritten under the cursor: the segment shrinks below
+        # the stream's offset.  That is never "in flight".
+        segment = scan_directory(wal_dir).segments[-1]
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) // 2)
+        with pytest.raises(WalStreamGap):
+            stream.poll()
+
+    def test_empty_directory_from_positive_lsn_is_a_gap(self, tmp_path):
+        empty = str(tmp_path / "empty.wal")
+        os.makedirs(empty)
+        with pytest.raises(WalStreamGap):
+            WalStream(empty, from_lsn=5).poll()
+
+    def test_empty_directory_from_zero_just_waits(self, tmp_path):
+        empty = str(tmp_path / "empty.wal")
+        os.makedirs(empty)
+        assert WalStream(empty).poll() == []

@@ -3,6 +3,8 @@
 import os
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import WalCorruptionError, WalWriteError
 from repro.testing.faults import InjectedFault, inject
@@ -51,6 +53,29 @@ class TestFsyncPolicy:
     def test_rejects(self, bad):
         with pytest.raises(ValueError):
             FsyncPolicy.parse(bad)
+
+    @given(
+        policy=st.one_of(
+            st.just(FsyncPolicy("always")),
+            st.just(FsyncPolicy("os")),
+            st.builds(
+                FsyncPolicy,
+                st.just("batch"),
+                st.integers(min_value=1, max_value=10**9),
+                st.one_of(
+                    st.integers(min_value=0, max_value=99_999).map(float),
+                    st.integers(min_value=0, max_value=99_999).map(
+                        lambda n: n + 0.5
+                    ),
+                ),
+            ),
+        )
+    )
+    def test_parse_str_round_trips_every_shape(self, policy):
+        """``parse(str(policy)) == policy`` over all three shapes --
+        the property that makes the policy safe to persist and echo
+        through configuration."""
+        assert FsyncPolicy.parse(str(policy)) == policy
 
 
 class TestAppendScan:

@@ -209,6 +209,54 @@ class TestDegradations:
         with pytest.raises(RecoveryError):
             recover(wal_dir, strict=True)
 
+    def test_repair_mode_takes_the_older_checkpoint_fallback(
+        self, wal_dir, logged_db
+    ):
+        # The worst plausible crash site: the newest snapshot is
+        # corrupt AND the log has a torn tail.  Repair mode must fall
+        # back to the older checkpoint, replay the committed suffix
+        # over it, truncate the torn bytes, and leave a directory a
+        # fresh WriteAheadLog opens cleanly.
+        db = logged_db
+        db.login("w1").execute(append_script("a"))
+        db.wal.checkpoint(db)
+        db.login("w1").execute(append_script("b"))
+        expected = state_of(db)
+        db.detach_wal().close()
+        newest = list_checkpoints(wal_dir)[-1]
+        with open(newest.path, "r+", encoding="utf-8") as handle:
+            handle.truncate(40)
+        with open(last_segment(wal_dir), "ab") as handle:
+            handle.write(b"\xff\xfftorn")
+        result = recover(wal_dir, repair=True)
+        assert not result.report.clean
+        assert result.checkpoint.lsn < newest.lsn  # the older one
+        assert state_of(result.database) == expected
+        # the torn tail is physically gone: re-opening repairs nothing
+        reopened = WriteAheadLog(wal_dir)
+        assert reopened.stats["torn_tail_repaired"] == 0
+        reopened.close()
+
+    def test_load_newest_checkpoint_skips_the_corrupt_one(
+        self, wal_dir, logged_db
+    ):
+        from repro.wal import load_newest_checkpoint
+
+        db = logged_db
+        db.login("w1").execute(append_script("a"))
+        db.wal.checkpoint(db)
+        db.detach_wal().close()
+        newest = list_checkpoints(wal_dir)[-1]
+        checkpoint, loaded = load_newest_checkpoint(wal_dir)
+        assert checkpoint.lsn == newest.lsn
+        assert loaded.version == checkpoint.version
+        with open(newest.path, "r+", encoding="utf-8") as handle:
+            handle.truncate(40)
+        checkpoint, loaded = load_newest_checkpoint(wal_dir)
+        assert checkpoint.lsn < newest.lsn
+        with pytest.raises(RecoveryError):
+            load_newest_checkpoint(wal_dir, strict=True)
+
     def test_tampered_checkpoint_is_rejected_by_its_integrity_header(
         self, wal_dir, logged_db
     ):
