@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault chaos recovery replication bench bench-json bench-smoke verify
+.PHONY: test fault chaos recovery replication netserve bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -38,6 +38,14 @@ recovery:
 replication:
 	$(PYTEST) -x -q -m replication
 
+# Network front-end lane: the framing codec's round-trip properties,
+# the asyncio protocol server end to end over real sockets (sessions,
+# typed results, deadlines, pipelining, close-on-violation), and the
+# group committer's leader/follower, amortization, isolation and
+# crash-window semantics (group-* and net-mid-frame kill-points).
+netserve:
+	$(PYTEST) -x -q -m netserve
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -58,6 +66,9 @@ bench-json:
 	rm -f $(CURDIR)/BENCH_E24.json
 	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E24.json \
 		$(PYTEST) -q -s benchmarks/test_e24_replication.py
+	rm -f $(CURDIR)/BENCH_E25.json
+	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E25.json \
+		$(PYTEST) -q -s benchmarks/test_e25_netserve.py
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
 # incremental counters, loose speedup bar), E21's counter-only
@@ -67,6 +78,7 @@ bench-smoke:
 	$(PYTEST) -q benchmarks/test_e20_view_maintenance.py \
 		benchmarks/test_e21_serving_under_load.py \
 		benchmarks/test_e22_wal.py \
-		benchmarks/test_e24_replication.py -k smoke
+		benchmarks/test_e24_replication.py \
+		benchmarks/test_e25_netserve.py -k smoke
 
-verify: test fault chaos recovery replication bench-smoke
+verify: test fault chaos recovery replication netserve bench-smoke

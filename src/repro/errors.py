@@ -29,6 +29,10 @@ The taxonomy::
     ├── ReplicationError       (repro.replication: primary/replica serving)
     │   ├── ReplicaDiverged    (replica state-hash != primary checkpoint)
     │   └── ReadOnlyReplica    (a write reached a replica's database)
+    ├── NetworkError           (repro.netserve: the wire protocol)
+    │   ├── ProtocolError      (malformed frame, bad handshake, oversized)
+    │   │   └── FrameTooLarge  (frame exceeds the negotiated maximum)
+    │   └── RemoteError        (a server-side failure relayed to a client)
     ├── InjectedFault          (repro.testing.faults: simulated crash)
     ├── PolicyError            (repro.security.policy)
     ├── SubjectError           (repro.security.subjects)
@@ -64,6 +68,10 @@ __all__ = [
     "ReplicationError",
     "ReplicaDiverged",
     "ReadOnlyReplica",
+    "NetworkError",
+    "ProtocolError",
+    "FrameTooLarge",
+    "RemoteError",
     "ServingError",
     "OverloadError",
     "DeadlineExceeded",
@@ -300,6 +308,53 @@ class ReadOnlyReplica(ReplicationError):
     Route writes through the primary (see
     :class:`repro.replication.ReplicationRouter`).
     """
+
+
+class NetworkError(ReproError):
+    """Root of the network front-end failures (:mod:`repro.netserve`)."""
+
+
+class ProtocolError(NetworkError):
+    """The wire protocol was violated: an unparseable frame, a request
+    before ``open_session``, an unknown operation, or a frame the peer
+    refuses to accept.
+
+    The server answers with a final error frame and closes the
+    connection -- a protocol violation never hangs the peer.
+    """
+
+
+class FrameTooLarge(ProtocolError):
+    """A length prefix announced a frame beyond the configured maximum.
+
+    Attributes:
+        announced: the length the prefix claimed, in bytes.
+        limit: the maximum the codec accepts.
+    """
+
+    def __init__(self, message: str, *, announced: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.announced = announced
+        self.limit = limit
+
+
+class RemoteError(NetworkError):
+    """A server-side failure relayed across the wire to a client.
+
+    The client cannot re-raise the server's exact exception class (the
+    payload is JSON), so the error *kind* travels as a string --
+    ``"OverloadError"``, ``"AccessDenied"``, ... -- and callers branch
+    on :attr:`kind` the way in-process callers branch on class.
+
+    Attributes:
+        kind: the server-side exception class name.
+        remote_message: the server-side message verbatim.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", remote_message: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.remote_message = remote_message
 
 
 class StorageError(ReproError, ValueError):

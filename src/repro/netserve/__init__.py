@@ -1,0 +1,32 @@
+"""The network front-end: a framed protocol over a served database.
+
+Everything below :class:`~repro.serving.DatabaseServer` is a library
+call; this package puts a socket in front of it.  An asyncio listener
+(:class:`NetServer`) speaks a length-prefixed JSON protocol
+(:mod:`~repro.netserve.framing`, :mod:`~repro.netserve.protocol`) with
+per-connection authenticated sessions, propagates each request's
+``deadline_ms`` into the serving layer's deadline machinery, pushes
+back on overload by *not reading* saturated connections, and batches
+concurrently arriving write scripts through the
+:class:`~repro.serving.GroupCommitter` so N writers share one WAL
+fsync.  :class:`NetClient` / :class:`AsyncNetClient` are the matching
+clients.  See DESIGN.md §13.
+"""
+
+from .client import AsyncNetClient, NetClient
+from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
+from .protocol import OPS, PROTOCOL_VERSION
+from .server import NetServer, NetServerHandle, serve_in_thread
+
+__all__ = [
+    "AsyncNetClient",
+    "DEFAULT_MAX_FRAME",
+    "FrameDecoder",
+    "NetClient",
+    "NetServer",
+    "NetServerHandle",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "serve_in_thread",
+]

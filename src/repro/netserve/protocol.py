@@ -1,0 +1,143 @@
+"""The request/response protocol spoken over the framing layer.
+
+Every frame is one JSON object (see :mod:`repro.netserve.framing`).
+A **request** carries::
+
+    {"id": <int>, "op": <operation>, ...operation fields,
+     "deadline_ms": <optional budget in milliseconds>}
+
+and its **response** echoes the id::
+
+    {"id": <int>, "ok": true,  "result": <operation result>}
+    {"id": <int>, "ok": false, "error": {"kind": "<exception class>",
+                                         "message": "<server message>"}}
+
+Requests on one connection may be pipelined; responses carry the id so
+a client can match them even if the server finishes them out of order
+(reads overlap; only the commit groups serialize writes).
+
+Operations (:data:`OPS`):
+
+=============  =====================================================
+op             fields -> result
+=============  =====================================================
+open_session   ``user`` -> ``{"user", "version", "protocol"}``;
+               must be the connection's first operation, and every
+               later request runs as this subject (the paper's
+               ``logged(s)``)
+query          ``path`` -> a typed XPath value (see below)
+select         ``path`` -> ``{"nodes": [<xml>...]}``
+read_xml       ``indent?`` -> ``{"xml": <string>}``
+execute        ``script``, ``strict?`` -> ``{"fully_applied",
+               "selected", "affected", "denied", "version"}``
+stats          -> the server's :meth:`stats` ledger plus ``net_*``
+               front-end counters
+close          -> ``{"closed": true}``; the server closes after
+               responding
+=============  =====================================================
+
+``query`` results are typed the way XPath 1.0 types values::
+
+    {"type": "node-set", "nodes": ["<entry>...</entry>", ...]}
+    {"type": "string",   "value": "..."}
+    {"type": "number",   "value": 3.0}          # NaN/inf as strings
+    {"type": "boolean",  "value": true}
+
+Error *kinds* are server-side exception class names
+(``"AccessDenied"``, ``"OverloadError"``, ``"DeadlineExceeded"``, ...)
+relayed verbatim; clients branch on
+:attr:`~repro.errors.RemoteError.kind` the way in-process callers
+branch on exception class.  A protocol violation (unparseable frame,
+request before ``open_session``, unknown op) is answered with a final
+``ProtocolError`` frame -- ``id`` null when the request's own id never
+decoded -- and the connection is closed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, RemoteError
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "error_response",
+    "ok_response",
+    "request",
+    "unwrap_response",
+    "wire_number",
+]
+
+#: Bumped when a frame's meaning changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every operation the server understands.
+OPS = (
+    "open_session",
+    "query",
+    "select",
+    "execute",
+    "read_xml",
+    "stats",
+    "close",
+)
+
+
+def request(request_id: int, op: str, **fields: Any) -> Dict[str, Any]:
+    """A request frame; None-valued fields are omitted from the wire."""
+    frame: Dict[str, Any] = {"id": request_id, "op": op}
+    for key, value in fields.items():
+        if value is not None:
+            frame[key] = value
+    return frame
+
+
+def ok_response(request_id: Optional[int], result: Any) -> Dict[str, Any]:
+    """A success frame carrying ``result`` for the given request id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Optional[int], exc: BaseException
+) -> Dict[str, Any]:
+    """A failure frame relaying the server-side exception by name."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"kind": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def unwrap_response(frame: Dict[str, Any]) -> Any:
+    """A response frame's result, re-raising relayed failures.
+
+    Raises:
+        RemoteError: the frame reports a server-side failure; its
+            :attr:`~repro.errors.RemoteError.kind` is the server's
+            exception class name.
+        ProtocolError: the frame is not a response at all.
+    """
+    if "ok" not in frame:
+        raise ProtocolError(f"peer sent a non-response frame: {frame!r}")
+    if frame["ok"]:
+        return frame.get("result")
+    error = frame.get("error") or {}
+    kind = str(error.get("kind", "Exception"))
+    message = str(error.get("message", ""))
+    raise RemoteError(
+        f"server failed the request with {kind}: {message}",
+        kind=kind,
+        remote_message=message,
+    )
+
+
+def wire_number(value: float) -> Any:
+    """An XPath number as JSON: floats directly, the three values JSON
+    cannot spell (NaN, the infinities) as their XPath string forms."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value

@@ -11,6 +11,7 @@ breaker, and graceful degradation of the view caches.  See DESIGN.md
 """
 
 from .admission import AdmissionController, CircuitBreaker
+from .group import CommitTicket, GroupCommitter
 from .retry import Deadline, RetryPolicy
 from .rwlock import RWLock
 from .server import DatabaseServer
@@ -18,8 +19,10 @@ from .server import DatabaseServer
 __all__ = [
     "AdmissionController",
     "CircuitBreaker",
+    "CommitTicket",
     "DatabaseServer",
     "Deadline",
+    "GroupCommitter",
     "RetryPolicy",
     "RWLock",
 ]

@@ -1,0 +1,376 @@
+"""Group commit: one fsync amortized over N concurrent writers.
+
+Under fsync policy ``always`` every commit pays its own fsync -- E22's
+numbers make that the dominant fixed cost of a durable write.  The
+classic fix is *group commit* (leader/follower): writers that arrive
+within a short window are batched, the batch's records are appended to
+the write-ahead log back to back, and **one** fsync makes the whole
+group durable before any member is acknowledged.
+
+The shape here:
+
+- :meth:`GroupCommitter.submit` joins the open group (creating one
+  when none is open).  The first member in becomes the **leader**; the
+  rest are **followers** who park on their :class:`CommitTicket`.
+- The leader calls :meth:`GroupCommitter.drive`: it waits up to
+  ``max_delay_ms`` for followers (or until ``max_batch`` members),
+  seals the group, executes every member through
+  :meth:`DatabaseServer.execute_once` inside the log's
+  :meth:`~repro.wal.WriteAheadLog.group` window (appends deferred),
+  issues the group's single :meth:`~repro.wal.WriteAheadLog.sync_group`,
+  and only then resolves the tickets.
+- A member's *own* failure (``AccessDenied``, ``UpdateAborted``, a
+  deadline) resolves only that member's ticket -- it never poisons the
+  group.  A member's commit race (``ConcurrentUpdateError``) marks the
+  ticket *retryable*: the member re-submits into a later group on the
+  server's :class:`~repro.serving.retry.RetryPolicy` schedule instead
+  of holding this group through a backoff sleep.
+- A *group* failure -- the fsync refused, a crash between append and
+  sync -- poisons every committed-but-unacknowledged member's ticket
+  and feeds the server's circuit breaker: an unacknowledged commit may
+  or may not survive recovery, exactly like any other crash window.
+
+Kill-points consulted (:mod:`repro.testing.faults`):
+``group-after-leader-append`` once the leader's own member has run,
+``group-before-fsync`` after every append but before the group's one
+fsync.
+
+Thread-agnostic by design: :meth:`commit` is the blocking wrapper for
+thread-per-caller use (tests, the chaos lanes), while the asyncio
+front-end (:mod:`repro.netserve`) uses :meth:`submit`/:meth:`drive`
+plus ticket callbacks so ten thousand parked writers cost no threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from ..errors import ConcurrentUpdateError, RetryExhausted, WalWriteError
+from ..testing.faults import kill_point
+from .retry import Deadline
+from .server import DatabaseServer
+
+__all__ = ["CommitTicket", "GroupCommitter"]
+
+
+class CommitTicket:
+    """One writer's seat in a commit group.
+
+    Resolved exactly once by the group's leader.  After
+    :meth:`wait` returns True (or a done callback fires), exactly one
+    of the terminal states holds:
+
+    - :attr:`result` is set: the commit is applied *and durable*.
+    - :attr:`retry` is True: the attempt hit a commit race (or the log
+      was detached mid-attempt); nothing committed -- re-submit.
+    - :attr:`error` is set: the attempt failed for this member alone,
+      or the whole group failed before its fsync.
+    """
+
+    __slots__ = (
+        "user", "operation", "strict", "deadline", "leader", "group",
+        "result", "error", "retry", "_event", "_callbacks", "_lock",
+    )
+
+    def __init__(self, user, operation, strict, deadline) -> None:
+        self.user = user
+        self.operation = operation
+        self.strict = strict
+        self.deadline: Deadline = deadline
+        self.leader = False
+        self.group: Optional["_Group"] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.retry = False
+        self._event = threading.Event()
+        self._callbacks: List[Callable[["CommitTicket"], None]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        """True once the leader resolved this ticket."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; False when ``timeout`` expires first."""
+        return self._event.wait(timeout)
+
+    def add_done_callback(
+        self, callback: Callable[["CommitTicket"], None]
+    ) -> None:
+        """Run ``callback(ticket)`` on resolution (immediately when the
+        ticket is already resolved).  Callbacks run on the leader's
+        thread -- keep them tiny (the asyncio front-end just hops back
+        onto its loop with ``call_soon_threadsafe``)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _resolve(self) -> None:
+        with self._lock:
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for callback in callbacks:
+            callback(self)
+
+
+class _Group:
+    """One batch of members awaiting a shared fsync."""
+
+    __slots__ = ("members", "sealed", "opened_at")
+
+    def __init__(self, opened_at: float) -> None:
+        self.members: List[CommitTicket] = []
+        self.sealed = False
+        self.opened_at = opened_at
+
+
+class GroupCommitter:
+    """Batches concurrent writes into single-fsync commit groups.
+
+    Args:
+        server: the :class:`DatabaseServer` whose
+            :meth:`~DatabaseServer.execute_once` applies each member
+            (and whose retry policy / rng / sleep pace the re-submits).
+        max_batch: seal a group at this many members even if the window
+            has time left.
+        max_delay_ms: how long a leader waits for followers before
+            flushing a non-full group -- the latency the first writer
+            donates to throughput.
+        clock: monotonic time source (injectable for tests).
+
+    Counters land in the server's ledger: ``group_commits`` (groups
+    flushed with at least one durable commit), ``grouped_records``
+    (commits that rode a group) and ``group_fsyncs_saved`` (fsyncs a
+    one-per-commit policy would have issued minus what the groups
+    actually issued).
+    """
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        *,
+        max_batch: int = 128,
+        max_delay_ms: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self._server = server
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1000.0
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._open: Optional[_Group] = None
+
+    # ------------------------------------------------------------------
+    # joining
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        user: str,
+        operation,
+        strict: bool = False,
+        deadline: "Optional[float | Deadline]" = None,
+    ) -> CommitTicket:
+        """Join the open commit group (opening one when none is).
+
+        Returns immediately.  When the ticket comes back with
+        ``leader=True`` the caller *must* run :meth:`drive` (on a
+        thread it can afford to block); followers just wait on the
+        ticket.
+        """
+        ticket = CommitTicket(
+            user, operation, strict, self._server._deadline(deadline)
+        )
+        with self._cond:
+            group = self._open
+            if group is None or group.sealed or (
+                len(group.members) >= self.max_batch
+            ):
+                group = _Group(self._clock())
+                self._open = group
+                ticket.leader = True
+            ticket.group = group
+            group.members.append(ticket)
+            if len(group.members) >= self.max_batch:
+                group.sealed = True
+                if self._open is group:
+                    self._open = None
+                self._cond.notify_all()  # wake the waiting leader
+        return ticket
+
+    # ------------------------------------------------------------------
+    # leading
+    # ------------------------------------------------------------------
+    def drive(self, ticket: CommitTicket) -> None:
+        """Leader duty: wait out the window, seal, run the batch.
+
+        Blocks for up to ``max_delay_ms`` plus the batch's execution;
+        every ticket in the group -- the leader's included -- is
+        resolved by the time this returns.  Never raises: failures land
+        on the tickets.
+        """
+        if not ticket.leader:
+            raise ValueError("drive() is the leader's job")
+        group = ticket.group
+        with self._cond:
+            seal_at = group.opened_at + self.max_delay
+            while not group.sealed:
+                remaining = seal_at - self._clock()
+                if remaining <= 0:
+                    group.sealed = True
+                    break
+                self._cond.wait(remaining)
+            if self._open is group:
+                self._open = None
+        self._run(group)
+
+    def _run(self, group: _Group) -> None:
+        server = self._server
+        wal = server.database.wal
+        committed: List[CommitTicket] = []
+        applied = 0
+        fsyncs_before = wal.stats["fsyncs"] if wal is not None else 0
+        failure: Optional[BaseException] = None
+        try:
+            with wal.group() if wal is not None else _null():
+                for index, member in enumerate(group.members):
+                    self._apply(member, committed)
+                    applied = index + 1
+                    if index == 0:
+                        kill_point(
+                            "group-after-leader-append",
+                            members=len(group.members),
+                        )
+                if committed:
+                    kill_point("group-before-fsync", records=len(committed))
+                    if wal is not None:
+                        wal.sync_group()
+        except BaseException as exc:  # noqa: BLE001 -- poison, never leak
+            failure = exc
+        if failure is not None:
+            server._breaker.record_failure()
+            if isinstance(failure, WalWriteError):
+                server._count("wal_errors")
+            # Members that committed before the group died may or may
+            # not be durable: unknown outcome, never acknowledged.
+            for member in committed:
+                member.result = None
+                member.error = failure
+            # Members the batch never reached committed nothing; they
+            # are safe to re-submit into a later group.
+            for member in group.members[applied:]:
+                member.retry, member.error = True, failure
+            committed = []
+        if committed:
+            fsyncs_issued = (
+                wal.stats["fsyncs"] - fsyncs_before if wal is not None else 0
+            )
+            server._count("group_commits")
+            server._count("grouped_records", len(committed))
+            server._count(
+                "group_fsyncs_saved", max(0, len(committed) - fsyncs_issued)
+            )
+        for member in group.members:
+            member._resolve()
+
+    def _apply(
+        self, member: CommitTicket, committed: List[CommitTicket]
+    ) -> None:
+        """Run one member; member-local failures stay member-local."""
+        server = self._server
+        try:
+            member.result = server.execute_once(
+                member.user, member.operation, member.strict, member.deadline
+            )
+        except ConcurrentUpdateError as exc:
+            member.retry, member.error = True, exc
+        except WalWriteError as exc:
+            if server.database.wal is None:
+                # The failing log was detached mid-attempt; nothing
+                # committed for this member -- re-run it against the
+                # degraded (snapshot-only) server.
+                member.retry, member.error = True, exc
+            else:
+                member.error = exc
+        except Exception as exc:  # noqa: BLE001 -- resolves this ticket only
+            member.error = exc
+        else:
+            committed.append(member)
+
+    # ------------------------------------------------------------------
+    # blocking wrapper (thread-per-caller use)
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        user: str,
+        operation,
+        strict: bool = False,
+        deadline: "Optional[float | Deadline]" = None,
+    ):
+        """Apply an update through group commit, absorbing races.
+
+        The blocking equivalent of :meth:`DatabaseServer.execute`: the
+        caller's thread leads its group when it is first in, parks as a
+        follower otherwise, and re-submits raced attempts on the
+        server's retry schedule.  Returns the member's
+        :class:`~repro.security.write.SecureUpdateResult`; the result
+        is durable (group-fsynced) before this returns.
+        """
+        server = self._server
+        deadline = server._deadline(deadline)
+        policy = server.retry
+        delay = 0.0
+        last: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            ticket = self.submit(user, operation, strict, deadline)
+            if ticket.leader:
+                self.drive(ticket)
+            elif not ticket.wait(deadline.timeout()):
+                # The group never resolved inside the budget; the
+                # outcome is unknown (the leader may still flush it) --
+                # the caller must treat this like any crashed-ack.
+                raise server._deadline_error(
+                    deadline, user, "group-commit", "group flush"
+                )
+            if not ticket.retry:
+                if ticket.error is not None:
+                    raise ticket.error
+                return ticket.result
+            last = ticket.error
+            if attempt == policy.max_attempts:
+                break
+            remaining = deadline.remaining()
+            if remaining <= 0.0:
+                server._breaker.record_failure()
+                raise server._deadline_error(
+                    deadline, user, "group-commit", "backoff"
+                )
+            delay = policy.next_delay(delay, server._rng)
+            server._count("retries")
+            server._sleep(min(delay, remaining))
+        server._breaker.record_failure()
+        server._count("retry_exhausted")
+        raise RetryExhausted(
+            f"group commit by {user!r} lost {policy.max_attempts} "
+            f"attempt(s); giving up",
+            attempts=policy.max_attempts,
+            last_error=last,
+        ) from last
+
+
+class _null:
+    """A no-op context manager (database without an attached log)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None

@@ -54,12 +54,13 @@ Example::
 from __future__ import annotations
 
 import contextlib
+import copy
 import logging
 import os
 import random
 import threading
 import time
-from typing import Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..errors import (
     ConcurrentUpdateError,
@@ -81,6 +82,19 @@ from .rwlock import RWLock
 __all__ = ["DatabaseServer"]
 
 logger = logging.getLogger("repro.serving")
+
+
+class _WalDegraded(Exception):
+    """Internal: the write-ahead log was detached mid-attempt; the
+    attempt committed nothing and is safe to re-run.  Never escapes
+    the serving layer (:meth:`DatabaseServer.execute` retries it,
+    :meth:`DatabaseServer.execute_once` re-raises the original
+    :class:`~repro.errors.WalWriteError`, the group committer re-queues
+    the member)."""
+
+    def __init__(self, error: WalWriteError) -> None:
+        super().__init__(str(error))
+        self.error = error
 
 
 class DatabaseServer:
@@ -170,6 +184,9 @@ class DatabaseServer:
             "wal_degraded": 0,  # times the failing log was detached
             "checkpoints": 0,  # checkpoints taken (manual + automatic)
             "checkpoint_failures": 0,  # auto-checkpoints that failed (logged)
+            "group_commits": 0,  # commit groups flushed by a GroupCommitter
+            "grouped_records": 0,  # commits that rode a group's single fsync
+            "group_fsyncs_saved": 0,  # fsyncs the groups amortized away
         }
 
     # ------------------------------------------------------------------
@@ -316,6 +333,19 @@ class DatabaseServer:
             user, lambda s: s.read_xml(indent=indent), deadline, "read_xml"
         )
 
+    def serve(
+        self,
+        user: str,
+        fn: Callable[[Session], Any],
+        deadline: Optional[float] = None,
+        what: str = "serve",
+    ) -> Any:
+        """Run an arbitrary read callable against the user's session
+        under the full read discipline (admission + deadline + shared
+        lock).  ``fn`` must not mutate; the network front-end uses this
+        to evaluate-and-serialize in one locked pass."""
+        return self._read(user, fn, deadline, what)
+
     def _read(self, user, fn, budget, what):
         deadline = self._deadline(budget)
         session = self.session(user)
@@ -377,6 +407,42 @@ class DatabaseServer:
         self._maybe_auto_checkpoint()
         return result
 
+    def execute_once(
+        self,
+        user: str,
+        operation: Union[XUpdateOperation, UpdateScript, str],
+        strict: bool = False,
+        deadline: "Optional[float | Deadline]" = None,
+    ) -> SecureUpdateResult:
+        """One governed write attempt with *no* internal retry.
+
+        Exactly one trip through admission, the breaker and the
+        exclusive lock; a commit race surfaces as
+        :class:`~repro.errors.ConcurrentUpdateError` instead of being
+        absorbed.  This is the primitive the
+        :class:`~repro.serving.group.GroupCommitter` batches -- the
+        committer owns the backoff schedule, so a racing member never
+        holds its group hostage through a sleep.
+
+        Accepts an already-ticking :class:`Deadline` as well as a float
+        budget, so a caller retrying across attempts keeps one decaying
+        budget.
+        """
+        deadline = self._deadline(deadline)
+        opname, oppath = _describe(operation)
+        self._breaker.allow()
+        session = self.session(user)
+        self._admit(deadline, user, opname, oppath)
+        try:
+            try:
+                return self._locked_attempt(
+                    session, operation, strict, deadline, opname, oppath
+                )
+            except _WalDegraded as exc:
+                raise exc.error from exc
+        finally:
+            self._admission.release()
+
     def _execute_with_retry(
         self, session, operation, strict, deadline, opname, oppath
     ):
@@ -384,76 +450,22 @@ class DatabaseServer:
         delay = 0.0
         last: Optional[ConcurrentUpdateError] = None
         for attempt in range(1, self._retry.max_attempts + 1):
-            if not self._lock.acquire_write(deadline.timeout()):
-                self._breaker.record_failure()
-                raise self._deadline_error(deadline, user, opname, "write lock")
-            if deadline.expired:
-                # Raised outside the try: the handler below is for
-                # checkpoint expiries *inside* the script and must not
-                # double-count this one.
-                self._lock.release_write()
-                self._breaker.record_failure()
-                raise self._deadline_error(
-                    deadline, user, opname, "write admission"
-                )
             try:
-                result = session.execute(
-                    operation,
-                    strict=strict,
-                    checkpoint=lambda: deadline.check(f"{opname} script"),
+                return self._locked_attempt(
+                    session, operation, strict, deadline, opname, oppath,
+                    attempt=attempt,
                 )
             except ConcurrentUpdateError as exc:
                 last = exc
-                self._count("commit_races")
                 logger.debug(
                     "commit race for %s (%s attempt %d/%d)",
                     user, opname, attempt, self._retry.max_attempts,
                 )
-            except DeadlineExceeded:
-                self._breaker.record_failure()
-                self._count("deadline_exceeded")
-                self._audit_rejection(
-                    user, opname, oppath,
-                    f"deadline of {deadline.budget:.6g}s exceeded "
-                    f"mid-script (attempt {attempt})",
-                    "deadline",
-                )
-                raise
-            except (AccessDenied, UpdateAborted):
-                # Application outcomes: access control and script
-                # semantics worked exactly as specified, so they are
-                # neither breaker failures nor breaker successes.
-                self._count("writes")
-                raise
-            except WalWriteError as exc:
-                # The log refused to make the commit durable; nothing
-                # was installed.  Feed the breaker, and after enough
-                # consecutive refusals detach the log (snapshot-only
-                # durability beats refusing every write) and let the
-                # retry loop re-run this attempt without it.
-                self._breaker.record_failure()
-                self._count("wal_errors")
-                self._wal_consecutive_failures += 1
-                if (
-                    self._database.wal is None
-                    or self._wal_consecutive_failures
-                    < self._wal_failure_threshold
-                ):
-                    raise
-                self._degrade_wal(exc)
-            except Exception:
-                self._breaker.record_failure()
-                raise
-            else:
-                self._breaker.record_success()
-                self._wal_consecutive_failures = 0
-                self._count("writes")
-                self._count("commits")
-                self._commits_since_checkpoint += 1
-                return result
-            finally:
-                self._lock.release_write()
-            # Commit race: back off outside the lock, then go again.
+            except _WalDegraded:
+                # The failing log was detached; the attempt committed
+                # nothing and re-runs against snapshot-only durability.
+                pass
+            # Retryable outcome: back off outside the lock, then again.
             if attempt == self._retry.max_attempts:
                 break
             remaining = deadline.remaining()
@@ -477,6 +489,84 @@ class DatabaseServer:
             attempts=self._retry.max_attempts,
             last_error=last,
         ) from last
+
+    def _locked_attempt(
+        self, session, operation, strict, deadline, opname, oppath, attempt=1
+    ):
+        """One write attempt under the exclusive lock.
+
+        Raises ConcurrentUpdateError on a commit race (not counted as a
+        breaker failure) and :class:`_WalDegraded` when this attempt
+        pushed the failing log over the detach threshold; every other
+        outcome matches :meth:`execute`'s contract.
+        """
+        user = session.user
+        if not self._lock.acquire_write(deadline.timeout()):
+            self._breaker.record_failure()
+            raise self._deadline_error(deadline, user, opname, "write lock")
+        if deadline.expired:
+            # Raised outside the try: the handler below is for
+            # checkpoint expiries *inside* the script and must not
+            # double-count this one.
+            self._lock.release_write()
+            self._breaker.record_failure()
+            raise self._deadline_error(
+                deadline, user, opname, "write admission"
+            )
+        try:
+            result = session.execute(
+                operation,
+                strict=strict,
+                checkpoint=lambda: deadline.check(f"{opname} script"),
+            )
+        except ConcurrentUpdateError:
+            self._count("commit_races")
+            raise
+        except DeadlineExceeded:
+            self._breaker.record_failure()
+            self._count("deadline_exceeded")
+            self._audit_rejection(
+                user, opname, oppath,
+                f"deadline of {deadline.budget:.6g}s exceeded "
+                f"mid-script (attempt {attempt})",
+                "deadline",
+            )
+            raise
+        except (AccessDenied, UpdateAborted):
+            # Application outcomes: access control and script
+            # semantics worked exactly as specified, so they are
+            # neither breaker failures nor breaker successes.
+            self._count("writes")
+            raise
+        except WalWriteError as exc:
+            # The log refused to make the commit durable; nothing
+            # was installed.  Feed the breaker, and after enough
+            # consecutive refusals detach the log (snapshot-only
+            # durability beats refusing every write) so the caller
+            # can re-run the attempt without it.
+            self._breaker.record_failure()
+            self._count("wal_errors")
+            self._wal_consecutive_failures += 1
+            if (
+                self._database.wal is None
+                or self._wal_consecutive_failures
+                < self._wal_failure_threshold
+            ):
+                raise
+            self._degrade_wal(exc)  # still under the write lock
+            raise _WalDegraded(exc) from exc
+        except Exception:
+            self._breaker.record_failure()
+            raise
+        else:
+            self._breaker.record_success()
+            self._wal_consecutive_failures = 0
+            self._count("writes")
+            self._count("commits")
+            self._commits_since_checkpoint += 1
+            return result
+        finally:
+            self._lock.release_write()
 
     # ------------------------------------------------------------------
     # durability maintenance
@@ -551,7 +641,9 @@ class DatabaseServer:
     # ------------------------------------------------------------------
     # shared request plumbing
     # ------------------------------------------------------------------
-    def _deadline(self, budget: Optional[float]) -> Deadline:
+    def _deadline(self, budget: "Optional[float | Deadline]") -> Deadline:
+        if isinstance(budget, Deadline):
+            return budget  # already ticking: shared across retries
         if budget is None:
             budget = self._default_deadline
         return Deadline(budget, clock=self._clock)
@@ -600,15 +692,21 @@ class DatabaseServer:
         except Exception:  # the audit log must never break serving
             logger.exception("audit rejection record failed")
 
-    def _count(self, key: str) -> None:
+    def _count(self, key: str, by: int = 1) -> None:
         with self._counters_lock:
-            self._counters[key] += 1
+            self._counters[key] += by
 
     def stats(self) -> Dict[str, object]:
         """Serving counters: this server's request ledger, the
         admission controller's (``admission_`` prefix), the circuit
         breaker's (``breaker_`` prefix + ``breaker_state``), and the
-        wrapped database's :meth:`SecureXMLDatabase.stats`."""
+        wrapped database's :meth:`SecureXMLDatabase.stats`.
+
+        Returns a *point-in-time deep copy*: the server's own counters
+        are snapshotted under their lock, and nothing in the returned
+        dict aliases live server state -- callers may mutate the result
+        (or any nested value) freely without corrupting the ledger.
+        """
         with self._counters_lock:
             out: Dict[str, object] = dict(self._counters)
         out.update(
@@ -624,7 +722,7 @@ class DatabaseServer:
             out["wal_fsync_policy"] = str(wal.fsync_policy)
             out["wal_failed"] = wal.failed
         out.update(self._database.stats())
-        return out
+        return copy.deepcopy(out)
 
 
 def _describe(operation) -> tuple:

@@ -49,6 +49,22 @@ replica apply loop in :mod:`repro.replication`:
                              killed before finishing its batch
 ===========================  ===========================================
 
+Network/group-commit kill-points (ISSUE 8) -- the async front-end in
+:mod:`repro.netserve` and the group committer in
+:mod:`repro.serving.group`:
+
+==============================  ========================================
+``net-mid-frame``               after roughly half a response frame has
+                                been written to the socket (the peer
+                                sees a truncated frame, then EOF)
+``group-after-leader-append``   the leader's own record is applied and
+                                appended (unfsynced) but no follower
+                                has run yet
+``group-before-fsync``          every group member is appended, the
+                                single group fsync has not happened --
+                                nothing in the group may be acknowledged
+==============================  ========================================
+
 Example::
 
     from repro.testing.faults import inject, InjectedFault
@@ -120,6 +136,9 @@ KILL_POINTS = (
     "stream-truncated",
     "replica-before-apply",
     "replica-mid-replay",
+    "net-mid-frame",
+    "group-after-leader-append",
+    "group-before-fsync",
 )
 
 

@@ -604,10 +604,13 @@ class WriteAheadLog:
         self._pending = 0
         self._last_sync = clock()
         self._bound_db = None
+        self._group_threads: set = set()
         self._stats: Dict[str, int] = {
             "appends": 0,
             "fsyncs": 0,
             "deferred_fsyncs": 0,
+            "grouped_appends": 0,
+            "group_syncs": 0,
             "rotations": 0,
             "checkpoints": 0,
             "state_fallbacks": 0,
@@ -701,8 +704,9 @@ class WriteAheadLog:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: appends, fsyncs, deferred_fsyncs, rotations,
-        checkpoints, state_fallbacks, torn_tail_repaired."""
+        """Counters: appends, fsyncs, deferred_fsyncs, grouped_appends,
+        group_syncs, rotations, checkpoints, state_fallbacks,
+        torn_tail_repaired."""
         with self._lock:
             return dict(self._stats)
 
@@ -792,6 +796,12 @@ class WriteAheadLog:
         return lsn
 
     def _maybe_fsync(self) -> None:
+        if self._group_threads and threading.get_ident() in self._group_threads:
+            # Inside a group-commit window: this append's fsync is the
+            # group's problem (one sync_group() covers every member),
+            # whatever the configured policy says.
+            self._stats["grouped_appends"] += 1
+            return
         policy = self._policy
         if policy.kind == "os":
             return
@@ -831,6 +841,75 @@ class WriteAheadLog:
             if self._handle is not None and self._pending:
                 self._handle.flush()
                 self._fsync_now()
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def group(self):
+        """A group-commit window, scoped to the calling thread.
+
+        While the block is open, every record *this thread* appends --
+        directly or through the commit hook deep inside
+        ``Session.execute`` -- skips its per-record fsync, whatever the
+        configured policy (counted as ``grouped_appends``).  The caller
+        must finish with :meth:`sync_group` before acknowledging any of
+        the grouped commits: that is the single fsync amortized over
+        the whole group.  Appends from *other* threads are unaffected
+        (they keep the configured policy), so a group leader batching
+        on behalf of parked followers never weakens an unrelated
+        writer's durability.
+        """
+        ident = threading.get_ident()
+        with self._lock:
+            self._group_threads.add(ident)
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._group_threads.discard(ident)
+
+    def sync_group(self) -> bool:
+        """The group's one fsync: force every deferred append durable.
+
+        Returns:
+            True when an fsync was actually issued (False when nothing
+            was pending -- e.g. a rotation already synced the batch).
+
+        Raises:
+            WalWriteError: the fsync failed (the log is failed
+                afterwards; none of the group may be acknowledged).
+        """
+        with self._lock:
+            if self._handle is None or not self._pending:
+                return False
+            self._handle.flush()
+            self._fsync_now()
+            self._stats["group_syncs"] += 1
+            return True
+
+    def append_many(self, payloads) -> List[int]:
+        """Append several records with one fsync for the whole batch.
+
+        The multi-record form of :meth:`append`: every payload is
+        written (each individually checksummed and lsn-stamped), then a
+        single fsync makes the batch durable.  Returns the lsns in
+        order.
+
+        Raises:
+            WalWriteError: an append or the batch fsync failed; records
+                written before the failure follow the normal torn-tail
+                rule on recovery.
+        """
+        with self._lock:
+            ident = threading.get_ident()
+            self._group_threads.add(ident)
+            try:
+                lsns = [self._append_locked(payload) for payload in payloads]
+            finally:
+                self._group_threads.discard(ident)
+            self.sync_group()
+            return lsns
 
     def _rotate_locked(self) -> None:
         self._handle.flush()

@@ -1,0 +1,137 @@
+"""The framing codec: round-trips under arbitrary TCP chunking, and
+clean rejection of oversized or malformed frames (satellite of
+ISSUE 8: the property the whole wire protocol stands on)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameTooLarge, ProtocolError
+from repro.netserve import FrameDecoder, encode_frame
+from repro.netserve.framing import HEADER
+
+pytestmark = pytest.mark.netserve
+
+#: Arbitrary JSON-able payload objects (always a dict at the top, as
+#: the protocol requires), with unicode well outside ASCII.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+payloads = st.dictionaries(st.text(max_size=10), json_values, max_size=6)
+
+
+def chunked(data: bytes, cuts) -> list:
+    """Split ``data`` at the given positions (simulating arbitrary
+    ``recv`` boundaries)."""
+    positions = sorted({min(c, len(data)) for c in cuts})
+    chunks, last = [], 0
+    for position in positions:
+        chunks.append(data[last:position])
+        last = position
+    chunks.append(data[last:])
+    return chunks
+
+
+class TestRoundTripProperties:
+    @given(
+        frames=st.lists(payloads, min_size=1, max_size=6),
+        cuts=st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_split_or_coalesce_roundtrips_exactly(
+        self, frames, cuts, data
+    ):
+        """Encode N frames, deliver the byte stream split at arbitrary
+        positions (including empty chunks and everything-coalesced),
+        and the decoder must yield exactly the original frames in
+        order."""
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        for chunk in chunked(stream, cuts):
+            decoded.extend(decoder.feed(chunk))
+        assert decoded == frames
+        assert decoder.buffered == 0
+        assert decoder.frames_decoded == len(frames)
+
+    @given(payload=payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_byte_at_a_time_delivery(self, payload):
+        stream = encode_frame(payload)
+        decoder = FrameDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i:i + 1]))
+        assert decoded == [payload]
+
+
+class TestLimits:
+    def test_encode_refuses_oversized_frames(self):
+        with pytest.raises(FrameTooLarge) as info:
+            encode_frame({"blob": "x" * 100}, max_frame=50)
+        assert info.value.limit == 50
+        assert info.value.announced > 50
+
+    def test_decoder_rejects_announced_oversize_before_buffering(self):
+        """A hostile length prefix is refused from the prefix alone --
+        the announced bytes are never awaited, so a 4GB claim cannot
+        balloon memory or hang the connection."""
+        decoder = FrameDecoder(max_frame=64)
+        prefix = HEADER.pack(2**31)
+        with pytest.raises(FrameTooLarge) as info:
+            decoder.feed(prefix)
+        assert info.value.announced == 2**31
+        assert info.value.limit == 64
+
+    def test_oversize_detected_even_mid_prefix(self):
+        decoder = FrameDecoder(max_frame=64)
+        prefix = HEADER.pack(1 << 20)
+        assert decoder.feed(prefix[:2]) == []  # prefix incomplete: wait
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(prefix[2:])
+
+    def test_exactly_max_frame_is_accepted(self):
+        payload = {"k": "v"}
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        decoder = FrameDecoder(max_frame=len(body))
+        assert decoder.feed(encode_frame(payload, len(body))) == [payload]
+
+
+class TestMalformedBodies:
+    def test_non_json_body_raises_protocol_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(HEADER.pack(3) + b"{{{")
+
+    def test_non_utf8_body_raises_protocol_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(HEADER.pack(2) + b"\xff\xfe")
+
+    def test_non_object_body_raises_protocol_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(HEADER.pack(2) + b"[]")
+
+    def test_failed_decoder_stays_poisoned(self):
+        """After a violation the stream offset cannot be trusted; the
+        decoder refuses to resynchronize on later garbage."""
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(HEADER.pack(3) + b"{{{")
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame({"fine": 1}))
+
+    def test_unencodable_payload_refused_at_encode_time(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"bad": object()})

@@ -229,3 +229,89 @@ def test_diverged_replicas_never_serve_across_seeds(tmp_path):
         victim.catch_up()
         victim.sync()
         assert state_bytes(victim.database) == state_bytes(db), seed
+
+
+# ---------------------------------------------------------------------
+# grouped writes: the WAL-shipping stream under group commit
+# ---------------------------------------------------------------------
+
+def run_grouped_schedule(seed, base, kill_rate):
+    """The convergence schedule with its writes routed through a
+    :class:`~repro.serving.GroupCommitter`: every write action is a
+    burst of 1-4 *concurrent* commits batched into shared-fsync groups,
+    so the replicas replay a stream whose appends were grouped.  Same
+    invariants as :func:`run_schedule`; returns the primary's
+    ``grouped_records`` count so callers can assert the groups really
+    formed."""
+    from repro.serving import GroupCommitter
+    from repro.testing.faults import run_threads
+
+    rng = random.Random(seed)
+    db, wal, wal_dir, router = build_stack(rng, base)
+    committer = GroupCommitter(router.primary, max_batch=4, max_delay_ms=3.0)
+    label = 0
+    for _ in range(rng.randint(6, 12)):
+        action = rng.choice(
+            ("write", "write", "read", "read", "poll", "checkpoint",
+             "catchup")
+        )
+        if action == "write":
+            # Pre-draw everything on the schedule's rng (the threads
+            # must not consume seeded randomness).
+            burst = rng.randint(1, 4)
+            jobs = [
+                (rng.choice(USERS), f"g{seed}x{label + i}")
+                for i in range(burst)
+            ]
+            label += burst
+            errors = run_threads(
+                lambda i: committer.commit(
+                    jobs[i][0], append_script(jobs[i][1])
+                ),
+                burst,
+            )
+            assert not any(errors), (seed, errors)
+        elif action == "read":
+            assert router.read_xml(rng.choice(USERS)) is not None
+        elif action == "poll" and router.replicas:
+            replica = rng.choice(router.replicas)
+            chaos_poll(rng, router, replica, wal_dir, kill_rate)
+        elif action == "checkpoint":
+            wal.checkpoint(db)
+        elif action == "catchup" and router.replicas:
+            replica = rng.choice(router.replicas)
+            chaos_catch_up(rng, router, replica, wal_dir, kill_rate)
+    faults.reset()
+
+    expected = state_bytes(db)
+    for replica in router.replicas:
+        replica.sync()
+        assert not replica.quarantined, replica.stats()
+        assert replica.version == db.version, (seed, replica.stats())
+        assert state_bytes(replica.database) == expected, seed
+        for user in USERS:
+            assert (
+                replica.read_xml(user) == db.login(user).read_xml()
+            ), seed
+    for decision in router.decisions:
+        assert decision.served_version >= decision.token, (seed, decision)
+    return router.primary.stats().get("grouped_records", 0)
+
+
+@pytest.mark.replication
+def test_convergence_with_grouped_writes(tmp_path):
+    """Replicas converge byte-identically when the primary's commits
+    ride group commit -- including schedules where replicas are killed
+    mid-replay while grouped appends are in the stream."""
+    grouped = 0
+    for seed in range(30):
+        grouped += run_grouped_schedule(
+            seed, tmp_path / f"g{seed}", kill_rate=0.0
+        )
+    for seed in range(20):
+        grouped += run_grouped_schedule(
+            seed, tmp_path / f"gk{seed}", kill_rate=0.30
+        )
+    # The lane is about grouped streams: the schedules must actually
+    # have formed multi-member groups somewhere.
+    assert grouped > 0

@@ -314,3 +314,39 @@ class TestStats:
             assert key in stats, key
         assert stats["breaker_state"] == "closed"
         assert stats["version"] == db.version
+
+    def test_stats_is_a_deep_snapshot_not_a_window(self, db, clock):
+        """The returned ledger is a point-in-time deep copy: mutating
+        it -- including any nested value -- never corrupts the live
+        counters, and later server activity never shows up in an
+        already-taken snapshot."""
+        server = make_server(db, clock)
+        server.read_xml("laporte")
+        before = server.stats()
+
+        # Vandalize the snapshot, top-level and nested alike.
+        before["reads"] = 10_000
+        before["commits"] = -5
+        for value in before.values():
+            if isinstance(value, dict):
+                value.clear()
+            elif isinstance(value, list):
+                value.append("junk")
+        assert server.stats()["reads"] == 1
+        assert server.stats()["commits"] == 0
+
+        # And the snapshot is frozen: new traffic does not leak in.
+        frozen = server.stats()
+        server.read_xml("laporte")
+        server.read_xml("laporte")
+        assert frozen["reads"] == 1
+        assert server.stats()["reads"] == 3
+
+    def test_two_snapshots_share_no_mutable_state(self, db, clock):
+        server = make_server(db, clock)
+        server.read_xml("laporte")
+        one, two = server.stats(), server.stats()
+        assert one == two
+        for key, value in one.items():
+            if isinstance(value, (dict, list)):
+                assert value is not two[key], key
