@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault chaos recovery replication netserve bench bench-json bench-smoke verify
+.PHONY: test fault chaos recovery replication netserve failover bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -46,6 +46,15 @@ replication:
 netserve:
 	$(PYTEST) -x -q -m netserve
 
+# Supervised-failover lane: 300+ seeded schedules killing the primary
+# mid-group-commit and the supervisor mid-promotion (supervisor-*,
+# promote-*, old-primary-late-ack kill-points), asserting that no
+# acknowledged write is ever lost across a promotion, client retries
+# under one idempotency key apply exactly once, and a stale-epoch
+# (deposed) primary never acknowledges a write.
+failover:
+	$(PYTEST) -x -q -m failover
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -69,6 +78,9 @@ bench-json:
 	rm -f $(CURDIR)/BENCH_E25.json
 	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E25.json \
 		$(PYTEST) -q -s benchmarks/test_e25_netserve.py
+	rm -f $(CURDIR)/BENCH_E26.json
+	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E26.json \
+		$(PYTEST) -q -s benchmarks/test_e26_failover.py
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
 # incremental counters, loose speedup bar), E21's counter-only
@@ -79,6 +91,7 @@ bench-smoke:
 		benchmarks/test_e21_serving_under_load.py \
 		benchmarks/test_e22_wal.py \
 		benchmarks/test_e24_replication.py \
-		benchmarks/test_e25_netserve.py -k smoke
+		benchmarks/test_e25_netserve.py \
+		benchmarks/test_e26_failover.py -k smoke
 
-verify: test fault chaos recovery replication netserve bench-smoke
+verify: test fault chaos recovery replication netserve failover bench-smoke

@@ -24,6 +24,7 @@ from .errors import (
     CircuitOpenError,
     ConcurrentUpdateError,
     DeadlineExceeded,
+    FailoverError,
     OverloadError,
     ReadOnlyReplica,
     RecoveryError,
@@ -32,6 +33,7 @@ from .errors import (
     ReproError,
     RetryExhausted,
     ServingError,
+    StaleEpochError,
     StorageCorrupt,
     StorageError,
     UpdateAborted,
@@ -40,12 +42,19 @@ from .errors import (
     WalStreamGap,
     WalWriteError,
 )
-from .replication import Replica, ReplicationRouter, RouteDecision
+from .replication import (
+    FailoverSupervisor,
+    Replica,
+    ReplicationRouter,
+    RouteDecision,
+)
 from .serving import (
     AdmissionController,
     CircuitBreaker,
     DatabaseServer,
     Deadline,
+    DedupedResult,
+    DedupTable,
     RetryPolicy,
     RWLock,
 )
@@ -113,6 +122,10 @@ __all__ = [
     "DatabaseServer",
     "Deadline",
     "DeadlineExceeded",
+    "DedupTable",
+    "DedupedResult",
+    "FailoverError",
+    "FailoverSupervisor",
     "Fragment",
     "InsecureWriteExecutor",
     "InsertAfter",
@@ -150,6 +163,7 @@ __all__ = [
     "SecurityRule",
     "ServingError",
     "Session",
+    "StaleEpochError",
     "StorageCorrupt",
     "StorageError",
     "SubjectError",

@@ -330,7 +330,92 @@ def cmd_replica(args: argparse.Namespace) -> int:
     if args.stats:
         for key, val in sorted(replica.stats().items()):
             print(f"  {key}: {val}")
+    if args.promote:
+        if replica.quarantined:
+            print(
+                f"cannot promote a quarantined replica "
+                f"({replica.stats()['quarantine_reason']})",
+                file=sys.stderr,
+            )
+            return 4
+        from .errors import ReplicaDiverged
+        from .serving import DatabaseServer
+        from .wal import WriteAheadLog
+
+        try:
+            replica.sync()  # drain to the reachable end of the old log
+        except ReplicaDiverged as exc:
+            print(
+                f"cannot promote: replica diverged while draining "
+                f"({exc})",
+                file=sys.stderr,
+            )
+            return 4
+        new_epoch = replica.epoch + 1
+        os.makedirs(args.promote, exist_ok=True)
+        database = replica.database
+        database.set_read_only(False)
+        wal = WriteAheadLog(args.promote, epoch=new_epoch)
+        server = DatabaseServer(database, wal=wal)
+        server.checkpoint()
+        server.dedup.seed(replica.dedup_entries())
+        server.mark_promoted()
+        print(
+            f"promoted to primary: epoch {new_epoch}, version "
+            f"{server.database.version}, log {args.promote} "
+            f"({len(server.dedup)} idempotency entr(ies) carried over)"
+        )
+        return 0
     return 4 if replica.quarantined else 0
+
+
+def cmd_failover_status(args: argparse.Namespace) -> int:
+    """Report a log directory's failover state.
+
+    Prints the fencing-epoch line of the log (checkpoints and records),
+    the applied position, and the idempotency ledger the log would
+    rebuild.  Exit 4 when the log holds *stale-epoch* records -- a
+    deposed primary kept writing after a promotion elsewhere; those
+    records are fenced (never applied by replicas, never acknowledged).
+    """
+    from .wal import list_checkpoints, scan_directory
+
+    if not os.path.isdir(args.directory):
+        raise CliError(f"no log directory at {args.directory!r}")
+    scan = scan_directory(args.directory)
+    checkpoints = list_checkpoints(args.directory)
+    checkpoint_epoch = max((c.epoch for c in checkpoints), default=0)
+    observed = checkpoint_epoch
+    stale = []
+    idem_keys = set()
+    for record in scan.records:
+        if record.epoch < observed:
+            stale.append(record)
+        else:
+            observed = record.epoch
+        if record.payload.get("idem") is not None:
+            idem_keys.add(str(record.payload["idem"]))
+    print(f"epoch: {observed}")
+    print(
+        f"last lsn: {scan.last_lsn}, {len(scan.records)} usable record(s)"
+    )
+    for checkpoint in checkpoints:
+        print(
+            f"checkpoint lsn {checkpoint.lsn}: "
+            f"version {checkpoint.version}, epoch {checkpoint.epoch}"
+        )
+    print(f"idempotency keys on record: {len(idem_keys)}")
+    if scan.torn is not None:
+        print(f"TORN: {scan.torn}")
+    if stale:
+        print(
+            f"FENCED: {len(stale)} stale-epoch record(s), first at "
+            f"lsn {stale[0].lsn} (epoch {stale[0].epoch} after "
+            f"{observed} was reached)"
+        )
+        return 4
+    print("single unbroken epoch line")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -690,7 +775,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="poll interval while following, seconds")
     p.add_argument("--stats", action="store_true",
                    help="print the replica's health counters")
+    p.add_argument("--promote", metavar="NEWDIR",
+                   help="promote this replica to a full primary: drain "
+                        "the old log, then open a fresh write-ahead log "
+                        "at NEWDIR under the next fencing epoch (exit 4 "
+                        "when the replica is quarantined)")
     p.set_defaults(handler=cmd_replica)
+
+    p = sub.add_parser("failover-status",
+                       help="report a log directory's fencing epoch and "
+                            "idempotency ledger (exit 4 when fenced "
+                            "stale-epoch records are present)")
+    p.add_argument("directory", help="a primary's log directory")
+    p.set_defaults(handler=cmd_failover_status)
 
     p = sub.add_parser("serve",
                        help="serve the database over the framed network "

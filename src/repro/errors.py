@@ -28,7 +28,9 @@ The taxonomy::
     │   └── WalStreamGap       (a follower's position was pruned away)
     ├── ReplicationError       (repro.replication: primary/replica serving)
     │   ├── ReplicaDiverged    (replica state-hash != primary checkpoint)
-    │   └── ReadOnlyReplica    (a write reached a replica's database)
+    │   ├── ReadOnlyReplica    (a write reached a replica's database)
+    │   ├── StaleEpochError    (a fenced/deposed primary tried to write)
+    │   └── FailoverError      (supervised promotion could not complete)
     ├── NetworkError           (repro.netserve: the wire protocol)
     │   ├── ProtocolError      (malformed frame, bad handshake, oversized)
     │   │   └── FrameTooLarge  (frame exceeds the negotiated maximum)
@@ -68,6 +70,8 @@ __all__ = [
     "ReplicationError",
     "ReplicaDiverged",
     "ReadOnlyReplica",
+    "StaleEpochError",
+    "FailoverError",
     "NetworkError",
     "ProtocolError",
     "FrameTooLarge",
@@ -308,6 +312,51 @@ class ReadOnlyReplica(ReplicationError):
     Route writes through the primary (see
     :class:`repro.replication.ReplicationRouter`).
     """
+
+
+class StaleEpochError(ReplicationError):
+    """A write carried (or would be stamped with) a fencing epoch older
+    than the highest epoch the rejecting side has observed.
+
+    Fencing epochs make failover split-brain-safe: every promotion bumps
+    a monotonically increasing epoch stamped into WAL records and
+    checkpoint metadata.  A deposed primary that keeps serving writes is
+    *fenced* -- the router refuses to route to it, its own
+    :class:`~repro.serving.DatabaseServer` refuses to acknowledge, and
+    replicas quarantine rather than apply its stale records.  A write
+    refused with this error was **never acknowledged** and never reached
+    the authoritative log; re-submit it to the current primary.
+
+    Attributes:
+        epoch: the stale epoch the write carried.
+        current: the highest epoch the rejecting side has observed.
+    """
+
+    def __init__(
+        self, message: str, *, epoch: int = 0, current: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.current = current
+
+
+class FailoverError(ReplicationError):
+    """Supervised failover could not promote a new primary.
+
+    Raised by :class:`repro.replication.FailoverSupervisor` when no
+    non-quarantined replica exists to promote, or every candidate fails
+    to drain to the reachable end of the log.  The cluster is left
+    read-degraded but consistent: nothing was promoted, no epoch was
+    burned, and the supervisor may retry once a replica recovers.
+
+    Attributes:
+        reason: a short machine-readable cause (``"no-candidates"``,
+            ``"drain-failed"``, ...).
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class NetworkError(ReproError):

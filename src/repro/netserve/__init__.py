@@ -13,7 +13,7 @@ fsync.  :class:`NetClient` / :class:`AsyncNetClient` are the matching
 clients.  See DESIGN.md §13.
 """
 
-from .client import AsyncNetClient, NetClient
+from .client import AsyncNetClient, NetClient, execute_with_failover
 from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
 from .protocol import OPS, PROTOCOL_VERSION
 from .server import NetServer, NetServerHandle, serve_in_thread
@@ -28,5 +28,6 @@ __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
     "encode_frame",
+    "execute_with_failover",
     "serve_in_thread",
 ]

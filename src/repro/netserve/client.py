@@ -27,6 +27,14 @@ A torn or refused connection raises
 moment has an *unknown* outcome (the server may have committed before
 the ack was lost), exactly like a process crash between commit and
 reply.
+
+The unknown-outcome hole is what ``idempotency_key`` closes: re-send
+the *same* script under the *same* key and the primary's exactly-once
+ledger answers repeats with the original acknowledgement instead of
+applying twice -- across retries, reconnects, and even a failover to a
+freshly promoted primary.  :func:`execute_with_failover` packages the
+loop: one key, a ring of candidate endpoints, re-sent until somebody
+currently holding the primary role acknowledges.
 """
 
 from __future__ import annotations
@@ -35,11 +43,18 @@ import asyncio
 import socket
 from typing import Any, Dict, List, Optional
 
-from ..errors import NetworkError
+from ..errors import NetworkError, RemoteError
 from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
 from .protocol import request, unwrap_response
 
-__all__ = ["AsyncNetClient", "NetClient"]
+__all__ = ["AsyncNetClient", "NetClient", "execute_with_failover"]
+
+#: Error kinds worth re-sending to another endpoint: the request never
+#: committed *here*, but another node may hold (or take) the primary
+#: role.  Anything else is the operation's own verdict -- relayed.
+_FAILOVER_KINDS = frozenset(
+    {"StaleEpochError", "CircuitOpenError", "WalWriteError"}
+)
 
 
 class NetClient:
@@ -136,12 +151,20 @@ class NetClient:
         script: str,
         strict: bool = False,
         deadline_ms: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Apply an XUpdate script; returns the commit summary.  The
         result frame arrives only after the commit is durable (group-
-        fsynced when the server batches)."""
+        fsynced when the server batches).  With ``idempotency_key``
+        set, a re-send of the same key is answered from the server's
+        exactly-once ledger (``"deduped": true`` in the summary)
+        instead of being applied again."""
         return self._call(
-            "execute", script=script, strict=strict, deadline_ms=deadline_ms
+            "execute",
+            script=script,
+            strict=strict,
+            deadline_ms=deadline_ms,
+            idempotency_key=idempotency_key,
         )
 
     def stats(self) -> Dict[str, Any]:
@@ -260,10 +283,17 @@ class AsyncNetClient:
         script: str,
         strict: bool = False,
         deadline_ms: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Apply an XUpdate script; acknowledged means durable."""
+        """Apply an XUpdate script; acknowledged means durable.  A
+        re-send under the same ``idempotency_key`` is answered from
+        the exactly-once ledger, never applied twice."""
         return await self._call(
-            "execute", script=script, strict=strict, deadline_ms=deadline_ms
+            "execute",
+            script=script,
+            strict=strict,
+            deadline_ms=deadline_ms,
+            idempotency_key=idempotency_key,
         )
 
     async def stats(self) -> Dict[str, Any]:
@@ -289,3 +319,80 @@ class AsyncNetClient:
             await writer.wait_closed()
         except (OSError, ConnectionError):
             pass
+
+
+def execute_with_failover(
+    endpoints,
+    user: str,
+    script: str,
+    *,
+    idempotency_key: str,
+    strict: bool = False,
+    deadline_ms: Optional[float] = None,
+    timeout: Optional[float] = None,
+    rounds: int = 2,
+) -> Dict[str, Any]:
+    """Send one write, at most once applied, across a failing-over
+    cluster.
+
+    Walks the candidate ``endpoints`` (an iterable of ``(host, port)``
+    pairs) re-sending the *same* script under the *same*
+    ``idempotency_key`` until one endpoint -- whoever currently holds
+    the primary role -- acknowledges.  Because every send carries the
+    key, the loop is safe against the unknown-outcome hole: if the old
+    primary committed but died before the ack reached us, the re-send
+    (to it after restart, or to its promoted successor, whose ledger
+    was rebuilt from the shipped log) is answered with the original
+    summary and ``"deduped": true``.
+
+    Re-sent on: :class:`~repro.errors.NetworkError` (connection
+    refused/torn -- outcome unknown) and the relayed kinds in which the
+    endpoint *refused to be primary* (``StaleEpochError``,
+    ``CircuitOpenError``, ``WalWriteError``).  Every other failure --
+    ``AccessDenied``, a parse error, a deadline -- is the request's own
+    verdict and is raised immediately.
+
+    Args:
+        endpoints: candidate ``(host, port)`` pairs, tried in order.
+        user: subject to open the session as.
+        script: the XUpdate script.
+        idempotency_key: required -- without it a retry could apply
+            the script twice, which is the bug this helper exists to
+            prevent.
+        strict / deadline_ms: as :meth:`NetClient.execute`.
+        timeout: per-connection socket timeout.
+        rounds: full passes over the endpoint list before giving up.
+
+    Raises:
+        NetworkError: no endpoint acknowledged in ``rounds`` passes.
+        RemoteError: an endpoint failed the request on its merits.
+    """
+    if not idempotency_key:
+        raise ValueError("idempotency_key must be a non-empty string")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    ring = list(endpoints)
+    if not ring:
+        raise ValueError("endpoints must name at least one (host, port)")
+    failures: List[str] = []
+    for _ in range(rounds):
+        for host, port in ring:
+            try:
+                with NetClient(host, port, timeout=timeout) as client:
+                    client.open_session(user)
+                    return client.execute(
+                        script,
+                        strict=strict,
+                        deadline_ms=deadline_ms,
+                        idempotency_key=idempotency_key,
+                    )
+            except NetworkError as exc:
+                failures.append(f"{host}:{port}: {exc}")
+            except RemoteError as exc:
+                if exc.kind not in _FAILOVER_KINDS:
+                    raise
+                failures.append(f"{host}:{port}: {exc.kind}")
+    raise NetworkError(
+        f"no endpoint acknowledged after {rounds} round(s) over "
+        f"{len(ring)} endpoint(s): " + "; ".join(failures[-len(ring):])
+    )

@@ -28,8 +28,14 @@ open_session   ``user`` -> ``{"user", "version", "protocol"}``;
 query          ``path`` -> a typed XPath value (see below)
 select         ``path`` -> ``{"nodes": [<xml>...]}``
 read_xml       ``indent?`` -> ``{"xml": <string>}``
-execute        ``script``, ``strict?`` -> ``{"fully_applied",
-               "selected", "affected", "denied", "version"}``
+execute        ``script``, ``strict?``, ``idempotency_key?`` ->
+               ``{"fully_applied", "selected", "affected", "denied",
+               "version", "deduped"}``; a repeated key is answered
+               from the primary's exactly-once ledger with the
+               *original* acknowledgement's counts and
+               ``"deduped": true`` -- the write is never applied
+               twice, even when the retry lands on a freshly
+               promoted primary
 stats          -> the server's :meth:`stats` ledger plus ``net_*``
                front-end counters
 close          -> ``{"closed": true}``; the server closes after

@@ -407,21 +407,42 @@ class NetServer:
         strict = frame.get("strict", False)
         if not isinstance(strict, bool):
             raise ProtocolError("strict must be a boolean")
+        idem = frame.get("idempotency_key")
+        if idem is not None and (not isinstance(idem, str) or not idem):
+            raise ProtocolError(
+                "idempotency_key must be a non-empty string"
+            )
         if self._group is None:
             result = await self._blocking(
-                self._server.execute, user, script, strict, deadline
+                lambda: self._server.execute(
+                    user, script, strict, deadline, idempotency_key=idem
+                )
             )
         else:
-            result = await self._group_commit(user, script, strict, deadline)
+            result = await self._group_commit(
+                user, script, strict, deadline, idem
+            )
+        if getattr(result, "deduped", False):
+            # Answered from the exactly-once ledger: the counts are the
+            # original acknowledgement's, already scalars.
+            return {
+                "fully_applied": result.fully_applied,
+                "selected": result.selected,
+                "affected": result.affected,
+                "denied": result.denied,
+                "version": result.version,
+                "deduped": True,
+            }
         return {
             "fully_applied": result.fully_applied,
             "selected": len(result.selected),
             "affected": len(result.affected),
             "denied": len(result.denials),
             "version": self._server.database.version,
+            "deduped": False,
         }
 
-    async def _group_commit(self, user, script, strict, budget):
+    async def _group_commit(self, user, script, strict, budget, idem=None):
         """The async twin of :meth:`GroupCommitter.commit`: lead on a
         pool thread, follow on an awaited ticket callback, re-submit
         races with the backoff sleep taken on the event loop."""
@@ -433,7 +454,9 @@ class NetServer:
         delay = 0.0
         last: Optional[BaseException] = None
         for attempt in range(1, policy.max_attempts + 1):
-            ticket = group.submit(user, script, strict, deadline)
+            ticket = group.submit(
+                user, script, strict, deadline, idempotency_key=idem
+            )
             resolved: asyncio.Future = loop.create_future()
 
             def _settle(t: CommitTicket, fut=resolved) -> None:

@@ -8,7 +8,7 @@ replica replaying the stream through the real secured update path
 re-derives the same document, the same policy, and the same authorized
 view for every user.
 
-Three pieces:
+Four pieces:
 
 - :class:`Replica` follows a primary's log directory with a
   :class:`~repro.wal.WalStream`, seeds itself through the recovery
@@ -26,16 +26,31 @@ Three pieces:
   versions every commit already carries, waiting out replica lag
   under the serving layer's deadline machinery and falling through
   to the primary when no replica catches up in time.
-- The ``make replication`` lane: 200+ seeded chaos schedules killing
-  replicas mid-replay and mid-catch-up, asserting every survivor
-  converges to the primary's exact version and byte-identical
-  serialized state (tests/replication/).
+- :class:`FailoverSupervisor` closes the loop: heartbeat probes over
+  :meth:`DatabaseServer.stats` detect a dead primary (poisoned log,
+  stuck-open breaker, probe failure), and a supervised promotion
+  drains the most-caught-up replica, re-opens it as a full primary
+  under a strictly higher **fencing epoch**, and fences the deposed
+  one so it can never acknowledge a write again.  Exactly-once client
+  acks survive the switch: the idempotency ledger is rebuilt from the
+  log and carried across the promotion.
+- The ``make replication`` and ``make failover`` lanes: 500+ seeded
+  chaos schedules killing replicas mid-replay/mid-catch-up and the
+  primary mid-group-commit/mid-promotion, asserting convergence to
+  byte-identical state, no acknowledged write lost, and no
+  stale-epoch write ever acknowledged (tests/replication/).
 
-See DESIGN.md section 12 for the protocol, the consistency guarantees
-and the failure matrix.
+See DESIGN.md sections 12 and 14 for the protocol, the consistency
+guarantees and the failure matrix.
 """
 
 from .replica import Replica
 from .router import ReplicationRouter, RouteDecision
+from .supervisor import FailoverSupervisor
 
-__all__ = ["Replica", "ReplicationRouter", "RouteDecision"]
+__all__ = [
+    "FailoverSupervisor",
+    "Replica",
+    "ReplicationRouter",
+    "RouteDecision",
+]

@@ -29,6 +29,16 @@ mismatch quarantines the replica -- every read raises
 :class:`~repro.errors.ReplicaDiverged` until :meth:`Replica.catch_up`
 re-seeds it from a primary checkpoint.  A diverged replica never
 serves a read.
+
+Failover additions (ISSUE 9): the replica tracks the highest **fencing
+epoch** seen in the stream and quarantines on any *lower*-epoch record
+(a deposed primary's leftover -- counted as ``fenced_records``),
+timestamps every successful poll/catch-up as its heartbeat
+(``last_heartbeat_ms`` in :meth:`stats`), rebuilds the exactly-once
+dedup ledger from ``idem``-annotated commit records (so a promoted
+replica remembers every acknowledgement the old primary made durable),
+and can be :meth:`retarget`-ed to a new primary's log directory after
+a promotion.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import ReplicaDiverged, WalStreamGap
 from ..security.session import Session
+from ..serving.dedup import DedupTable
 from ..serving.rwlock import RWLock
 from ..storage import snapshot_digest, state_digest
 from ..testing.faults import InjectedFault, kill_point
@@ -61,6 +72,8 @@ class Replica:
             directory basename plus a counter).
         scheme: numbering scheme for replayed documents (storage
             default if omitted).
+        dedup_capacity: entries in the rebuilt exactly-once ledger
+            (see :class:`~repro.serving.dedup.DedupTable`).
         clock: monotonic time source, injectable for tests.
 
     Construction seeds the replica immediately (one full catch-up);
@@ -78,6 +91,7 @@ class Replica:
         *,
         replica_id: Optional[str] = None,
         scheme=None,
+        dedup_capacity: int = 1024,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._directory = os.path.abspath(directory)
@@ -99,6 +113,9 @@ class Replica:
         self._applied_lsn = 0
         self._state = "seeding"
         self._quarantine_reason: Optional[str] = None
+        self._epoch = 0
+        self._last_beat = clock()
+        self._dedup = DedupTable(dedup_capacity)
         self._stats: Dict[str, int] = {
             "records_applied": 0,  # streamed records replayed in place
             "catchups": 0,  # checkpoint re-seeds (seed + gap + re-seed)
@@ -107,6 +124,8 @@ class Replica:
             "divergence_check_skips": 0,  # snapshot pruned before compare
             "divergences": 0,  # times this replica was quarantined
             "reads": 0,  # read requests served
+            "fenced_records": 0,  # stale-epoch records refused
+            "retargets": 0,  # times re-pointed at a new primary's log
         }
         if not self._lock.acquire_write(None):  # pragma: no cover
             raise RuntimeError("replica lock unavailable at construction")
@@ -153,6 +172,30 @@ class Replica:
         """True when divergence was detected; reads are refused."""
         return self._state == "quarantined"
 
+    @property
+    def epoch(self) -> int:
+        """The highest fencing epoch this replica has observed."""
+        return self._epoch
+
+    @property
+    def last_heartbeat_ms(self) -> float:
+        """Milliseconds since the last successful poll or catch-up.
+
+        The failure detector's per-replica liveness signal: a replica
+        whose heartbeat age keeps growing is not making progress
+        against its primary's log.
+        """
+        return max(0.0, (self._clock() - self._last_beat) * 1000.0)
+
+    def dedup_entries(self):
+        """Snapshot of the rebuilt exactly-once ledger, oldest first.
+
+        Used at promotion to seed the new primary's dedup table so a
+        client retrying an acknowledged write against the new primary
+        still gets exactly-once semantics.
+        """
+        return self._dedup.entries()
+
     def lag(self, primary_lsn: Optional[int] = None) -> int:
         """Records between the primary's tail and this replica.
 
@@ -177,6 +220,9 @@ class Replica:
         }
         out.update(self._stats)
         out.update(self._database.stats())
+        out["epoch"] = self._epoch
+        out["last_heartbeat_ms"] = self.last_heartbeat_ms
+        out["dedup_size"] = len(self._dedup)
         return out
 
     # ------------------------------------------------------------------
@@ -221,9 +267,12 @@ class Replica:
         self._stream = WalStream(self._directory, from_lsn=self._applied_lsn)
         self._state = "following"
         self._quarantine_reason = None
+        self._epoch = max(self._epoch, result.epoch)
+        self._dedup.seed(result.dedup.items())
         with self._sessions_lock:
             self._sessions.clear()
         self._stats["catchups"] += 1
+        self._last_beat = self._clock()
 
     def poll(self, max_records: Optional[int] = None) -> int:
         """Pull and apply everything new the primary has made durable.
@@ -286,12 +335,27 @@ class Replica:
                 self._directory, from_lsn=self._applied_lsn
             )
             raise
+        self._last_beat = self._clock()
         return max(0, self._applied_lsn - before)
 
     def _apply_one(self, record) -> None:
         """Apply one streamed record, enforcing the two invariants."""
         database = self._database
         payload = record.payload
+        epoch = record.epoch
+        if epoch < self._epoch:
+            # A deposed primary's leftover write: once a higher epoch
+            # has been observed, lower-epoch records are *never*
+            # applied -- the replica fences itself off instead of
+            # forking history.
+            self._stats["fenced_records"] += 1
+            self._quarantine(
+                f"lsn {record.lsn} carries stale epoch {epoch} after "
+                f"epoch {self._epoch} was observed",
+                expected=str(self._epoch),
+                actual=str(epoch),
+            )
+        self._epoch = epoch
         if record.kind in ("update", "admin"):
             stamped = int(payload["version"])
             if stamped != database.version + 1:
@@ -306,7 +370,9 @@ class Replica:
             return
         database.set_read_only(False)
         try:
-            replaced = apply_record(database, record, self._scheme)
+            replaced = apply_record(
+                database, record, self._scheme, result_sink=self._remember
+            )
         except InjectedFault:
             raise  # a simulated crash, not a divergence
         except Exception as exc:
@@ -363,6 +429,39 @@ class Replica:
                 actual=mine,
             )
         self._stats["divergence_checks"] += 1
+
+    def _remember(self, record, summary: Dict[str, Any]) -> None:
+        """Capture an ``idem``-annotated commit into the dedup ledger."""
+        key = record.payload.get("idem")
+        if key is not None:
+            self._dedup.put(str(key), summary)
+
+    def retarget(self, directory: str) -> int:
+        """Follow a different primary's log directory.
+
+        Used after a supervised promotion: every surviving replica is
+        re-pointed at the new primary's log.  Re-seeds immediately
+        (full catch-up from the new directory's newest checkpoint),
+        which also clears any quarantine -- the new primary's
+        checkpoint is the fresh trusted baseline.
+
+        Returns:
+            The lsn distance covered by the re-seed (0 when the new
+            log starts behind the old position).
+
+        Raises:
+            RecoveryError: the new directory holds nothing recoverable.
+        """
+        if not self._lock.acquire_write(None):  # pragma: no cover
+            raise RuntimeError("replica lock unavailable")
+        try:
+            before = self._applied_lsn
+            self._directory = os.path.abspath(directory)
+            self._stats["retargets"] += 1
+            self._catch_up_locked()
+            return max(0, self._applied_lsn - before)
+        finally:
+            self._lock.release_write()
 
     def _quarantine(
         self, reason: str, expected: str = "", actual: str = ""

@@ -16,6 +16,13 @@ uses everywhere else -- polling the replicas forward within the
 request's budget -- and falls through to the primary when the budget
 is spent.  Quarantined replicas are never candidates: a diverged
 replica never serves a read, period.
+
+Failover additions (ISSUE 9): the router carries the cluster's
+**fencing epoch**.  :meth:`ReplicationRouter.promote` swaps in a new
+primary only at a strictly higher epoch; afterwards any write arriving
+through a reference to the deposed primary is refused with
+:class:`~repro.errors.StaleEpochError` (counted as ``fenced_writes``)
+-- a lower-epoch server is never allowed to acknowledge again.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from dataclasses import dataclass
 from threading import Lock
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ReplicaDiverged
+from ..errors import ReplicaDiverged, StaleEpochError
 from ..serving.retry import Deadline
 from ..serving.server import DatabaseServer
 from .replica import Replica
@@ -107,7 +114,10 @@ class ReplicationRouter:
             "stale_waits": 0,  # reads that waited for replica lag
             "stale_fallthroughs": 0,  # waits that expired -> primary
             "quarantine_skips": 0,  # candidate replicas skipped as diverged
+            "promotions": 0,  # primaries swapped in by promote()
+            "fenced_writes": 0,  # writes refused at a stale epoch
         }
+        self._epoch = primary.epoch
         #: Per-read routing evidence when ``trace`` is on.
         self.decisions: List[RouteDecision] = []
         self._trace = trace
@@ -119,6 +129,36 @@ class ReplicationRouter:
     def primary(self) -> DatabaseServer:
         """The write side."""
         return self._primary
+
+    @property
+    def epoch(self) -> int:
+        """The cluster's current fencing epoch."""
+        return self._epoch
+
+    def promote(self, new_primary: DatabaseServer) -> None:
+        """Swap in a freshly promoted primary.
+
+        The new primary must carry a *strictly higher* fencing epoch
+        than the router has observed -- the single rule that makes the
+        swap safe against a deposed primary still holding references:
+        its epoch is now below the router's, so every later write
+        through it is refused.
+
+        Raises:
+            StaleEpochError: the candidate's epoch does not supersede
+                the router's current epoch.
+        """
+        if new_primary.epoch <= self._epoch:
+            raise StaleEpochError(
+                f"refusing promotion at epoch {new_primary.epoch}: this "
+                f"router has already observed epoch {self._epoch}",
+                epoch=new_primary.epoch,
+                current=self._epoch,
+            )
+        with self._lock:
+            self._primary = new_primary
+            self._epoch = new_primary.epoch
+            self._counters["promotions"] += 1
 
     @property
     def replicas(self) -> Tuple[Replica, ...]:
@@ -156,19 +196,43 @@ class ReplicationRouter:
         operation,
         strict: bool = False,
         deadline: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ):
-        """Apply an update as ``user`` -- always on the primary.
+        """Apply an update as ``user`` -- always on the current primary.
 
         Exactly :meth:`DatabaseServer.execute` (admission, breaker,
-        retry, deadline), plus the consistency bookkeeping: the user's
-        token advances to the committed version, so their next read is
-        only served by a copy that has applied this write.
+        retry, deadline, exactly-once dedup), plus the consistency
+        bookkeeping: the user's token advances to the committed
+        version, so their next read is only served by a copy that has
+        applied this write.
+
+        Raises:
+            StaleEpochError: the primary's epoch has fallen behind the
+                router's (it was deposed); the write is never applied
+                and never acknowledged.
         """
-        result = self._primary.execute(
-            user, operation, strict=strict, deadline=deadline
-        )
+        primary = self._primary
+        if primary.epoch < self._epoch:
+            self._count("fenced_writes")
+            raise StaleEpochError(
+                f"write refused: primary at epoch {primary.epoch} was "
+                f"deposed (cluster epoch {self._epoch})",
+                epoch=primary.epoch,
+                current=self._epoch,
+            )
+        try:
+            result = primary.execute(
+                user,
+                operation,
+                strict=strict,
+                deadline=deadline,
+                idempotency_key=idempotency_key,
+            )
+        except StaleEpochError:
+            self._count("fenced_writes")
+            raise
         self._count("writes_routed")
-        self._advance_token(user, self._primary.database.version)
+        self._advance_token(user, primary.database.version)
         return result
 
     # ------------------------------------------------------------------
@@ -320,4 +384,7 @@ class ReplicationRouter:
         out["max_lag"] = max((m["lag"] for m in members), default=0)
         out["replicas"] = members
         out["primary_version"] = self._primary.database.version
+        out["epoch"] = self._epoch
+        out["primary_epoch"] = self._primary.epoch
+        out["primary_fenced"] = self._primary.fenced
         return out

@@ -21,7 +21,7 @@ __all__ = ["AuditRecord", "AuditLog", "REJECTION_EVENTS"]
 #: Serving-layer rejection events the log accepts (ISSUE 4): a request
 #: shed by admission control, expired against its deadline, or given
 #: up after exhausting its commit-race retries.
-REJECTION_EVENTS = ("shed", "deadline", "retry-exhausted")
+REJECTION_EVENTS = ("shed", "deadline", "retry-exhausted", "fenced")
 
 
 @dataclass(frozen=True)

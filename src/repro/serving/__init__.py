@@ -11,6 +11,7 @@ breaker, and graceful degradation of the view caches.  See DESIGN.md
 """
 
 from .admission import AdmissionController, CircuitBreaker
+from .dedup import DedupedResult, DedupTable
 from .group import CommitTicket, GroupCommitter
 from .retry import Deadline, RetryPolicy
 from .rwlock import RWLock
@@ -22,6 +23,8 @@ __all__ = [
     "CommitTicket",
     "DatabaseServer",
     "Deadline",
+    "DedupTable",
+    "DedupedResult",
     "GroupCommitter",
     "RetryPolicy",
     "RWLock",

@@ -33,7 +33,17 @@ The shape here:
 Kill-points consulted (:mod:`repro.testing.faults`):
 ``group-after-leader-append`` once the leader's own member has run,
 ``group-before-fsync`` after every append but before the group's one
-fsync.
+fsync, and ``old-primary-late-ack`` at the last instant before the
+group fsync+acknowledge -- the deposed-primary window failover chaos
+aims at.
+
+Epoch poisoning: a group whose server was **fenced** (a promotion
+bumped the fencing epoch elsewhere, see
+:meth:`DatabaseServer.fence`) between its appends and its fsync fails
+as a whole with :class:`~repro.errors.StaleEpochError` -- no member is
+acknowledged, exactly like a crashed group, so a deposed primary can
+never hand out a late ack for a write the new primary's history does
+not contain.
 
 Thread-agnostic by design: :meth:`commit` is the blocking wrapper for
 thread-per-caller use (tests, the chaos lanes), while the asyncio
@@ -47,7 +57,12 @@ import threading
 import time
 from typing import Any, Callable, List, Optional
 
-from ..errors import ConcurrentUpdateError, RetryExhausted, WalWriteError
+from ..errors import (
+    ConcurrentUpdateError,
+    RetryExhausted,
+    StaleEpochError,
+    WalWriteError,
+)
 from ..testing.faults import kill_point
 from .retry import Deadline
 from .server import DatabaseServer
@@ -70,15 +85,17 @@ class CommitTicket:
     """
 
     __slots__ = (
-        "user", "operation", "strict", "deadline", "leader", "group",
-        "result", "error", "retry", "_event", "_callbacks", "_lock",
+        "user", "operation", "strict", "deadline", "idem", "leader",
+        "group", "result", "error", "retry", "_event", "_callbacks",
+        "_lock",
     )
 
-    def __init__(self, user, operation, strict, deadline) -> None:
+    def __init__(self, user, operation, strict, deadline, idem=None) -> None:
         self.user = user
         self.operation = operation
         self.strict = strict
         self.deadline: Deadline = deadline
+        self.idem: Optional[str] = idem
         self.leader = False
         self.group: Optional["_Group"] = None
         self.result: Any = None
@@ -178,16 +195,19 @@ class GroupCommitter:
         operation,
         strict: bool = False,
         deadline: "Optional[float | Deadline]" = None,
+        idempotency_key: Optional[str] = None,
     ) -> CommitTicket:
         """Join the open commit group (opening one when none is).
 
         Returns immediately.  When the ticket comes back with
         ``leader=True`` the caller *must* run :meth:`drive` (on a
         thread it can afford to block); followers just wait on the
-        ticket.
+        ticket.  A non-None ``idempotency_key`` makes the member
+        exactly-once (see :meth:`DatabaseServer.execute`).
         """
         ticket = CommitTicket(
-            user, operation, strict, self._server._deadline(deadline)
+            user, operation, strict, self._server._deadline(deadline),
+            idempotency_key,
         )
         with self._cond:
             group = self._open
@@ -251,6 +271,21 @@ class GroupCommitter:
                         )
                 if committed:
                     kill_point("group-before-fsync", records=len(committed))
+                    # The deposed-primary window: appends done, fsync
+                    # and acks not yet issued.  A promotion elsewhere
+                    # fences the server here; the whole group must die
+                    # unacknowledged rather than hand out a late ack.
+                    kill_point(
+                        "old-primary-late-ack", records=len(committed)
+                    )
+                    if server.fenced:
+                        raise StaleEpochError(
+                            f"group of {len(committed)} commit(s) refused "
+                            f"at the ack point: server fenced at epoch "
+                            f"{server.fenced_at}",
+                            epoch=server.epoch,
+                            current=server.fenced_at or 0,
+                        )
                     if wal is not None:
                         wal.sync_group()
         except BaseException as exc:  # noqa: BLE001 -- poison, never leak
@@ -288,7 +323,8 @@ class GroupCommitter:
         server = self._server
         try:
             member.result = server.execute_once(
-                member.user, member.operation, member.strict, member.deadline
+                member.user, member.operation, member.strict,
+                member.deadline, idempotency_key=member.idem,
             )
         except ConcurrentUpdateError as exc:
             member.retry, member.error = True, exc
@@ -314,6 +350,7 @@ class GroupCommitter:
         operation,
         strict: bool = False,
         deadline: "Optional[float | Deadline]" = None,
+        idempotency_key: Optional[str] = None,
     ):
         """Apply an update through group commit, absorbing races.
 
@@ -330,7 +367,9 @@ class GroupCommitter:
         delay = 0.0
         last: Optional[BaseException] = None
         for attempt in range(1, policy.max_attempts + 1):
-            ticket = self.submit(user, operation, strict, deadline)
+            ticket = self.submit(
+                user, operation, strict, deadline, idempotency_key
+            )
             if ticket.leader:
                 self.drive(ticket)
             elif not ticket.wait(deadline.timeout()):

@@ -34,9 +34,10 @@ one-shot calls into *requests* with a serving contract:
    per-session rebuild, see ``SecureXMLDatabase.build_view``), and
    every degradation is logged and counted in :meth:`stats`.
 
-Shed, timed-out and retry-exhausted requests are recorded in the
-database's audit log (events ``"shed"`` / ``"deadline"`` /
-``"retry-exhausted"``), exactly like aborted scripts are.
+Shed, timed-out, retry-exhausted and epoch-fenced requests are
+recorded in the database's audit log (events ``"shed"`` /
+``"deadline"`` / ``"retry-exhausted"`` / ``"fenced"``), exactly like
+aborted scripts are.
 
 Example::
 
@@ -67,6 +68,7 @@ from ..errors import (
     DeadlineExceeded,
     OverloadError,
     RetryExhausted,
+    StaleEpochError,
     UpdateAborted,
     WalWriteError,
 )
@@ -76,6 +78,7 @@ from ..security.write import AccessDenied, SecureUpdateResult
 from ..xpath.values import NodeSet, XPathValue
 from ..xupdate.operations import UpdateScript, XUpdateOperation
 from .admission import AdmissionController, CircuitBreaker
+from .dedup import DedupTable, DedupedResult
 from .retry import Deadline, RetryPolicy
 from .rwlock import RWLock
 
@@ -122,6 +125,9 @@ class DatabaseServer:
             in :meth:`stats`) rather than refusing every write.
         checkpoint_every: automatically :meth:`checkpoint` after this
             many committed writes; None disables auto-checkpointing.
+        dedup_capacity: entries in the exactly-once dedup table
+            (idempotency key -> acknowledged summary, FIFO-bounded; see
+            :class:`~repro.serving.dedup.DedupTable`).
         clock: monotonic time source (injectable for tests).
         sleep: how to wait out a backoff delay (injectable for tests).
         rng: randomness source for jitter (seedable for tests).
@@ -139,6 +145,7 @@ class DatabaseServer:
         wal=None,
         wal_failure_threshold: int = 3,
         checkpoint_every: Optional[int] = None,
+        dedup_capacity: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
@@ -168,6 +175,8 @@ class DatabaseServer:
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
         self._lock = RWLock()
+        self._dedup = DedupTable(dedup_capacity)
+        self._fenced_at: Optional[int] = None
         self._sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._counters_lock = threading.Lock()
@@ -187,6 +196,9 @@ class DatabaseServer:
             "group_commits": 0,  # commit groups flushed by a GroupCommitter
             "grouped_records": 0,  # commits that rode a group's single fsync
             "group_fsyncs_saved": 0,  # fsyncs the groups amortized away
+            "fenced_writes": 0,  # writes refused because this server is fenced
+            "dedup_hits": 0,  # writes answered from the exactly-once ledger
+            "promotions": 0,  # times this server was promoted to primary
         }
 
     # ------------------------------------------------------------------
@@ -248,11 +260,14 @@ class DatabaseServer:
 
         wal_dir = wal_dir if wal_dir is not None else path + ".wal"
         database = None
+        recovered = None
         if os.path.isdir(wal_dir) and os.listdir(wal_dir):
-            result = recover(wal_dir, repair=True, scheme=scheme)
-            database = result.database
-            if not result.report.clean:
-                logger.warning("recovery of %s: %s", wal_dir, result.report)
+            recovered = recover(wal_dir, repair=True, scheme=scheme)
+            database = recovered.database
+            if not recovered.report.clean:
+                logger.warning(
+                    "recovery of %s: %s", wal_dir, recovered.report
+                )
         if database is None:
             database = load_from_file(path, scheme)
         wal = WriteAheadLog(wal_dir, fsync=durability)
@@ -260,6 +275,11 @@ class DatabaseServer:
         server = cls(database, **server_options)
         server._source_path = path
         server._backup_count = backup_count
+        if recovered is not None:
+            # The exactly-once ledger survives the crash: every replayed
+            # commit carrying an idempotency key re-registers it, so a
+            # client retrying across the restart is still deduplicated.
+            server._dedup.seed(recovered.dedup.items())
         if not list_checkpoints(wal_dir):
             server._checkpoint_locked()
         return server
@@ -287,6 +307,72 @@ class DatabaseServer:
     def retry(self) -> RetryPolicy:
         """The commit-race backoff schedule."""
         return self._retry
+
+    @property
+    def dedup(self) -> DedupTable:
+        """The exactly-once ledger (idempotency key -> acknowledged
+        summary)."""
+        return self._dedup
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this server writes under: the attached
+        log's epoch, or 0 when no log is attached."""
+        wal = self._database.wal
+        return wal.epoch if wal is not None else 0
+
+    @property
+    def fenced(self) -> bool:
+        """True once a higher epoch was observed; every write is
+        refused with :class:`~repro.errors.StaleEpochError`."""
+        return self._fenced_at is not None
+
+    @property
+    def fenced_at(self) -> Optional[int]:
+        """The epoch that fenced this server, or None while primary."""
+        return self._fenced_at
+
+    def fence(self, epoch: int) -> None:
+        """Depose this server: a primary at ``epoch`` exists elsewhere.
+
+        From this call on, every write (direct, retried, or grouped)
+        is refused with :class:`~repro.errors.StaleEpochError` and
+        counted as ``fenced_writes`` -- a deposed primary must never
+        acknowledge again.  The attached log is fenced too
+        (best-effort, so even a direct ``wal.append`` cannot land), but
+        reads keep serving: a fenced server is exactly as useful as a
+        stale replica, no less.  Idempotent; only ever raises the
+        fence, never lowers it.
+        """
+        if epoch <= self.epoch and not self.fenced:
+            raise ValueError(
+                f"cannot fence epoch {self.epoch} server with epoch "
+                f"{epoch} (fencing epoch must be higher)"
+            )
+        if self._fenced_at is None or epoch > self._fenced_at:
+            self._fenced_at = epoch
+        wal = self._database.wal
+        if wal is not None:
+            with contextlib.suppress(ValueError):
+                wal.fence(epoch)
+        logger.warning(
+            "server fenced: epoch %d supersedes local epoch %d",
+            epoch, self.epoch,
+        )
+
+    def observe_epoch(self, epoch: int) -> bool:
+        """Note an epoch seen in the wild (a stream record, a peer's
+        stats); fences this server when it is higher than its own.
+        Returns True when the server is fenced afterwards -- the
+        deposed primary's self-demotion trigger."""
+        if epoch > self.epoch and not self.fenced:
+            self.fence(epoch)
+        return self.fenced
+
+    def mark_promoted(self) -> None:
+        """Count a completed promotion (called by the failover
+        supervisor once this server has taken over as primary)."""
+        self._count("promotions")
 
     def session(self, user: str) -> Session:
         """The served (cached, per-user) session for ``user``.
@@ -372,6 +458,7 @@ class DatabaseServer:
         operation: Union[XUpdateOperation, UpdateScript, str],
         strict: bool = False,
         deadline: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> SecureUpdateResult:
         """Apply an update as ``user``, absorbing commit races.
 
@@ -383,24 +470,36 @@ class DatabaseServer:
         checkpointed before every script operation so an expired
         request aborts via the savepoint path with nothing committed.
 
+        A non-None ``idempotency_key`` makes the write exactly-once
+        across retries and failover: a key already acknowledged
+        returns the remembered summary as a
+        :class:`~repro.serving.dedup.DedupedResult` (counts, not node
+        lists) without touching the database, and a fresh key rides
+        the commit's WAL record so replicas and recovery remember it
+        too.
+
         Raises:
             OverloadError: shed by admission control (audited).
             DeadlineExceeded: the budget expired at any phase
                 (audited; nothing committed).
             CircuitOpenError: the write circuit is open.
             RetryExhausted: every attempt hit a commit race (audited).
+            StaleEpochError: this server was fenced by a promotion
+                (never acknowledged; re-submit to the current primary).
             AccessDenied, UpdateAborted: as for
                 :meth:`Session.execute`; these are application
                 outcomes and do not trip the circuit breaker.
         """
         deadline = self._deadline(deadline)
         opname, oppath = _describe(operation)
+        self._ensure_not_fenced(user, opname, oppath)
         self._breaker.allow()
         session = self.session(user)
         self._admit(deadline, user, opname, oppath)
         try:
             result = self._execute_with_retry(
-                session, operation, strict, deadline, opname, oppath
+                session, operation, strict, deadline, opname, oppath,
+                idempotency_key,
             )
         finally:
             self._admission.release()
@@ -413,6 +512,7 @@ class DatabaseServer:
         operation: Union[XUpdateOperation, UpdateScript, str],
         strict: bool = False,
         deadline: "Optional[float | Deadline]" = None,
+        idempotency_key: Optional[str] = None,
     ) -> SecureUpdateResult:
         """One governed write attempt with *no* internal retry.
 
@@ -430,13 +530,15 @@ class DatabaseServer:
         """
         deadline = self._deadline(deadline)
         opname, oppath = _describe(operation)
+        self._ensure_not_fenced(user, opname, oppath)
         self._breaker.allow()
         session = self.session(user)
         self._admit(deadline, user, opname, oppath)
         try:
             try:
                 return self._locked_attempt(
-                    session, operation, strict, deadline, opname, oppath
+                    session, operation, strict, deadline, opname, oppath,
+                    idem=idempotency_key,
                 )
             except _WalDegraded as exc:
                 raise exc.error from exc
@@ -444,7 +546,7 @@ class DatabaseServer:
             self._admission.release()
 
     def _execute_with_retry(
-        self, session, operation, strict, deadline, opname, oppath
+        self, session, operation, strict, deadline, opname, oppath, idem=None
     ):
         user = session.user
         delay = 0.0
@@ -453,7 +555,7 @@ class DatabaseServer:
             try:
                 return self._locked_attempt(
                     session, operation, strict, deadline, opname, oppath,
-                    attempt=attempt,
+                    attempt=attempt, idem=idem,
                 )
             except ConcurrentUpdateError as exc:
                 last = exc
@@ -491,7 +593,8 @@ class DatabaseServer:
         ) from last
 
     def _locked_attempt(
-        self, session, operation, strict, deadline, opname, oppath, attempt=1
+        self, session, operation, strict, deadline, opname, oppath,
+        attempt=1, idem=None,
     ):
         """One write attempt under the exclusive lock.
 
@@ -514,11 +617,27 @@ class DatabaseServer:
                 deadline, user, opname, "write admission"
             )
         try:
-            result = session.execute(
-                operation,
-                strict=strict,
-                checkpoint=lambda: deadline.check(f"{opname} script"),
+            if idem is not None:
+                # Exactly-once: the lookup shares the exclusive lock
+                # with the commit-and-remember below, so two racing
+                # re-sends of one key serialize -- the first applies,
+                # the second reads the remembered acknowledgement.
+                entry = self._dedup.get(idem)
+                if entry is not None:
+                    self._count("dedup_hits")
+                    return DedupedResult.from_entry(entry)
+            wal = self._database.wal
+            annotation = (
+                wal.annotate(idem=idem)
+                if idem is not None and wal is not None
+                else contextlib.nullcontext()
             )
+            with annotation:
+                result = session.execute(
+                    operation,
+                    strict=strict,
+                    checkpoint=lambda: deadline.check(f"{opname} script"),
+                )
         except ConcurrentUpdateError:
             self._count("commit_races")
             raise
@@ -564,6 +683,17 @@ class DatabaseServer:
             self._count("writes")
             self._count("commits")
             self._commits_since_checkpoint += 1
+            if idem is not None:
+                self._dedup.put(
+                    idem,
+                    {
+                        "fully_applied": bool(result.fully_applied),
+                        "selected": len(result.selected),
+                        "affected": len(result.affected),
+                        "denied": len(result.denials),
+                        "version": self._database.version,
+                    },
+                )
             return result
         finally:
             self._lock.release_write()
@@ -648,6 +778,25 @@ class DatabaseServer:
             budget = self._default_deadline
         return Deadline(budget, clock=self._clock)
 
+    def _ensure_not_fenced(self, user, opname, oppath) -> None:
+        fenced_at = self._fenced_at
+        if fenced_at is None:
+            return
+        self._count("fenced_writes")
+        self._audit_rejection(
+            user, opname, oppath,
+            f"refused: server fenced at epoch {fenced_at} "
+            f"(local epoch {self.epoch})",
+            "fenced",
+        )
+        raise StaleEpochError(
+            f"{opname} by {user!r} refused: this server was deposed by "
+            f"epoch {fenced_at} (its own epoch is {self.epoch}); "
+            f"re-submit to the current primary",
+            epoch=self.epoch,
+            current=fenced_at,
+        )
+
     def _admit(self, deadline, user, opname, oppath) -> None:
         try:
             self._admission.acquire(deadline)
@@ -714,6 +863,10 @@ class DatabaseServer:
         )
         out.update({f"breaker_{k}": v for k, v in self._breaker.stats.items()})
         out["breaker_state"] = self._breaker.state
+        out["epoch"] = self.epoch
+        out["fenced"] = self.fenced
+        out["fenced_at"] = self._fenced_at
+        out.update({f"dedup_{k}": v for k, v in self._dedup.stats().items()})
         wal = self._database.wal
         out["wal_attached"] = wal is not None
         if wal is not None:

@@ -65,6 +65,23 @@ Network/group-commit kill-points (ISSUE 8) -- the async front-end in
                                 nothing in the group may be acknowledged
 ==============================  ========================================
 
+Failover kill-points (ISSUE 9) -- the supervised-promotion machinery
+in :mod:`repro.replication.supervisor` and the deposed-primary ack
+window in :mod:`repro.serving.group`:
+
+==============================  ========================================
+``supervisor-before-promote``   failure diagnosed, promotion decided,
+                                but no candidate drained or touched yet
+``promote-mid-drain``           the chosen replica is drained to the
+                                reachable end of the log, but the
+                                promotion (epoch bump, new WAL, router
+                                swap) has not started -- a retry must
+                                promote cleanly
+``old-primary-late-ack``        a deposed primary's commit group is
+                                fully appended and about to fsync+ack;
+                                the fence check sits right behind it
+==============================  ========================================
+
 Example::
 
     from repro.testing.faults import inject, InjectedFault
@@ -139,6 +156,9 @@ KILL_POINTS = (
     "net-mid-frame",
     "group-after-leader-append",
     "group-before-fsync",
+    "supervisor-before-promote",
+    "promote-mid-drain",
+    "old-primary-late-ack",
 )
 
 

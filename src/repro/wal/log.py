@@ -39,6 +39,16 @@ CRC does not match, or whose ``lsn`` breaks the sequence marks the end
 of the usable log; everything from its first byte on is an artifact of
 the crash and is truncated (never replayed).
 
+Fencing epochs: a log opened with ``epoch=N > 0`` stamps ``"epoch": N``
+into every record it appends, and its checkpoint snapshots carry the
+epoch in their filename (``checkpoint-<lsn>-<version>-e<epoch>.xml``).
+Records and checkpoints written before this field existed -- or by the
+implicit pre-failover epoch 0 -- simply omit it and load as epoch 0
+everywhere (``payload.get("epoch", 0)``), so old logs replay
+unchanged.  The epoch is monotone per directory: opening with an epoch
+below what the directory already holds is refused.  See
+:mod:`repro.replication.supervisor` for who bumps it and why.
+
 Fsync policy: ``"always"`` fsyncs every append (a commit acknowledged
 is a commit recovered); ``"batch(N,ms)"`` fsyncs after N pending
 appends or ms milliseconds, whichever comes first (bounded loss window,
@@ -88,7 +98,9 @@ MAGIC = b"REPROWAL1\n"
 _HEADER = struct.Struct(">II")
 _MAX_RECORD = 1 << 28  # 256 MiB: anything larger is a corrupt length
 _SEGMENT_RE = re.compile(r"^segment-(\d{10})\.wal$")
-_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{10})-(\d{10})\.xml$")
+_CHECKPOINT_RE = re.compile(
+    r"^checkpoint-(\d{10})-(\d{10})(?:-e(\d+))?\.xml$"
+)
 _BATCH_RE = re.compile(r"^batch\((\d+),(\d+(?:\.\d+)?)\)$")
 
 
@@ -151,6 +163,12 @@ class WalRecord:
     offset: int
     length: int
 
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch the record was written under (0 for
+        records that predate epochs -- the compat default)."""
+        return int(self.payload.get("epoch", 0))
+
 
 @dataclass(frozen=True)
 class TornTail:
@@ -194,11 +212,14 @@ class Checkpoint:
         version: the database version the snapshot captures.
         path: the snapshot file (a ``<securedb>`` dump with integrity
             header).
+        epoch: the fencing epoch the snapshot was cut under (0 for
+            old-format filenames without the ``-e<epoch>`` suffix).
     """
 
     lsn: int
     version: int
     path: str
+    epoch: int = 0
 
 
 @dataclass
@@ -351,6 +372,7 @@ def list_checkpoints(directory: str) -> List[Checkpoint]:
                     int(match.group(1)),
                     int(match.group(2)),
                     os.path.join(directory, name),
+                    int(match.group(3) or 0),
                 )
             )
     return sorted(out, key=lambda c: c.lsn)
@@ -574,6 +596,13 @@ class WriteAheadLog:
             only they need are deleted.
         clock: monotonic time source for the batch policy (injectable
             for tests).
+        epoch: the fencing epoch to write under.  None (default)
+            adopts whatever the directory already holds (0 for a fresh
+            or pre-epoch log); an explicit epoch must be >= the
+            directory's, and every appended record and checkpoint is
+            stamped with it.  Promotion opens the new primary's log
+            with the bumped epoch; see
+            :class:`repro.replication.FailoverSupervisor`.
 
     A log is bound to a database with
     :meth:`SecureXMLDatabase.attach_wal`, after which every commit
@@ -590,9 +619,13 @@ class WriteAheadLog:
         segment_bytes: int = 4 << 20,
         retain_checkpoints: int = 2,
         clock: Callable[[], float] = time.monotonic,
+        epoch: Optional[int] = None,
     ) -> None:
         if retain_checkpoints < 1:
             raise ValueError("retain_checkpoints must be >= 1")
+        if epoch is not None and epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        self._requested_epoch = epoch
         self._directory = os.path.abspath(directory)
         self._policy = FsyncPolicy.parse(fsync)
         self._segment_bytes = segment_bytes
@@ -605,6 +638,7 @@ class WriteAheadLog:
         self._last_sync = clock()
         self._bound_db = None
         self._group_threads: set = set()
+        self._annotations: Dict[int, Dict[str, Any]] = {}
         self._stats: Dict[str, int] = {
             "appends": 0,
             "fsyncs": 0,
@@ -626,6 +660,21 @@ class WriteAheadLog:
         """Find the end of the usable log and position for appending."""
         scan = scan_directory(self._directory)
         self._lsn = scan.last_lsn
+        disk_epoch = max(
+            [0]
+            + [record.epoch for record in scan.records]
+            + [c.epoch for c in list_checkpoints(self._directory)]
+        )
+        if self._requested_epoch is None:
+            self._epoch = disk_epoch
+        elif self._requested_epoch < disk_epoch:
+            raise ValueError(
+                f"{self._directory}: requested epoch "
+                f"{self._requested_epoch} is below epoch {disk_epoch} "
+                f"already on disk (epochs only move forward)"
+            )
+        else:
+            self._epoch = self._requested_epoch
         if scan.torn is not None:
             if scan.torn.dropped_segments or scan.torn.offset == 0:
                 raise WalCorruptionError(
@@ -703,6 +752,34 @@ class WriteAheadLog:
         return self._failed
 
     @property
+    def epoch(self) -> int:
+        """The fencing epoch stamped into appended records (0 = the
+        implicit pre-failover epoch, stamped as an absent field)."""
+        return self._epoch
+
+    def fence(self, epoch: int) -> None:
+        """Refuse all further appends: a higher epoch exists elsewhere.
+
+        Called on a deposed primary's log when a promotion to ``epoch``
+        is observed.  Every later append raises
+        :class:`~repro.errors.WalWriteError` naming the fencing epoch;
+        the log's on-disk state is untouched (re-opening reads the
+        committed prefix as usual).  Idempotent; fencing at an epoch at
+        or below the log's own is refused (that would be fencing the
+        current primary with its own epoch).
+        """
+        with self._lock:
+            if epoch <= self._epoch:
+                raise ValueError(
+                    f"cannot fence epoch {self._epoch} log with epoch "
+                    f"{epoch} (fencing epoch must be higher)"
+                )
+            self._failed = (
+                f"fenced: epoch {epoch} supersedes this log's epoch "
+                f"{self._epoch}"
+            )
+
+    @property
     def stats(self) -> Dict[str, int]:
         """Counters: appends, fsyncs, deferred_fsyncs, grouped_appends,
         group_syncs, rotations, checkpoints, state_fallbacks,
@@ -763,6 +840,11 @@ class WriteAheadLog:
         kill_point("wal-before-append", lsn=lsn, kind=kind)
         record = dict(payload)
         record["lsn"] = lsn
+        if self._epoch:
+            # Epoch 0 is stamped as an absent field so pre-epoch logs
+            # and post-epoch logs that never failed over stay
+            # byte-compatible; readers use payload.get("epoch", 0).
+            record["epoch"] = self._epoch
         buf = json.dumps(
             record, ensure_ascii=False, separators=(",", ":")
         ).encode("utf-8")
@@ -869,6 +951,31 @@ class WriteAheadLog:
             with self._lock:
                 self._group_threads.discard(ident)
 
+    @contextlib.contextmanager
+    def annotate(self, **fields: Any):
+        """Merge ``fields`` into commit payloads logged by this thread.
+
+        Scoped exactly like :meth:`group`: while the block is open,
+        every commit record *this thread* appends through
+        :meth:`log_commit` -- however deep inside ``Session.execute``
+        the commit point sits -- carries the extra fields.  The serving
+        layer uses this to thread a client idempotency key (``idem``)
+        into the committed record so replicas and recovery rebuild the
+        dedup table from the log alone.  Reserved payload keys
+        (``lsn``, ``kind``, ``epoch``, ``version``) are refused.
+        """
+        for key in fields:
+            if key in ("lsn", "kind", "epoch", "version"):
+                raise ValueError(f"annotation may not set reserved key {key!r}")
+        ident = threading.get_ident()
+        with self._lock:
+            self._annotations[ident] = dict(fields)
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._annotations.pop(ident, None)
+
     def sync_group(self) -> bool:
         """The group's one fsync: force every deferred append durable.
 
@@ -949,6 +1056,9 @@ class WriteAheadLog:
             version, document, subjects, policy, changes, origin
         )
         with self._lock:
+            extra = self._annotations.get(threading.get_ident())
+            if extra:
+                payload.update(extra)
             return self._append_locked(payload)
 
     def _commit_payload(
@@ -1017,9 +1127,10 @@ class WriteAheadLog:
         """Write a snapshot of ``database``, rotate, and prune.
 
         The snapshot (a :func:`repro.storage.dump_database` file with
-        integrity header, named ``checkpoint-<lsn>-<version>.xml``)
-        bounds recovery work: replay starts from the newest loadable
-        snapshot.  After the snapshot the segment is rotated and
+        integrity header, named ``checkpoint-<lsn>-<version>.xml``,
+        with an ``-e<epoch>`` suffix once the log's fencing epoch is
+        nonzero) bounds recovery work: replay starts from the newest
+        loadable snapshot.  After the snapshot the segment is rotated and
         retention applied -- the newest ``retain_checkpoints``
         snapshots survive, along with every segment needed to replay
         from the *oldest* surviving one.
@@ -1038,9 +1149,10 @@ class WriteAheadLog:
                 self.sync()  # the log must cover everything pre-snapshot
                 lsn, version = self._lsn, database.version
                 payload = dump_database(database) + "\n"
+                suffix = f"-e{self._epoch}" if self._epoch else ""
                 path = os.path.join(
                     self._directory,
-                    f"checkpoint-{lsn:010d}-{version:010d}.xml",
+                    f"checkpoint-{lsn:010d}-{version:010d}{suffix}.xml",
                 )
                 self._write_snapshot(payload, path)
                 self._rotate_locked()

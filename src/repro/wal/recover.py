@@ -19,6 +19,17 @@ stamped with.  A mismatch means the log and the snapshot disagree;
 strict mode raises :class:`~repro.errors.RecoveryError`, the default
 lenient mode stops at the last consistent point and reports through the
 :class:`~repro.storage.LoadReport`.
+
+Fencing epochs ride the same invariant: records stamped with an epoch
+(see :mod:`repro.wal.log`) must never regress mid-log -- a record whose
+epoch is *below* the highest one already replayed is a deposed
+primary's leftover and is treated exactly like a version-stamp
+divergence (strict raises, lenient stops in front of it).  Records and
+checkpoints written before epochs existed carry no epoch field and load
+as epoch 0 on both paths, so old logs replay unchanged.  Recovery also
+rebuilds the exactly-once dedup ledger: every replayed ``update``
+record carrying an ``idem`` annotation contributes its
+(key -> commit summary) entry to :attr:`RecoveryResult.dedup`.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ from __future__ import annotations
 import contextlib
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import RecoveryError, WalCorruptionError
 from ..storage import LoadReport, load_database
@@ -65,6 +76,13 @@ class RecoveryResult:
         report: everything lenient recovery dropped or repaired
             (checkpoints that failed to load, the torn tail, a replay
             stop); ``report.clean`` means the log replayed fully.
+        epoch: the highest fencing epoch observed across the starting
+            checkpoint and every replayed record (0 for pre-epoch
+            logs).
+        dedup: the exactly-once ledger rebuilt from the log --
+            idempotency key -> the commit summary of the ``update`` or
+            ``admin`` record that carried it (insertion order = replay
+            order).
     """
 
     database: object
@@ -73,6 +91,8 @@ class RecoveryResult:
     last_lsn: int = 0
     torn: Optional[TornTail] = None
     report: LoadReport = field(default_factory=LoadReport)
+    epoch: int = 0
+    dedup: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def version(self) -> int:
@@ -130,10 +150,32 @@ def recover(
     )
     result.checkpoint = checkpoint
     start_lsn = checkpoint.lsn if checkpoint is not None else 0
+    result.epoch = checkpoint.epoch if checkpoint is not None else 0
+
+    def remember(applied: WalRecord, summary: Dict[str, Any]) -> None:
+        key = applied.payload.get("idem")
+        if key is not None:
+            result.dedup[str(key)] = summary
 
     for record in scan.records:
         if record.lsn <= start_lsn:
             continue
+        # Epoch regression is the fencing invariant's version of a bad
+        # version stamp: a record from a lower epoch after a higher one
+        # is a deposed primary's leftover, never part of the committed
+        # history.  (Records without the field predate epochs and load
+        # as epoch 0 -- a regression only exists once something newer
+        # was already seen.)
+        if record.epoch < result.epoch:
+            message = (
+                f"lsn {record.lsn} carries stale epoch {record.epoch} "
+                f"after epoch {result.epoch} was observed"
+            )
+            if strict:
+                raise RecoveryError(message)
+            result.report.add("wal", message + "; stopping here")
+            break
+        result.epoch = record.epoch
         # The recovery invariant, checked *before* applying: a replayed
         # commit bumps the version by exactly one (a state record sets
         # it outright), so a record whose stamp is not the successor of
@@ -152,7 +194,9 @@ def recover(
                 result.report.add("wal", message + "; stopping here")
                 break
         try:
-            database = apply_record(database, record, scheme)
+            database = apply_record(
+                database, record, scheme, result_sink=remember
+            )
         except Exception as exc:
             message = (
                 f"replay of lsn {record.lsn} ({record.kind}) failed: {exc}"
@@ -250,7 +294,14 @@ def load_newest_checkpoint(
 # ---------------------------------------------------------------------------
 # replay
 # ---------------------------------------------------------------------------
-def apply_record(database, record: WalRecord, scheme=None):
+def apply_record(
+    database,
+    record: WalRecord,
+    scheme=None,
+    result_sink: Optional[
+        Callable[[WalRecord, Dict[str, Any]], None]
+    ] = None,
+):
     """Apply one log record; returns the (possibly replaced) database.
 
     The single replay step both recovery and replication are built on:
@@ -264,6 +315,17 @@ def apply_record(database, record: WalRecord, scheme=None):
     Stamped-version checking is the *caller's* contract (recovery stops
     or raises; a replica quarantines itself) -- this function only
     applies.
+
+    Args:
+        result_sink: called after a successful ``update`` or ``admin``
+            replay with
+            ``(record, summary)`` where the summary is the same typed
+            shape the serving layer acknowledges over the wire
+            (``fully_applied`` / ``selected`` / ``affected`` /
+            ``denied`` / ``version``).  Recovery and replicas use it to
+            rebuild the exactly-once dedup ledger from the log; replay
+            is deterministic, so the rebuilt summary is the one the
+            original commit acknowledged.
 
     Raises:
         RecoveryError: the record kind is unknown, or a record that
@@ -288,13 +350,35 @@ def apply_record(database, record: WalRecord, scheme=None):
         )
     if kind == "update":
         session = database.login(payload["user"])
-        session.execute(
+        outcome = session.execute(
             parse_xupdate(payload["script"]),
             strict=bool(payload.get("strict", False)),
         )
+        if result_sink is not None:
+            result_sink(
+                record,
+                {
+                    "fully_applied": bool(outcome.fully_applied),
+                    "selected": len(outcome.selected),
+                    "affected": len(outcome.affected),
+                    "denied": len(outcome.denials),
+                    "version": database.version,
+                },
+            )
         return database
     if kind == "admin":
-        database.admin_update(parse_xupdate(payload["script"]))
+        outcome = database.admin_update(parse_xupdate(payload["script"]))
+        if result_sink is not None:
+            result_sink(
+                record,
+                {
+                    "fully_applied": True,
+                    "selected": len(outcome.selected),
+                    "affected": len(outcome.affected),
+                    "denied": len(outcome.denied),
+                    "version": database.version,
+                },
+            )
         return database
     if kind == "subjects":
         _apply_subjects(database.subjects, payload["op"], payload["args"])

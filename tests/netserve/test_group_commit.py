@@ -169,13 +169,17 @@ class TestRetry:
         original = server.execute_once
         raced = {"count": 0}
 
-        def racing_once(user, operation, strict=False, deadline=None):
+        def racing_once(user, operation, strict=False, deadline=None,
+                        idempotency_key=None):
             if raced["count"] == 0:
                 raced["count"] += 1
                 from repro.errors import ConcurrentUpdateError
 
                 raise ConcurrentUpdateError("simulated interleaved commit")
-            return original(user, operation, strict, deadline)
+            return original(
+                user, operation, strict, deadline,
+                idempotency_key=idempotency_key,
+            )
 
         server.execute_once = racing_once
         result = committer.commit("w1", append_script("eventually"))
@@ -193,7 +197,8 @@ class TestRetry:
         )
         committer = GroupCommitter(server, max_batch=1, max_delay_ms=0.0)
 
-        def always_races(user, operation, strict=False, deadline=None):
+        def always_races(user, operation, strict=False, deadline=None,
+                         idempotency_key=None):
             from repro.errors import ConcurrentUpdateError
 
             raise ConcurrentUpdateError("permanent race")

@@ -7,8 +7,11 @@ cursor -- is a :class:`WalStreamGap`, the signal to re-seed from a
 checkpoint."""
 
 import os
+import tempfile
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import WalStreamGap
 from repro.wal import WalStream, WriteAheadLog, scan_directory
@@ -160,3 +163,78 @@ class TestGaps:
         empty = str(tmp_path / "empty.wal")
         os.makedirs(empty)
         assert WalStream(empty).poll() == []
+
+
+class TestResumptionProperty:
+    """Satellite property: across arbitrary interleavings of commits,
+    rotating/pruning checkpoints, polls and cursor re-seeks, a stream
+    either yields every record past its cursor exactly once and in
+    order, or raises :class:`WalStreamGap` naming the true oldest
+    readable lsn.  It never silently skips."""
+
+    @given(
+        actions=st.lists(
+            st.sampled_from(
+                ["commit", "commit", "checkpoint", "poll", "reseek"]
+            ),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resumption_yields_contiguous_records_or_a_true_gap(
+        self, actions
+    ):
+        with tempfile.TemporaryDirectory() as base:
+            wal_dir = os.path.join(base, "db.wal")
+            db = editors_database()
+            # Tiny segments rotate constantly; retention 1 prunes hard.
+            wal = WriteAheadLog(
+                wal_dir, segment_bytes=200, retain_checkpoints=1
+            )
+            db.attach_wal(wal)
+            wal.checkpoint(db)
+            stream = WalStream(wal_dir)
+            cursor = 0
+            label = 0
+            for action in actions + ["poll"]:
+                if action == "commit":
+                    db.login("w1").execute(append_script(f"n{label}"))
+                    label += 1
+                elif action == "checkpoint":
+                    wal.checkpoint(db)
+                elif action == "reseek":
+                    # Resume a fresh stream at the acknowledged cursor:
+                    # the restart-after-crash path.
+                    stream = WalStream(wal_dir, from_lsn=cursor)
+                else:
+                    cursor = self._poll(wal_dir, stream, cursor)
+                    stream = WalStream(wal_dir, from_lsn=cursor)
+            # Drain: everything the log holds past the cursor arrives.
+            while True:
+                advanced = self._poll(wal_dir, stream, cursor)
+                stream = WalStream(wal_dir, from_lsn=advanced)
+                if advanced == cursor:
+                    break
+                cursor = advanced
+            assert cursor == wal.lsn
+            wal.close()
+
+    @staticmethod
+    def _poll(wal_dir, stream, cursor):
+        """One poll, asserting the contract; returns the new cursor."""
+        try:
+            records = stream.poll()
+        except WalStreamGap as gap:
+            on_disk = scan_directory(wal_dir).records
+            oldest = min(r.lsn for r in on_disk)
+            # The gap is real (the next lsn truly is unreadable) and
+            # honestly described (oldest_available is exact).
+            assert cursor + 1 < oldest
+            assert gap.oldest_available == oldest
+            assert gap.next_lsn == cursor + 1
+            return oldest - 1  # re-seed point: catch-up would cover it
+        got = lsns(records)
+        # Contiguous from the cursor: nothing skipped, nothing repeated.
+        assert got == list(range(cursor + 1, cursor + 1 + len(got)))
+        return got[-1] if got else cursor

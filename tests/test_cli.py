@@ -305,3 +305,70 @@ class TestStress:
         assert code == 0  # shed requests are governed, not failures
         out = capsys.readouterr().out
         assert "shed:" in out
+
+
+class TestFailoverCli:
+    @pytest.fixture
+    def logged(self, seeded):
+        """The seeded database plus a WAL directory holding one keyed
+        commit that was never saved back to the snapshot file."""
+        from repro.wal import WriteAheadLog
+
+        db = load_from_file(seeded)
+        wal = WriteAheadLog(seeded + ".wal")
+        db.attach_wal(wal)
+        wal.checkpoint(db)
+        with wal.annotate(idem="req-1"):
+            db.login("alice").execute(APPEND_BOB)
+        db.detach_wal().close()
+        return seeded + ".wal"
+
+    def append_epoch_regression(self, seeded, wal_dir):
+        """Smuggle an epoch-2-then-epoch-1 tail onto the (epoch-0) log
+        -- a deposed primary's leftover writes."""
+        from repro.wal import WriteAheadLog
+
+        version = load_from_file(seeded).version + 1  # + the keyed commit
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append({"kind": "update", "epoch": 2, "user": "alice",
+                        "script": APPEND_BOB, "version": version + 1})
+            wal.append({"kind": "update", "epoch": 1, "user": "alice",
+                        "script": APPEND_BOB, "version": version + 2})
+
+    def test_promote_creates_a_primary_log(self, logged, tmp_path, capsys):
+        new_dir = str(tmp_path / "promoted")
+        assert run("replica", logged, "--promote", new_dir) == 0
+        out = capsys.readouterr().out
+        assert "promoted to primary: epoch 1" in out
+        assert "1 idempotency entr" in out
+        # The new log is a self-sufficient primary baseline.
+        assert run("failover-status", new_dir) == 0
+        out = capsys.readouterr().out
+        assert "epoch: 1" in out
+        assert "single unbroken epoch line" in out
+
+    def test_promote_diverged_replica_exits_four(
+        self, seeded, logged, tmp_path, capsys
+    ):
+        self.append_epoch_regression(seeded, logged)
+        code = run("replica", logged, "--promote", str(tmp_path / "p"))
+        assert code == 4
+        assert "diverged" in capsys.readouterr().err
+
+    def test_failover_status_clean_log(self, logged, capsys):
+        assert run("failover-status", logged) == 0
+        out = capsys.readouterr().out
+        assert "epoch: 0" in out
+        assert "idempotency keys on record: 1" in out
+        assert "single unbroken epoch line" in out
+
+    def test_failover_status_fenced_log_exits_four(
+        self, seeded, logged, capsys
+    ):
+        self.append_epoch_regression(seeded, logged)
+        assert run("failover-status", logged) == 4
+        out = capsys.readouterr().out
+        assert "FENCED: 1 stale-epoch record(s)" in out
+
+    def test_failover_status_missing_directory(self, tmp_path):
+        assert run("failover-status", str(tmp_path / "nope")) == 2

@@ -1,0 +1,191 @@
+"""Fencing epochs in the log format and the recovery path.
+
+The compat rule under test throughout: epoch 0 is stamped as an
+*absent* field, so a pre-failover log is byte-identical to one written
+by this code at epoch 0, and old-format records load as epoch 0 on
+both the strict and lenient recovery paths.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import RecoveryError, WalWriteError
+from repro.wal import (
+    WriteAheadLog,
+    list_checkpoints,
+    recover,
+    scan_directory,
+)
+
+from .conftest import append_script, editors_database
+
+
+def logged(wal_dir, epoch=None, **options):
+    db = editors_database()
+    wal = WriteAheadLog(wal_dir, epoch=epoch, **options)
+    db.attach_wal(wal)
+    wal.checkpoint(db)
+    return db, wal
+
+
+class TestEpochStamping:
+    def test_epoch_zero_is_an_absent_field(self, wal_dir):
+        """The seed format is preserved byte-for-byte: no ``epoch``
+        key ever appears at epoch 0."""
+        db, wal = logged(wal_dir)
+        db.login("w1").execute(append_script("a"))
+        for record in scan_directory(wal_dir).records:
+            assert "epoch" not in record.payload
+            assert record.epoch == 0
+        assert wal.epoch == 0
+
+    def test_positive_epoch_is_stamped_into_every_record(self, wal_dir):
+        db, wal = logged(wal_dir, epoch=3)
+        db.login("w1").execute(append_script("a"))
+        records = scan_directory(wal_dir).records
+        assert records and all(r.epoch == 3 for r in records)
+
+    def test_reopen_discovers_the_disk_epoch(self, wal_dir):
+        db, wal = logged(wal_dir, epoch=2)
+        db.login("w1").execute(append_script("a"))
+        wal.close()
+        with WriteAheadLog(wal_dir) as reopened:
+            assert reopened.epoch == 2
+
+    def test_reopen_below_the_disk_epoch_is_refused(self, wal_dir):
+        db, wal = logged(wal_dir, epoch=2)
+        db.login("w1").execute(append_script("a"))
+        wal.close()
+        with pytest.raises(ValueError):
+            WriteAheadLog(wal_dir, epoch=1)
+
+    def test_negative_epoch_is_refused(self, wal_dir):
+        with pytest.raises(ValueError):
+            WriteAheadLog(wal_dir, epoch=-1)
+
+    def test_checkpoint_filename_carries_the_epoch(self, wal_dir):
+        logged(wal_dir, epoch=4)
+        (checkpoint,) = list_checkpoints(wal_dir)
+        assert checkpoint.epoch == 4
+        assert "-e4" in os.path.basename(checkpoint.path)
+
+    def test_epoch_zero_checkpoint_filename_is_the_old_format(
+        self, wal_dir
+    ):
+        logged(wal_dir)
+        (checkpoint,) = list_checkpoints(wal_dir)
+        assert checkpoint.epoch == 0
+        assert "-e" not in os.path.basename(checkpoint.path)
+
+
+class TestFencing:
+    def test_fence_poisons_the_writer(self, wal_dir):
+        db, wal = logged(wal_dir)
+        wal.fence(2)
+        assert wal.failed is not None and "epoch 2" in wal.failed
+        with pytest.raises(WalWriteError):
+            wal.append({"kind": "update"})
+
+    def test_fence_requires_a_strictly_higher_epoch(self, wal_dir):
+        db, wal = logged(wal_dir, epoch=2)
+        with pytest.raises(ValueError):
+            wal.fence(2)
+        with pytest.raises(ValueError):
+            wal.fence(1)
+
+    def test_fencing_never_touches_disk_state(self, wal_dir):
+        db, wal = logged(wal_dir)
+        db.login("w1").execute(append_script("a"))
+        before = [(r.lsn, r.payload) for r in scan_directory(wal_dir).records]
+        wal.fence(5)
+        after = [(r.lsn, r.payload) for r in scan_directory(wal_dir).records]
+        assert before == after
+
+
+class TestAnnotation:
+    def test_annotation_rides_the_commit_record(self, wal_dir):
+        db, wal = logged(wal_dir)
+        with wal.annotate(idem="key-1"):
+            db.login("w1").execute(append_script("a"))
+        db.login("w1").execute(append_script("b"))
+        records = [
+            r for r in scan_directory(wal_dir).records if r.kind == "update"
+        ]
+        assert records[0].payload["idem"] == "key-1"
+        assert "idem" not in records[1].payload
+
+    def test_reserved_keys_are_refused(self, wal_dir):
+        _, wal = logged(wal_dir)
+        for key in ("lsn", "kind", "epoch", "version"):
+            with pytest.raises(ValueError):
+                with wal.annotate(**{key: 1}):
+                    pass
+
+
+class TestEpochRecovery:
+    def test_old_format_log_recovers_at_epoch_zero(self, wal_dir):
+        """Satellite 6: an epoch-less log (the seed format) loads as
+        epoch 0 on both recovery paths."""
+        db, wal = logged(wal_dir)
+        db.login("w1").execute(append_script("a"))
+        wal.close()
+        for strict in (False, True):
+            result = recover(wal_dir, strict=strict)
+            assert result.epoch == 0
+            assert result.database.version == db.version
+
+    def test_mixed_format_log_recovers_at_the_newest_epoch(self, wal_dir):
+        """Old epoch-less records followed by epoch-stamped ones (the
+        log a promoted-in-place primary writes) replay end to end."""
+        db, wal = logged(wal_dir)
+        db.login("w1").execute(append_script("old"))
+        wal.close()
+        db.detach_wal()
+        with WriteAheadLog(wal_dir, epoch=2) as upgraded:
+            db.attach_wal(upgraded)
+            db.login("w1").execute(append_script("new"))
+        for strict in (False, True):
+            result = recover(wal_dir, strict=strict)
+            assert result.epoch == 2
+            assert result.database.version == db.version
+            from repro.xmltree.serializer import serialize
+
+            final = serialize(result.database.document)
+            assert "<old>" in final and "<new>" in final
+
+    def test_epoch_regression_stops_lenient_recovery(self, wal_dir):
+        """A record whose epoch goes *backwards* is a deposed
+        primary's leftover: lenient recovery stops in front of it."""
+        db, wal = logged(wal_dir)
+        db.login("w1").execute(append_script("good"))
+        # Craft the regression: at epoch 0 the log stamps nothing, so a
+        # payload smuggling its own epoch fields emulates a torn
+        # history (epoch 2 observed, then an epoch-1 straggler).
+        wal.append({"kind": "update", "epoch": 2, "user": "w1",
+                    "script": append_script("x"), "version": db.version + 1})
+        wal.append({"kind": "update", "epoch": 1, "user": "w1",
+                    "script": append_script("y"), "version": db.version + 2})
+        wal.close()
+        result = recover(wal_dir)
+        assert result.epoch == 2
+        assert not result.report.clean
+        assert any(
+            "stale epoch" in str(p) for p in result.report.problems
+        )
+        with pytest.raises(RecoveryError):
+            recover(wal_dir, strict=True)
+
+    def test_dedup_ledger_is_rebuilt_from_annotations(self, wal_dir):
+        db, wal = logged(wal_dir)
+        with wal.annotate(idem="k1"):
+            db.login("w1").execute(append_script("a"))
+        with wal.annotate(idem="k2"):
+            db.login("w1").execute(append_script("b"))
+        db.login("w1").execute(append_script("unkeyed"))
+        wal.close()
+        result = recover(wal_dir)
+        assert set(result.dedup) == {"k1", "k2"}
+        for summary in result.dedup.values():
+            assert summary["fully_applied"] is True
+            assert summary["version"] > 0
