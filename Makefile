@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test fault chaos recovery replication netserve failover bench bench-json bench-smoke verify
+.PHONY: test fault chaos recovery replication netserve failover scrub bench bench-json bench-smoke verify
 
 test:
 	$(PYTEST) -x -q
@@ -55,6 +55,14 @@ netserve:
 failover:
 	$(PYTEST) -x -q -m failover
 
+# Integrity lane: 200+ seeded disk-fault schedules (bit flips, EIO,
+# ENOSPC, short writes) through the serving layer, plus the online
+# scrubber and anti-entropy repair suites, asserting no acknowledged
+# write is lost, quarantined corruption is never served, and repair
+# from a healthy peer converges to byte-identical state.
+scrub:
+	REPRO_SCRUB_SOAK_SEEDS=200 $(PYTEST) -x -q -m scrub
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -81,6 +89,9 @@ bench-json:
 	rm -f $(CURDIR)/BENCH_E26.json
 	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E26.json \
 		$(PYTEST) -q -s benchmarks/test_e26_failover.py
+	rm -f $(CURDIR)/BENCH_E27.json
+	REPRO_BENCH_SERIES_JSON=$(CURDIR)/BENCH_E27.json \
+		$(PYTEST) -q -s benchmarks/test_e27_scrub.py
 
 # Fast serving-layer checks: E20 at three small sizes (shared and
 # incremental counters, loose speedup bar), E21's counter-only
@@ -92,6 +103,7 @@ bench-smoke:
 		benchmarks/test_e22_wal.py \
 		benchmarks/test_e24_replication.py \
 		benchmarks/test_e25_netserve.py \
-		benchmarks/test_e26_failover.py -k smoke
+		benchmarks/test_e26_failover.py \
+		benchmarks/test_e27_scrub.py -k smoke
 
-verify: test fault chaos recovery replication netserve failover bench-smoke
+verify: test fault chaos recovery replication netserve failover scrub bench-smoke

@@ -15,6 +15,8 @@ single-file format of :mod:`repro.storage`::
     python -m repro.cli update db.xml laporte updates.xupdate.xml
     python -m repro.cli lint db.xml
     python -m repro.cli recover damaged.xml --write
+    python -m repro.cli scrub db.xml.wal --deep
+    python -m repro.cli scrub db.xml.wal --repair-from peer.xml.wal
     python -m repro.cli replica db.xml.wal --query beaufort 'count(//*)'
     python -m repro.cli stress db.xml laporte updates.xupdate.xml --writers 4
     python -m repro.cli serve db.xml --port 7915
@@ -246,7 +248,7 @@ def _recover_from_wal(args: argparse.Namespace, wal_dir: str) -> int:
 
 def cmd_wal_inspect(args: argparse.Namespace) -> int:
     """Scan a write-ahead-log directory and print what it holds."""
-    from .wal import list_checkpoints, scan_directory
+    from .wal import list_checkpoints, quarantine_reason, scan_directory
 
     if not os.path.isdir(args.directory):
         raise CliError(f"no log directory at {args.directory!r}")
@@ -255,11 +257,20 @@ def cmd_wal_inspect(args: argparse.Namespace) -> int:
         in_segment = [r for r in scan.records if r.segment == path]
         first = in_segment[0].lsn if in_segment else "-"
         last = in_segment[-1].lsn if in_segment else "-"
+        quarantined = quarantine_reason(path)
+        if quarantined is not None:
+            status = "QUARANTINED"
+        elif scan.torn is not None and scan.torn.segment == path:
+            status = "DAMAGED"
+        else:
+            status = "checksums ok"
         print(
             f"segment {os.path.basename(path)}: {len(in_segment)} "
             f"record(s) (lsn {first}..{last}), "
-            f"{os.path.getsize(path)} bytes"
+            f"{os.path.getsize(path)} bytes [{status}]"
         )
+        if quarantined is not None:
+            print(f"  quarantine reason: {quarantined}")
     for checkpoint in list_checkpoints(args.directory):
         print(
             f"checkpoint {os.path.basename(checkpoint.path)}: "
@@ -281,12 +292,69 @@ def cmd_wal_inspect(args: argparse.Namespace) -> int:
             if "op" in record.payload:
                 extra += f" op={record.payload['op']}"
             print(f"  lsn {record.lsn}: {record.kind}{extra} "
-                  f"({record.length} bytes)")
+                  f"({record.length} bytes, crc ok)")
     if scan.torn is not None:
         print(f"TORN: {scan.torn}")
         return 4
     print("log is clean")
     return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify a log directory's integrity; optionally repair from a peer.
+
+    Walks every WAL segment (record CRCs, structure) and checkpoint
+    (integrity headers; full SHA-256 recompute under ``--deep``),
+    quarantining non-tail corruption exactly like the background
+    scrubber.  With ``--repair-from`` a damaged directory is rebuilt
+    from the named healthy peer directory and re-verified.  Exit 4
+    when corruption was found (and not repaired).
+    """
+    from .scrub import scrub_directory
+
+    wal_dir = args.wal_dir if args.wal_dir else args.directory
+    if not os.path.isdir(wal_dir):
+        raise CliError(f"no log directory at {wal_dir!r}")
+    report = scrub_directory(wal_dir, deep=args.deep)
+    print(
+        f"scrubbed {wal_dir}: {report.records_verified} record(s), "
+        f"{report.segments_verified} clean segment(s), "
+        f"{report.checkpoints_verified} checkpoint(s), "
+        f"{report.bytes_verified} byte(s)"
+    )
+    for finding in report.findings:
+        print(f"  {finding}")
+    if report.clean:
+        print("integrity ok")
+        return 0
+    if args.repair_from:
+        from .errors import RepairError
+        from .replication import repair_from_peer
+
+        try:
+            repaired = repair_from_peer(wal_dir, args.repair_from)
+        except RepairError as exc:
+            print(f"repair failed ({exc.reason}): {exc}")
+            return 4
+        print(
+            f"repaired from {args.repair_from}: "
+            f"{repaired.segments_copied} segment(s) and "
+            f"{repaired.checkpoints_copied} checkpoint(s) installed, "
+            f"{len(repaired.moved_aside)} damaged file(s) moved to "
+            f"{repaired.damaged_dir or '(nothing)'}; rejoins at epoch "
+            f"{repaired.epoch}, lsn {repaired.last_lsn}"
+        )
+        after = scrub_directory(wal_dir, deep=args.deep)
+        if after.clean:
+            print("post-repair integrity ok")
+            return 0
+        for finding in after.findings:
+            print(f"  {finding}")
+        print("post-repair scrub still found damage")
+        return 4
+    print("corruption found; repair from a healthy peer "
+          "(--repair-from PEERDIR)")
+    return 4
 
 
 def cmd_replica(args: argparse.Namespace) -> int:
@@ -761,6 +829,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", action="store_true",
                    help="list every usable record")
     p.set_defaults(handler=cmd_wal_inspect)
+
+    p = sub.add_parser("scrub",
+                       help="verify a log directory's record checksums "
+                            "and checkpoint digests (exit 4 when "
+                            "corruption was found and not repaired)")
+    p.add_argument("directory", nargs="?", default="",
+                   help="the log directory to scrub")
+    p.add_argument("--wal-dir", default="",
+                   help="alternative way to name the log directory")
+    p.add_argument("--deep", action="store_true",
+                   help="recompute every checkpoint's SHA-256, not just "
+                        "check its integrity header")
+    p.add_argument("--repair-from", metavar="PEERDIR", default="",
+                   help="when corruption is found, rebuild this "
+                        "directory from the named healthy peer log "
+                        "directory (anti-entropy repair)")
+    p.set_defaults(handler=cmd_scrub)
 
     p = sub.add_parser("replica",
                        help="stand up a read replica over a primary's "

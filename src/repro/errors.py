@@ -16,6 +16,9 @@ The taxonomy::
     ├── ConcurrentUpdateError  (optimistic-concurrency commit conflict)
     ├── StorageError           (malformed/unsupported database file)
     │   └── StorageCorrupt     (file damaged beyond strict loading)
+    ├── DiskError              (a raw OS disk failure, classified)
+    │   ├── DiskFullError      (ENOSPC/EDQUOT: the volume is out of space)
+    │   └── DiskIOError        (EIO and friends: the device failed the op)
     ├── ServingError           (repro.serving: a governed request failed)
     │   ├── OverloadError      (admission control shed the request)
     │   ├── DeadlineExceeded   (per-request deadline expired)
@@ -30,7 +33,8 @@ The taxonomy::
     │   ├── ReplicaDiverged    (replica state-hash != primary checkpoint)
     │   ├── ReadOnlyReplica    (a write reached a replica's database)
     │   ├── StaleEpochError    (a fenced/deposed primary tried to write)
-    │   └── FailoverError      (supervised promotion could not complete)
+    │   ├── FailoverError      (supervised promotion could not complete)
+    │   └── RepairError        (anti-entropy repair from a peer failed)
     ├── NetworkError           (repro.netserve: the wire protocol)
     │   ├── ProtocolError      (malformed frame, bad handshake, oversized)
     │   │   └── FrameTooLarge  (frame exceeds the negotiated maximum)
@@ -54,6 +58,8 @@ whether to re-submit (``RetryExhausted.last_error``,
 
 from __future__ import annotations
 
+import errno
+
 from typing import Any, Optional
 
 __all__ = [
@@ -62,6 +68,10 @@ __all__ = [
     "ConcurrentUpdateError",
     "StorageError",
     "StorageCorrupt",
+    "DiskError",
+    "DiskFullError",
+    "DiskIOError",
+    "classify_disk_error",
     "WalError",
     "WalWriteError",
     "WalCorruptionError",
@@ -72,6 +82,7 @@ __all__ = [
     "ReadOnlyReplica",
     "StaleEpochError",
     "FailoverError",
+    "RepairError",
     "NetworkError",
     "ProtocolError",
     "FrameTooLarge",
@@ -231,7 +242,18 @@ class WalWriteError(WalError):
     on-disk offset is no longer trustworthy); re-open the log -- which
     truncates any torn tail -- or degrade to snapshot-only durability,
     as :class:`repro.serving.DatabaseServer` does.
+
+    Attributes:
+        disk: the classified :class:`DiskError` when the failure was a
+            raw OS disk error (``ENOSPC``, ``EIO``, ...), else None.
+            A :class:`DiskFullError` here is recoverable without
+            degrading the writer: reclaim space (checkpoint + retention
+            prune) and reopen the log.
     """
+
+    def __init__(self, message: str, *, disk: Optional["DiskError"] = None) -> None:
+        super().__init__(message)
+        self.disk = disk
 
 
 class WalCorruptionError(WalError):
@@ -359,6 +381,26 @@ class FailoverError(ReplicationError):
         self.reason = reason
 
 
+class RepairError(ReplicationError):
+    """Anti-entropy repair from a peer could not complete.
+
+    Raised by :func:`repro.replication.repair_from_peer` when the peer
+    itself is damaged (a scrub of the peer's directory found non-benign
+    corruption), when the staged copy fails to recover to the peer's
+    exact state, or when the install step hits a disk error.  The
+    damaged directory is left as it was (staging is discarded): a
+    failed repair never makes things worse.
+
+    Attributes:
+        reason: a short machine-readable cause (``"peer-damaged"``,
+            ``"stage-mismatch"``, ``"install-failed"``, ...).
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class NetworkError(ReproError):
     """Root of the network front-end failures (:mod:`repro.netserve`)."""
 
@@ -418,3 +460,71 @@ class StorageCorrupt(StorageError):
     is raised when even that is impossible (e.g. the XML itself is not
     well-formed).
     """
+
+
+class DiskError(ReproError, OSError):
+    """A raw OS disk failure, classified into the taxonomy.
+
+    The storage and WAL layers never let a bare ``OSError`` escape a
+    durability path: :func:`classify_disk_error` maps it to
+    :class:`DiskFullError` or :class:`DiskIOError` so callers can
+    branch -- disk-full is recoverable by reclaiming space, a device
+    I/O error is not.  The ``OSError`` lineage is preserved so existing
+    ``except OSError`` handlers keep working.
+
+    Attributes:
+        path: the file the operation touched, when known.
+        op: the failing operation (``"open"``/``"read"``/``"write"``/
+            ``"fsync"``/...), when known.
+    """
+
+    def __init__(self, message: str, *, path: str = "", op: str = "") -> None:
+        # OSError.__init__ with a single argument keeps errno unset;
+        # the original errno travels via __cause__ instead.
+        super().__init__(message)
+        self.path = path
+        self.op = op
+
+
+class DiskFullError(DiskError):
+    """The volume is out of space (``ENOSPC``/``EDQUOT``).
+
+    Recoverable without failing over: shed the write, reclaim space
+    (checkpoint + retention prune), and retry -- the admission ladder
+    in :class:`repro.serving.DatabaseServer` does exactly that.
+    """
+
+
+class DiskIOError(DiskError):
+    """The device failed the operation (``EIO`` and friends).
+
+    Not recoverable by the writer itself: the failure detector treats a
+    persistently sick disk as a dead primary and promotes a replica.
+    """
+
+
+_DISK_FULL_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", None),
+        getattr(errno, "EFBIG", None),
+    )
+    if code is not None
+)
+
+
+def classify_disk_error(
+    exc: OSError, *, path: str = "", op: str = ""
+) -> DiskError:
+    """Map a raw ``OSError`` from a durability path into the taxonomy.
+
+    ``ENOSPC``-family errnos become :class:`DiskFullError`; everything
+    else (``EIO``, ``EROFS``, ``EBADF``, unknown) becomes
+    :class:`DiskIOError`.  The returned error chains the original via
+    ``__cause__`` conventions when raised with ``from exc``.
+    """
+    where = f" ({op} {path})" if path else (f" ({op})" if op else "")
+    if exc.errno in _DISK_FULL_ERRNOS:
+        return DiskFullError(f"disk full{where}: {exc}", path=path, op=op)
+    return DiskIOError(f"disk I/O error{where}: {exc}", path=path, op=op)

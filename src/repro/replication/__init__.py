@@ -44,13 +44,16 @@ See DESIGN.md sections 12 and 14 for the protocol, the consistency
 guarantees and the failure matrix.
 """
 
+from .repair import RepairReport, repair_from_peer
 from .replica import Replica
 from .router import ReplicationRouter, RouteDecision
 from .supervisor import FailoverSupervisor
 
 __all__ = [
     "FailoverSupervisor",
+    "RepairReport",
     "Replica",
     "ReplicationRouter",
     "RouteDecision",
+    "repair_from_peer",
 ]

@@ -9,12 +9,15 @@ This module is that someone.
 
 **Failure detection** (:meth:`FailoverSupervisor.heartbeat`) probes
 the primary through :meth:`~repro.serving.DatabaseServer.stats` -- the
-same ledger operators read -- and folds four signals into one verdict:
+same ledger operators read -- and folds five signals into one verdict:
 
 * the stats probe itself raising (the server object is gone/broken);
 * a poisoned write-ahead log (``wal_failed`` set, or the log already
   detached by the degrade path -- the primary can no longer make
   writes durable);
+* a sick disk (``disk_sick``: consecutive commits failed with
+  ``EIO``-class disk errors -- the device under the log is dying, and
+  a healthy replica on a healthy disk beats a primary on a bad one);
 * the circuit breaker stuck open (commit liveness lost);
 * the server already fenced (a higher epoch exists somewhere).
 
@@ -128,6 +131,11 @@ class FailoverSupervisor:
             elif stats.get("wal_degraded", 0):
                 reasons.append(
                     "wal-detached: the degrade path gave up on the log"
+                )
+            if stats.get("disk_sick"):
+                reasons.append(
+                    "disk-sick: consecutive disk I/O failures on the "
+                    "primary's log volume"
                 )
             if stats.get("breaker_state") == "open":
                 reasons.append("breaker-open: commits are being refused")

@@ -66,6 +66,8 @@ from typing import Any, Callable, Dict, Optional, Union
 from ..errors import (
     ConcurrentUpdateError,
     DeadlineExceeded,
+    DiskFullError,
+    DiskIOError,
     OverloadError,
     RetryExhausted,
     StaleEpochError,
@@ -100,6 +102,23 @@ class _WalDegraded(Exception):
         self.error = error
 
 
+class _DiskFull(Exception):
+    """Internal: an append hit ``ENOSPC``; nothing was committed.
+
+    The signal for the disk-full admission ladder (ISSUE 10): the
+    retry loop catches it *outside* the write lock, reclaims space
+    (re-open the poisoned log, checkpoint to rotate and prune), and
+    re-runs the attempt -- or sheds the write with
+    :class:`~repro.errors.OverloadError` when reclaim fails.  A full
+    disk never detaches the log: snapshot-only durability would fail
+    on the same full volume, and shedding is honest back-pressure.
+    """
+
+    def __init__(self, error: WalWriteError) -> None:
+        super().__init__(str(error))
+        self.error = error
+
+
 class DatabaseServer:
     """A thread-safe, overload-aware front-end over one database.
 
@@ -128,6 +147,19 @@ class DatabaseServer:
         dedup_capacity: entries in the exactly-once dedup table
             (idempotency key -> acknowledged summary, FIFO-bounded; see
             :class:`~repro.serving.dedup.DedupTable`).
+        scrub_interval: seconds between background integrity-scrub
+            steps over the attached log's directory (see
+            :class:`repro.scrub.Scrubber`); None (the default) runs no
+            background scrub -- :meth:`scrub_step` is still available
+            for caller-paced scrubbing.
+        scrub_budget: byte budget per scrub step (None = each step is
+            a full pass).
+        scrub_deep: scrub checkpoints by recomputing their SHA-256
+            (not just checking the integrity header exists).
+        disk_sick_threshold: consecutive disk-I/O-failed commits after
+            which :meth:`stats` reports ``disk_sick`` True -- the
+            failover supervisor treats a sick primary disk as a
+            promotion reason.
         clock: monotonic time source (injectable for tests).
         sleep: how to wait out a backoff delay (injectable for tests).
         rng: randomness source for jitter (seedable for tests).
@@ -146,6 +178,10 @@ class DatabaseServer:
         wal_failure_threshold: int = 3,
         checkpoint_every: Optional[int] = None,
         dedup_capacity: int = 1024,
+        scrub_interval: Optional[float] = None,
+        scrub_budget: Optional[int] = None,
+        scrub_deep: bool = False,
+        disk_sick_threshold: int = 3,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
@@ -157,8 +193,20 @@ class DatabaseServer:
             raise ValueError("wal_failure_threshold must be >= 1")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 or None")
+        if scrub_interval is not None and scrub_interval <= 0:
+            raise ValueError("scrub_interval must be positive or None")
+        if disk_sick_threshold < 1:
+            raise ValueError("disk_sick_threshold must be >= 1")
         self._wal_failure_threshold = wal_failure_threshold
         self._wal_consecutive_failures = 0
+        self._disk_sick_threshold = disk_sick_threshold
+        self._disk_io_consecutive = 0
+        self._scrub_interval = scrub_interval
+        self._scrub_budget = scrub_budget
+        self._scrub_deep = scrub_deep
+        self._scrubber = None
+        self._scrub_thread: Optional[threading.Thread] = None
+        self._scrub_stop = threading.Event()
         self._checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
         self._source_path: Optional[str] = None
@@ -199,7 +247,15 @@ class DatabaseServer:
             "fenced_writes": 0,  # writes refused because this server is fenced
             "dedup_hits": 0,  # writes answered from the exactly-once ledger
             "promotions": 0,  # times this server was promoted to primary
+            "disk_full_events": 0,  # commits that hit ENOSPC on the log
+            "disk_io_errors": 0,  # commits that hit EIO-class disk failures
+            "space_reclaims": 0,  # successful reopen+checkpoint reclaim runs
+            "reclaim_failures": 0,  # reclaim runs that could not free space
+            "disk_full_shed": 0,  # writes shed because reclaim failed
+            "scrub_quarantines": 0,  # segments the background scrub quarantined
         }
+        if scrub_interval is not None:
+            self.start_scrub()
 
     # ------------------------------------------------------------------
     # opening from disk
@@ -542,6 +598,13 @@ class DatabaseServer:
                 )
             except _WalDegraded as exc:
                 raise exc.error from exc
+            except _DiskFull as exc:
+                # No internal retry here: surface the original error;
+                # the caller (the group committer's backoff, or the
+                # client) decides when to try again.  Reclaim still
+                # runs so the *next* attempt finds a healthy log.
+                self._reclaim_space()
+                raise exc.error from exc
         finally:
             self._admission.release()
 
@@ -567,6 +630,23 @@ class DatabaseServer:
                 # The failing log was detached; the attempt committed
                 # nothing and re-runs against snapshot-only durability.
                 pass
+            except _DiskFull as exc:
+                # ENOSPC poisoned the log writer mid-append; nothing
+                # was committed.  Reclaim space outside the lock
+                # (reopen the log past the torn tail, checkpoint to
+                # rotate and prune old segments) and retry -- or shed.
+                if not self._reclaim_space():
+                    self._count("disk_full_shed")
+                    self._audit_rejection(
+                        user, opname, oppath,
+                        f"disk full and space reclaim failed: {exc.error}",
+                        "disk-full",
+                    )
+                    raise OverloadError(
+                        f"{opname} by {user!r} shed: the log volume is "
+                        f"full and reclaiming space failed; retry after "
+                        f"freeing disk ({exc.error})"
+                    ) from exc.error
             # Retryable outcome: back off outside the lock, then again.
             if attempt == self._retry.max_attempts:
                 break
@@ -665,6 +745,19 @@ class DatabaseServer:
             # can re-run the attempt without it.
             self._breaker.record_failure()
             self._count("wal_errors")
+            if (
+                isinstance(exc.disk, DiskFullError)
+                and self._database.wal is not None
+            ):
+                # ENOSPC rides its own ladder: reclaim space outside
+                # the lock and retry, or shed.  It never counts toward
+                # detaching the log -- snapshot-only durability would
+                # fail on the same full volume.
+                self._count("disk_full_events")
+                raise _DiskFull(exc) from exc
+            if isinstance(exc.disk, DiskIOError):
+                self._count("disk_io_errors")
+                self._disk_io_consecutive += 1
             self._wal_consecutive_failures += 1
             if (
                 self._database.wal is None
@@ -680,6 +773,11 @@ class DatabaseServer:
         else:
             self._breaker.record_success()
             self._wal_consecutive_failures = 0
+            if self._database.wal is not None:
+                # Only a commit the log made durable proves the disk
+                # healthy again; a snapshot-only commit after the sick
+                # log was detached proves nothing about the device.
+                self._disk_io_consecutive = 0
             self._count("writes")
             self._count("commits")
             self._commits_since_checkpoint += 1
@@ -715,6 +813,106 @@ class DatabaseServer:
             "detached it -- durability degraded to snapshot-only",
             self._wal_consecutive_failures, error,
         )
+
+    def _reclaim_space(self) -> bool:
+        """The disk-full ladder: reopen the poisoned log, checkpoint to
+        rotate and prune, and report whether the log is healthy again.
+
+        Called with no lock held (checkpointing takes the write lock
+        itself).  Any failure -- the reopen finds quarantined damage,
+        the checkpoint itself hits ``ENOSPC`` -- returns False; the
+        caller sheds the write instead of crashing the server.
+        """
+        wal = self._database.wal
+        if wal is None:
+            return False
+        try:
+            wal.reopen()
+            self.checkpoint()
+        except Exception:
+            self._count("reclaim_failures")
+            logger.exception(
+                "disk-full space reclaim failed; shedding writes until "
+                "space is freed"
+            )
+            return False
+        self._count("space_reclaims")
+        logger.warning(
+            "disk-full space reclaim succeeded: log reopened and "
+            "checkpoint pruned old segments"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # background integrity scrubbing
+    # ------------------------------------------------------------------
+    def _ensure_scrubber(self):
+        """The lazily-built :class:`repro.scrub.Scrubber` over the
+        attached log's directory (None when no log is attached)."""
+        if self._scrubber is None:
+            wal = self._database.wal
+            if wal is None:
+                return None
+            from ..scrub import Scrubber
+
+            self._scrubber = Scrubber(
+                wal.directory,
+                budget_bytes=self._scrub_budget,
+                deep=self._scrub_deep,
+            )
+        return self._scrubber
+
+    def scrub_step(self, budget_bytes: Optional[int] = None):
+        """Run one integrity-scrub step over the attached log.
+
+        Holds no server lock (the scrubber reads the directory like a
+        follower does); serving continues concurrently.  Segments the
+        step quarantines are counted (``scrub_quarantines``) and
+        logged -- quarantined damage needs
+        :func:`repro.replication.repair_from_peer`.
+
+        Returns the step's :class:`repro.scrub.ScrubReport`, or None
+        when no log is attached.
+        """
+        scrubber = self._ensure_scrubber()
+        if scrubber is None:
+            return None
+        report = scrubber.step(budget_bytes)
+        quarantined = report.quarantined
+        if quarantined:
+            self._count("scrub_quarantines", len(quarantined))
+            for finding in quarantined:
+                logger.error("scrub quarantined damage: %s", finding)
+        return report
+
+    def start_scrub(self) -> None:
+        """Start the background scrub thread (idempotent; a no-op when
+        ``scrub_interval`` was not configured)."""
+        if self._scrub_interval is None:
+            return
+        if self._scrub_thread is not None and self._scrub_thread.is_alive():
+            return
+        self._scrub_stop.clear()
+        self._scrub_thread = threading.Thread(
+            target=self._scrub_loop, name="repro-scrub", daemon=True
+        )
+        self._scrub_thread.start()
+
+    def stop_scrub(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the background scrub thread (idempotent)."""
+        self._scrub_stop.set()
+        thread = self._scrub_thread
+        if thread is not None:
+            thread.join(timeout)
+        self._scrub_thread = None
+
+    def _scrub_loop(self) -> None:
+        while not self._scrub_stop.wait(self._scrub_interval):
+            try:
+                self.scrub_step()
+            except Exception:
+                # The scrubber must never take serving down with it.
+                logger.exception("background scrub step failed; continuing")
 
     def checkpoint(self, deadline: Optional[float] = None) -> None:
         """Cut a durable checkpoint under the exclusive write lock.
@@ -874,6 +1072,12 @@ class DatabaseServer:
             out["wal_lsn"] = wal.lsn
             out["wal_fsync_policy"] = str(wal.fsync_policy)
             out["wal_failed"] = wal.failed
+        out["disk_sick"] = (
+            self._disk_io_consecutive >= self._disk_sick_threshold
+        )
+        out["scrub"] = (
+            self._scrubber.counters if self._scrubber is not None else None
+        )
         out.update(self._database.stats())
         return copy.deepcopy(out)
 

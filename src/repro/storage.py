@@ -38,7 +38,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from .errors import StorageCorrupt, StorageError
+from .errors import DiskError, StorageCorrupt, StorageError, classify_disk_error
 from .security.collection import SecureCollection
 from .security.database import SecureXMLDatabase
 from .security.delegation import AdministeredPolicy, Grant
@@ -50,6 +50,7 @@ from .xmltree.labels import NumberingScheme
 from .xmltree.node import NodeKind
 from .xmltree.parser import XMLSyntaxError, parse_fragment
 from .xmltree.serializer import serialize
+from .testing.diskfaults import disk
 from .testing.faults import kill_point
 
 __all__ = [
@@ -203,7 +204,7 @@ def snapshot_digest(path: str) -> Optional[str]:
     as "cannot verify", never as a mismatch.
     """
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with disk.open(path, "r", encoding="utf-8") as handle:
             first = handle.readline()
     except OSError:
         return None
@@ -251,6 +252,12 @@ def save_to_file(
     Kill-points consulted (see :mod:`repro.testing.faults`):
     ``mid-write`` after roughly half the payload is written,
     ``before-rename`` once the temp file is durable.
+
+    Raises:
+        DiskFullError: the volume ran out of space mid-save; ``path``
+            still holds the complete previous database.
+        DiskIOError: the device failed the write or fsync; ``path``
+            still holds the complete previous database.
     """
     payload = dump_database(db) + "\n"
     _write_atomically(payload, path, backup=backup, backup_count=backup_count)
@@ -266,19 +273,32 @@ def _write_atomically(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        with disk.wrap(os.fdopen(fd, "w", encoding="utf-8"), temp_path) as handle:
             half = len(payload) // 2
             handle.write(payload[:half])
             handle.flush()
             kill_point("mid-write", path=path)
             handle.write(payload[half:])
             handle.flush()
-            os.fsync(handle.fileno())
+            disk.fsync(handle)
         if backup and os.path.exists(path):
             _refresh_backup(path, backup_count)
         kill_point("before-rename", path=path)
         os.replace(temp_path, path)
         _fsync_directory(directory)
+    except (DiskError, FileNotFoundError, IsADirectoryError, NotADirectoryError,
+            PermissionError):
+        with contextlib.suppress(OSError):
+            os.unlink(temp_path)
+        raise
+    except OSError as exc:
+        # A raw disk failure never escapes unclassified: the atomic
+        # write guarantees path still holds the previous complete
+        # database, and the classified error says whether reclaiming
+        # space can help.
+        with contextlib.suppress(OSError):
+            os.unlink(temp_path)
+        raise classify_disk_error(exc, path=path, op="save") from exc
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(temp_path)
@@ -504,9 +524,17 @@ def load_from_file(
             element in the message.
         StorageCorrupt: unrecoverable damage (either mode); the message
             points at the ``.bak`` sibling when restoring is an option.
+        DiskIOError: the device failed the read (``EIO``); a missing
+            file still raises plain :class:`FileNotFoundError`.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
+    try:
+        with disk.open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (DiskError, FileNotFoundError, IsADirectoryError,
+            NotADirectoryError, PermissionError):
+        raise
+    except OSError as exc:
+        raise classify_disk_error(exc, path=path, op="read") from exc
     return load_database(text, scheme, mode=mode, report=report, source=path)
 
 

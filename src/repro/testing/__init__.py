@@ -3,8 +3,21 @@
 :mod:`repro.testing.faults` provides the fault-injection harness the
 update executor and the storage layer consult at named kill-points; the
 crash-safety test suites arm it to simulate failures at every point.
+
+:mod:`repro.testing.diskfaults` provides the disk-fault shim the
+storage and WAL layers route their file I/O through; the integrity
+suites arm it to simulate ``EIO``/``ENOSPC``, short writes, and flip
+bits at rest (ISSUE 10).
 """
 
+from .diskfaults import (
+    DISK_ERRORS,
+    DISK_OPS,
+    DiskFaultInjector,
+    FaultyFile,
+    disk,
+    flip_bit,
+)
 from .faults import (
     KILL_POINTS,
     FaultInjector,
@@ -15,10 +28,16 @@ from .faults import (
 )
 
 __all__ = [
-    "KILL_POINTS",
+    "DISK_ERRORS",
+    "DISK_OPS",
+    "DiskFaultInjector",
     "FaultInjector",
+    "FaultyFile",
     "InjectedFault",
+    "KILL_POINTS",
+    "disk",
     "faults",
+    "flip_bit",
     "inject",
     "kill_point",
 ]

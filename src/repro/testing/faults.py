@@ -309,6 +309,8 @@ class ChaosReport:
         errors: per task, the exception that ended it early, or None.
         faults_armed: every randomly armed kill-point as
             ``(schedule_position, point_name)`` pairs.
+        disk_faults_armed: every randomly armed disk fault as
+            ``(schedule_position, (op, error))`` pairs (ISSUE 10).
     """
 
     seed: int
@@ -316,6 +318,9 @@ class ChaosReport:
     results: List[Any] = field(default_factory=list)
     errors: List[Optional[BaseException]] = field(default_factory=list)
     faults_armed: List[Tuple[int, str]] = field(default_factory=list)
+    disk_faults_armed: List[Tuple[int, Tuple[str, str]]] = field(
+        default_factory=list
+    )
 
     @property
     def clean(self) -> bool:
@@ -348,6 +353,17 @@ class ChaosRunner:
         injector: the :class:`FaultInjector` to arm (the module-level
             :data:`faults` by default, which is what the library
             consults).
+        disk_faults: disk-fault specs eligible for random arming, as
+            ``(op, error)`` pairs -- e.g. ``("write", "enospc")`` or
+            ``("fsync", "eio")`` (see
+            :mod:`repro.testing.diskfaults`).
+        disk_rate: probability of arming one random disk fault before
+            a step (0.0 disables).  Disk faults and kill-points are
+            drawn independently, so a schedule can combine a crash
+            with a sick disk.
+        disk_injector: the :class:`~repro.testing.diskfaults.
+            DiskFaultInjector` to arm (the module-level ``disk`` by
+            default, which is what the storage/WAL layers consult).
 
     Example::
 
@@ -369,6 +385,9 @@ class ChaosRunner:
         kill_points: Sequence[str] = (),
         kill_rate: float = 0.0,
         injector: Optional[FaultInjector] = None,
+        disk_faults: Sequence[Tuple[str, str]] = (),
+        disk_rate: float = 0.0,
+        disk_injector: Optional[Any] = None,
     ) -> None:
         for point in kill_points:
             FaultInjector._check(point)
@@ -376,10 +395,22 @@ class ChaosRunner:
             raise ValueError("kill_rate must be in [0, 1]")
         if kill_rate > 0.0 and not kill_points:
             raise ValueError("kill_rate > 0 needs at least one kill point")
+        if not 0.0 <= disk_rate <= 1.0:
+            raise ValueError("disk_rate must be in [0, 1]")
+        if disk_rate > 0.0 and not disk_faults:
+            raise ValueError("disk_rate > 0 needs at least one disk fault spec")
+        from .diskfaults import DISK_ERRORS, DISK_OPS, disk as default_disk
+
+        for op, error in disk_faults:
+            if op not in DISK_OPS or error not in DISK_ERRORS:
+                raise ValueError(f"unknown disk fault spec ({op!r}, {error!r})")
         self.seed = seed
         self.kill_points = tuple(kill_points)
         self.kill_rate = kill_rate
         self._injector = injector if injector is not None else faults
+        self.disk_faults = tuple((op, error) for op, error in disk_faults)
+        self.disk_rate = disk_rate
+        self._disk = disk_injector if disk_injector is not None else default_disk
 
     def run(self, tasks: Sequence[Callable[[], Iterator[Any]]]) -> ChaosReport:
         """Interleave ``tasks`` to completion and report the schedule.
@@ -403,10 +434,15 @@ class ChaosRunner:
             index = rng.choice(runnable)
             report.schedule.append((index, steps[index]))
             armed = None
+            disk_armed = None
             if self.kill_rate > 0.0 and rng.random() < self.kill_rate:
                 armed = rng.choice(self.kill_points)
                 self._injector.arm(armed)
                 report.faults_armed.append((position, armed))
+            if self.disk_rate > 0.0 and rng.random() < self.disk_rate:
+                disk_armed = rng.choice(self.disk_faults)
+                self._disk.arm(disk_armed[0], disk_armed[1])
+                report.disk_faults_armed.append((position, disk_armed))
             try:
                 next(gens[index])
             except StopIteration as stop:
@@ -420,6 +456,8 @@ class ChaosRunner:
                     # One-shot arming may not have been reached; never
                     # leak it into the next step (or the next test).
                     self._injector.disarm(armed)
+                if disk_armed is not None:
+                    self._disk.disarm(disk_armed[0])
             steps[index] += 1
             position += 1
         return report

@@ -32,13 +32,19 @@ the torn-tail rule.
 
 from .log import (
     Checkpoint,
+    DamageClass,
     FsyncPolicy,
+    QUARANTINE_SUFFIX,
     ScanResult,
     TornTail,
     WalRecord,
     WalStream,
     WriteAheadLog,
+    classify_damage,
     list_checkpoints,
+    quarantine_reason,
+    quarantine_segment,
+    quarantined_segments,
     scan_directory,
     scan_segment,
 )
@@ -51,7 +57,9 @@ from .recover import (
 
 __all__ = [
     "Checkpoint",
+    "DamageClass",
     "FsyncPolicy",
+    "QUARANTINE_SUFFIX",
     "RecoveryResult",
     "ScanResult",
     "TornTail",
@@ -59,8 +67,12 @@ __all__ = [
     "WalStream",
     "WriteAheadLog",
     "apply_record",
+    "classify_damage",
     "list_checkpoints",
     "load_newest_checkpoint",
+    "quarantine_reason",
+    "quarantine_segment",
+    "quarantined_segments",
     "recover",
     "scan_directory",
     "scan_segment",

@@ -77,19 +77,31 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import WalCorruptionError, WalStreamGap, WalWriteError
+from ..errors import (
+    WalCorruptionError,
+    WalStreamGap,
+    WalWriteError,
+    classify_disk_error,
+)
+from ..testing.diskfaults import disk
 from ..testing.faults import kill_point
 from ..xupdate.serializer import XUpdateSerializeError, dump_xupdate
 
 __all__ = [
     "Checkpoint",
+    "DamageClass",
     "FsyncPolicy",
+    "QUARANTINE_SUFFIX",
     "ScanResult",
     "TornTail",
     "WalRecord",
     "WalStream",
     "WriteAheadLog",
+    "classify_damage",
     "list_checkpoints",
+    "quarantine_reason",
+    "quarantine_segment",
+    "quarantined_segments",
     "scan_directory",
     "scan_segment",
 ]
@@ -102,6 +114,12 @@ _CHECKPOINT_RE = re.compile(
     r"^checkpoint-(\d{10})-(\d{10})(?:-e(\d+))?\.xml$"
 )
 _BATCH_RE = re.compile(r"^batch\((\d+),(\d+(?:\.\d+)?)\)$")
+
+#: Sidecar marker a quarantined segment carries: ``<segment>.quarantined``
+#: holding the diagnosis.  A quarantined segment is never replayed, never
+#: streamed past, and blocks re-opening the log for writing until
+#: anti-entropy repair (or an operator) clears it.
+QUARANTINE_SUFFIX = ".quarantined"
 
 
 @dataclass(frozen=True)
@@ -263,8 +281,13 @@ def scan_segment(
         caller's policy decision).
     """
     records: List[WalRecord] = []
-    with open(path, "rb") as handle:
-        data = handle.read()
+    try:
+        with disk.open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        # EIO on a scan degrades like damage at offset 0: the caller's
+        # strictness policy decides whether that raises or truncates.
+        return records, TornTail(path, 0, f"segment unreadable ({exc})", 0)
     size = len(data)
 
     def torn_at(offset: int, reason: str) -> TornTail:
@@ -310,6 +333,124 @@ def scan_segment(
         next_lsn = lsn + 1
         offset = start + length
     return records, None
+
+
+@dataclass(frozen=True)
+class DamageClass:
+    """What kind of damage a :class:`TornTail` describes (ISSUE 10).
+
+    The torn-tail rule is only safe for damage a *crash* can produce:
+    an interrupted append leaves garbage at the very end of the log
+    with nothing decodable after it.  Damage with an intact record
+    *behind* it -- bit rot at rest, a flipped length field, a hole
+    punched mid-segment -- is not a crash artifact, and truncating
+    there would silently drop acknowledged commits that are still
+    perfectly readable.
+
+    Attributes:
+        tail: True when the damage is consistent with a crash
+            mid-append (nothing decodable follows) -- safe to
+            truncate.  False means non-tail corruption: quarantine and
+            repair, never truncate.
+        resync_offset: (non-tail only) byte offset of the first intact
+            record found past the damage, 0 when none was located
+            (e.g. the damage spans later whole segments).
+        resync_lsn: (non-tail only) that record's lsn, 0 when none.
+    """
+
+    tail: bool
+    resync_offset: int = 0
+    resync_lsn: int = 0
+
+
+def classify_damage(torn: TornTail) -> DamageClass:
+    """Distinguish a crash's torn tail from non-tail corruption.
+
+    Scans the damaged segment forward from the reported offset for any
+    intact record -- plausible length prefix, matching CRC, decodable
+    JSON payload with an lsn.  Finding one proves the damage is *not*
+    the end of what was ever written (a crash cannot write valid
+    records after the point where it died), so the torn-tail rule must
+    not truncate there.  Damage that drops whole later segments is
+    non-tail by definition.
+
+    The scan is cheap for genuine torn tails (only the short in-flight
+    remainder is examined) and bounded by the segment size for rot.
+    """
+    if torn.dropped_segments:
+        return DamageClass(tail=False)
+    try:
+        with disk.open(torn.segment, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        # Unreadable now: nothing provable either way; treat as
+        # non-tail so nobody truncates based on damage they cannot see.
+        return DamageClass(tail=False)
+    size = len(data)
+    offset = max(torn.offset + 1, len(MAGIC))
+    while offset <= size - _HEADER.size:
+        # Candidate payloads open with '{' (every record is a JSON
+        # object); checking one byte first keeps the scan linear-ish.
+        begin = offset + _HEADER.size
+        if begin < size and data[begin] != 0x7B:
+            offset += 1
+            continue
+        length, crc = _HEADER.unpack_from(data, offset)
+        if 0 < length <= _MAX_RECORD and begin + length <= size:
+            payload_bytes = data[begin:begin + length]
+            if zlib.crc32(payload_bytes) & 0xFFFFFFFF == crc:
+                try:
+                    payload = json.loads(payload_bytes.decode("utf-8"))
+                    lsn = int(payload["lsn"])
+                    str(payload["kind"])
+                except Exception:
+                    lsn = 0
+                if lsn > 0:
+                    return DamageClass(
+                        tail=False, resync_offset=offset, resync_lsn=lsn
+                    )
+        offset += 1
+    return DamageClass(tail=True)
+
+
+def quarantine_segment(path: str, reason: str) -> str:
+    """Mark a segment as corrupt with a sidecar file; returns its path.
+
+    The marker (``<segment>.quarantined``) holds the human-readable
+    diagnosis.  Quarantining is idempotent -- re-quarantining appends
+    nothing and keeps the first diagnosis.
+    """
+    marker = path + QUARANTINE_SUFFIX
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(reason.rstrip("\n") + "\n")
+            handle.flush()
+            with contextlib.suppress(OSError):
+                os.fsync(handle.fileno())
+        _fsync_directory(os.path.dirname(marker) or ".")
+    return marker
+
+
+def quarantine_reason(path: str) -> Optional[str]:
+    """The diagnosis a segment was quarantined with, or None."""
+    try:
+        with open(path + QUARANTINE_SUFFIX, "r", encoding="utf-8") as handle:
+            return handle.read().strip()
+    except OSError:
+        return None
+
+
+def quarantined_segments(directory: str) -> List[str]:
+    """Segment paths in ``directory`` carrying a quarantine marker."""
+    out = []
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(QUARANTINE_SUFFIX):
+            segment = os.path.join(directory, name[: -len(QUARANTINE_SUFFIX)])
+            if _SEGMENT_RE.match(os.path.basename(segment)):
+                out.append(segment)
+    return out
 
 
 def _segment_files(directory: str) -> List[Tuple[int, str]]:
@@ -495,20 +636,40 @@ class WalStream:
             self._segment, self._offset = successor, len(MAGIC)
         return out
 
+    def _oldest_available(self) -> int:
+        """The first lsn still listed on disk (0 = directory empty)."""
+        try:
+            files = _segment_files(self._directory)
+        except OSError:
+            return 0
+        return files[0][0] if files else 0
+
     def _drain_segment(
         self, first_lsn: int, out: List[WalRecord], max_records: Optional[int]
     ) -> bool:
         """Decode records at the cursor until end-of-segment, damage,
         or ``max_records``; returns True when the cursor moved."""
         path = self._segment
+        if os.path.exists(path + QUARANTINE_SUFFIX):
+            # Scrub found non-tail corruption here: a follower must
+            # never replay past (or out of) a quarantined segment.
+            raise WalStreamGap(
+                f"{path}: segment quarantined "
+                f"({quarantine_reason(path) or 'corruption detected'})",
+                next_lsn=self._next_lsn,
+                oldest_available=self._oldest_available(),
+            )
         try:
-            with open(path, "rb") as handle:
+            with disk.open(path, "rb") as handle:
                 data = handle.read()
         except OSError:
-            # Pruned between the listing and the open: surface as a gap.
+            # Pruned between the listing and the open (or the device
+            # refused the read): surface as a gap with the retention
+            # horizon re-listed, so the follower knows where to re-seed.
             raise WalStreamGap(
                 f"{path}: segment vanished under the stream",
                 next_lsn=self._next_lsn,
+                oldest_available=self._oldest_available(),
             )
         size = len(data)
         if size < len(MAGIC) or not data.startswith(MAGIC):
@@ -523,6 +684,7 @@ class WalStream:
                 f"{path}: segment truncated behind the stream cursor "
                 f"(size {size} < cursor offset {self._offset})",
                 next_lsn=self._next_lsn,
+                oldest_available=self._oldest_available(),
             )
         moved = False
         expect = first_lsn if self._offset == len(MAGIC) else self._next_lsn
@@ -634,6 +796,8 @@ class WriteAheadLog:
         self._lock = threading.RLock()
         self._handle = None
         self._failed: Optional[str] = None
+        self._failed_disk = None  # the DiskError that poisoned the log
+        self._fenced = False
         self._pending = 0
         self._last_sync = clock()
         self._bound_db = None
@@ -658,6 +822,15 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def _open_tail(self) -> None:
         """Find the end of the usable log and position for appending."""
+        quarantined = quarantined_segments(self._directory)
+        if quarantined:
+            names = ", ".join(os.path.basename(p) for p in quarantined)
+            raise WalCorruptionError(
+                f"{self._directory}: quarantined segment(s) present "
+                f"({names}); repair from a healthy peer "
+                f"(repro.replication.repair_from_peer) before reopening "
+                f"the log for writing"
+            )
         scan = scan_directory(self._directory)
         self._lsn = scan.last_lsn
         disk_epoch = max(
@@ -682,6 +855,24 @@ class WriteAheadLog:
                     f"-- run repro.wal.recover(..., repair=True) before "
                     f"reopening the log for writing"
                 )
+            damage = classify_damage(scan.torn)
+            if not damage.tail:
+                # Intact records exist past the damage: this is bit rot
+                # (or a hole), not a crash's torn tail.  Truncating
+                # would silently drop the readable commits behind it --
+                # quarantine and demand repair instead.
+                quarantine_segment(
+                    scan.torn.segment,
+                    f"{scan.torn} (intact record at offset "
+                    f"{damage.resync_offset}, lsn {damage.resync_lsn})",
+                )
+                raise WalCorruptionError(
+                    f"{self._directory}: {scan.torn}; an intact record "
+                    f"(lsn {damage.resync_lsn}) follows the damage, so "
+                    f"this is non-tail corruption -- the segment is "
+                    f"quarantined; repair from a healthy peer before "
+                    f"reopening the log for writing"
+                )
             # A torn tail in the last segment is the normal signature of
             # a crash mid-append: cut it off and continue after the
             # committed prefix.
@@ -692,7 +883,7 @@ class WriteAheadLog:
             self._stats["torn_tail_repaired"] += 1
         if scan.segments:
             current = scan.segments[-1]
-            self._handle = open(current, "ab")
+            self._handle = disk.open(current, "ab")
             self._segment_path = current
         else:
             self._start_segment(1)
@@ -701,11 +892,11 @@ class WriteAheadLog:
         path = os.path.join(
             self._directory, f"segment-{first_lsn:010d}.wal"
         )
-        handle = open(path, "ab")
+        handle = disk.open(path, "ab")
         if handle.tell() == 0:
             handle.write(MAGIC)
             handle.flush()
-            os.fsync(handle.fileno())
+            disk.fsync(handle)
         self._handle = handle
         self._segment_path = path
         _fsync_directory(self._directory)
@@ -721,6 +912,37 @@ class WriteAheadLog:
             with contextlib.suppress(OSError):
                 self._handle.close()
             self._handle = None
+
+    def reopen(self) -> None:
+        """Recover a failed writer in place (ISSUE 10).
+
+        Closes the current handle, truncates any torn tail the failed
+        append left on disk, and resumes after the committed prefix --
+        the disk-full recovery rung: after ``ENOSPC`` poisoned the
+        writer and a checkpoint reclaimed space, the server reopens the
+        log and retries the shed write instead of degrading to
+        snapshot-only durability.
+
+        Raises:
+            WalWriteError: the log was *fenced*, not failed -- a higher
+                epoch exists elsewhere and no reopen may resurrect it.
+            WalCorruptionError: the directory holds non-tail corruption
+                or quarantined segments; repair first.
+        """
+        with self._lock:
+            if self._fenced:
+                raise WalWriteError(
+                    f"log at {self._directory} is fenced ({self._failed}); "
+                    f"a fenced log never resumes appending"
+                )
+            if self._handle is not None:
+                with contextlib.suppress(OSError, ValueError):
+                    self._handle.close()
+            self._handle = None
+            self._failed = None
+            self._failed_disk = None
+            self._pending = 0
+            self._open_tail()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -774,6 +996,7 @@ class WriteAheadLog:
                     f"cannot fence epoch {self._epoch} log with epoch "
                     f"{epoch} (fencing epoch must be higher)"
                 )
+            self._fenced = True
             self._failed = (
                 f"fenced: epoch {epoch} supersedes this log's epoch "
                 f"{self._epoch}"
@@ -830,10 +1053,14 @@ class WriteAheadLog:
 
     def _append_locked(self, payload: Dict[str, Any]) -> int:
         if self._failed is not None:
+            # A refusal caused by a disk error keeps carrying that
+            # classification: every commit the poisoned log turns away
+            # is still a disk-sick signal for the serving layer.
             raise WalWriteError(
                 f"write-ahead log at {self._directory} is failed "
                 f"({self._failed}); re-open it to resume after the "
-                f"committed prefix"
+                f"committed prefix",
+                disk=self._failed_disk,
             )
         lsn = self._lsn + 1
         kind = payload.get("kind", "?")
@@ -863,11 +1090,20 @@ class WriteAheadLog:
             kill_point("wal-mid-record", lsn=lsn, kind=kind)
             handle.write(buf[half:])
             handle.flush()
-        except (OSError, ValueError) as exc:  # ValueError: closed handle
+        except OSError as exc:
+            self._failed_disk = classify_disk_error(
+                exc, path=self._segment_path, op="append"
+            )
+            raise WalWriteError(
+                f"append of lsn {lsn} failed mid-record: {exc}",
+                disk=self._failed_disk,
+            ) from exc
+        except ValueError as exc:  # closed handle
             raise WalWriteError(
                 f"append of lsn {lsn} failed mid-record: {exc}"
             ) from exc
         self._failed = None
+        self._failed_disk = None
         self._lsn = lsn
         self._stats["appends"] += 1
         self._pending += 1
@@ -900,10 +1136,19 @@ class WriteAheadLog:
 
     def _fsync_now(self) -> None:
         try:
-            os.fsync(self._handle.fileno())
-        except (OSError, ValueError) as exc:  # ValueError: closed handle
+            disk.fsync(self._handle)
+        except OSError as exc:
             # After a failed fsync the kernel may have dropped the dirty
             # pages; the only safe stance is to stop trusting the tail.
+            self._failed = f"fsync failed: {exc}"
+            self._failed_disk = classify_disk_error(
+                exc, path=self._segment_path, op="fsync"
+            )
+            raise WalWriteError(
+                f"fsync of {self._segment_path} failed: {exc}",
+                disk=self._failed_disk,
+            ) from exc
+        except ValueError as exc:  # closed handle
             self._failed = f"fsync failed: {exc}"
             raise WalWriteError(
                 f"fsync of {self._segment_path} failed: {exc}"
@@ -1019,12 +1264,24 @@ class WriteAheadLog:
             return lsns
 
     def _rotate_locked(self) -> None:
-        self._handle.flush()
-        with contextlib.suppress(OSError):
-            os.fsync(self._handle.fileno())
-        self._handle.close()
-        self._pending = 0
-        self._start_segment(self._lsn + 1)
+        try:
+            self._handle.flush()
+            with contextlib.suppress(OSError):
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._pending = 0
+            self._start_segment(self._lsn + 1)
+        except OSError as exc:
+            # A rotation that cannot open/seed the next segment leaves
+            # no trustworthy writer; poison it like a failed append.
+            self._failed = f"rotation failed: {exc}"
+            self._failed_disk = classify_disk_error(
+                exc, path=self._directory, op="rotate"
+            )
+            raise WalWriteError(
+                f"segment rotation at lsn {self._lsn} failed: {exc}",
+                disk=self._failed_disk,
+            ) from exc
         self._stats["rotations"] += 1
 
     # ------------------------------------------------------------------
@@ -1175,16 +1432,20 @@ class WriteAheadLog:
             suffix=".tmp",
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            with disk.wrap(os.fdopen(fd, "w", encoding="utf-8"), temp_path) as handle:
                 half = len(payload) // 2
                 handle.write(payload[:half])
                 handle.flush()
                 kill_point("checkpoint-mid-snapshot", path=path)
                 handle.write(payload[half:])
                 handle.flush()
-                os.fsync(handle.fileno())
+                disk.fsync(handle)
             os.replace(temp_path, path)
             _fsync_directory(self._directory)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_path)
+            raise classify_disk_error(exc, path=path, op="checkpoint") from exc
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(temp_path)

@@ -41,13 +41,17 @@ from typing import Any, Callable, Dict, Optional
 
 from ..errors import RecoveryError, WalCorruptionError
 from ..storage import LoadReport, load_database
+from ..testing.diskfaults import disk
 from ..xmltree.labels import NumberingScheme
 from ..xupdate.parser import parse_xupdate
 from .log import (
     Checkpoint,
     TornTail,
     WalRecord,
+    classify_damage,
     list_checkpoints,
+    quarantine_segment,
+    quarantined_segments,
     scan_directory,
 )
 
@@ -138,12 +142,48 @@ def recover(
     if not os.path.isdir(directory):
         raise RecoveryError(f"{directory} is not a directory")
 
+    quarantined = set(quarantined_segments(directory))
+    if quarantined and strict:
+        names = ", ".join(sorted(os.path.basename(p) for p in quarantined))
+        raise WalCorruptionError(
+            f"{directory}: quarantined segment(s) present ({names}); "
+            f"strict recovery refuses to replay past quarantined damage "
+            f"-- repair from a healthy peer first"
+        )
+
     scan = scan_directory(directory)
     result.torn = scan.torn
+    damage = None
     if scan.torn is not None:
+        damage = classify_damage(scan.torn)
+        if not damage.tail:
+            # Non-tail corruption: intact records exist past the damage
+            # (bit rot, a flipped length field, dropped segments).  The
+            # torn-tail rule must not swallow this -- quarantine the
+            # segment so no writer truncates it and no stream serves it.
+            quarantine_segment(
+                scan.torn.segment,
+                f"{scan.torn} (non-tail: intact record at offset "
+                f"{damage.resync_offset}, lsn {damage.resync_lsn})",
+            )
+            quarantined.add(scan.torn.segment)
         if strict:
-            raise WalCorruptionError(f"{directory}: {scan.torn}")
-        result.report.add("wal", str(scan.torn))
+            detail = (
+                "" if damage.tail
+                else (
+                    f"; non-tail corruption (intact lsn "
+                    f"{damage.resync_lsn} follows) -- segment quarantined"
+                )
+            )
+            raise WalCorruptionError(f"{directory}: {scan.torn}{detail}")
+        if damage.tail:
+            result.report.add("wal", str(scan.torn))
+        else:
+            result.report.add(
+                "wal",
+                f"{scan.torn}; non-tail corruption -- segment "
+                f"quarantined, replay stops at the damage",
+            )
 
     checkpoint, database = load_newest_checkpoint(
         directory, scheme=scheme, strict=strict, report=result.report
@@ -160,6 +200,13 @@ def recover(
     for record in scan.records:
         if record.lsn <= start_lsn:
             continue
+        if record.segment in quarantined:
+            result.report.add(
+                "wal",
+                f"segment {os.path.basename(record.segment)} is "
+                f"quarantined; stopping before lsn {record.lsn}",
+            )
+            break
         # Epoch regression is the fencing invariant's version of a bad
         # version stamp: a record from a lower epoch after a higher one
         # is a deposed primary's leftover, never part of the committed
@@ -226,8 +273,19 @@ def recover(
             f"state record; nothing to recover"
         )
     if repair and scan.torn is not None:
-        _repair_tail(scan.torn)
-        result.report.add("wal", "torn tail physically truncated (repair)")
+        if damage is not None and not damage.tail:
+            # Truncating non-tail damage would destroy the intact
+            # committed records behind it; repair here means
+            # anti-entropy from a healthy peer, never the saw.
+            result.report.add(
+                "wal",
+                "non-tail corruption is quarantined, not truncated; "
+                "repair it from a healthy peer "
+                "(repro.replication.repair_from_peer)",
+            )
+        else:
+            _repair_tail(scan.torn)
+            result.report.add("wal", "torn tail physically truncated (repair)")
     result.database = database
     return result
 
@@ -271,7 +329,7 @@ def load_newest_checkpoint(
     checkpoints = list_checkpoints(directory)
     for index, checkpoint in enumerate(reversed(checkpoints)):
         try:
-            with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            with disk.open(checkpoint.path, "r", encoding="utf-8") as handle:
                 text = handle.read()
             database = load_database(
                 text, scheme, mode="strict",
